@@ -1,0 +1,43 @@
+"""Theorem-1 sweep: writes-to-fast ≥ half of traffic for every kernel.
+
+Also times the core instrumented kernels themselves (the library's hot
+paths) so regressions in the block-slot machinery show up.
+"""
+
+import numpy as np
+
+from repro.bounds import theorem1_holds
+from repro.core import blocked_cholesky, blocked_matmul, blocked_trsm, nbody2
+from repro.machine import TwoLevel
+
+
+def _run_all(n=32, b=4, seed=0):
+    rng = np.random.default_rng(seed)
+    results = []
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    for order in ("ijk", "kij"):
+        h = TwoLevel(3 * b * b)
+        blocked_matmul(A, B, b=b, hier=h, loop_order=order)
+        results.append(("matmul-" + order, h))
+    T = np.triu(rng.standard_normal((n, n))) + n * np.eye(n)
+    h = TwoLevel(3 * b * b)
+    blocked_trsm(T, rng.standard_normal((n, n)), b=b, hier=h)
+    results.append(("trsm", h))
+    G = rng.standard_normal((n, n))
+    h = TwoLevel(3 * b * b)
+    blocked_cholesky(G @ G.T + n * np.eye(n), b=b, hier=h)
+    results.append(("cholesky", h))
+    h = TwoLevel(3 * b)
+    nbody2(rng.standard_normal((n, 3)), b=b, hier=h)
+    results.append(("nbody", h))
+    return results
+
+
+def test_theorem1_sweep(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for name, h in results:
+        assert theorem1_holds(h), name
+        # And the quantitative form: the bound is tight only when all
+        # residencies are R1/D1 — never violated, often slack.
+        assert 2 * h.writes_to_fast >= h.loads_plus_stores, name

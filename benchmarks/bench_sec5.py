@@ -1,0 +1,17 @@
+"""Regenerates the Section-5 result: CO matmul cannot be write-avoiding."""
+
+from repro.experiments import format_sec5, run_sec5
+
+
+def test_sec5(benchmark):
+    rows = benchmark.pedantic(run_sec5, kwargs=dict(n=32),
+                              rounds=1, iterations=1)
+    print("\n" + format_sec5(rows))
+
+    # CO stores shrink with M but stay well above the output at small M;
+    # the WA comparator sits at the output size for every M.
+    assert rows[0]["co_stores"] > rows[-1]["co_stores"]
+    assert rows[0]["co_over_output"] > 4
+    for r in rows:
+        assert r["wa_stores"] == r["output"]
+        assert r["co_stores"] > r["wa_stores"]

@@ -1,0 +1,31 @@
+"""Regenerates the Section-6 policy study (Propositions 6.1 / 6.2)."""
+
+from repro.experiments import format_sec6, run_sec6
+
+
+def test_sec6(benchmark):
+    rows = benchmark.pedantic(run_sec6, rounds=1, iterations=1)
+    print("\n" + format_sec6(rows))
+
+    def pick(scheme, blocks, policy):
+        return [r for r in rows
+                if r["scheme"] == scheme
+                and r["capacity_blocks"] == blocks
+                and r["policy"] == policy][0]
+
+    # Proposition 6.1: two-level WA + LRU + 5 blocks → floor exactly.
+    assert pick("wa2", 5, "lru")["writebacks"] == pick(
+        "wa2", 5, "lru")["floor"]
+    # Slab order stays near the floor with just 3 blocks.
+    assert pick("ab-multilevel", 3, "lru")["ratio"] < 1.2
+    # Multi-level WA order with 3 blocks blows past the floor.
+    assert pick("wa-multilevel", 3, "lru")["ratio"] > 1.5
+    # Belady (ideal cache) is never worse than LRU on write-backs + fills.
+    for scheme in ("wa2", "ab-multilevel"):
+        for blocks in (3, 5):
+            opt = pick(scheme, blocks, "belady")
+            lru = pick(scheme, blocks, "lru")
+            assert opt["fills"] <= lru["fills"]
+    # The clock approximation tracks LRU within a small factor at 5 blocks.
+    assert (pick("wa2", 5, "clock")["writebacks"]
+            <= 3 * pick("wa2", 5, "lru")["writebacks"])

@@ -1,0 +1,95 @@
+"""Regenerates the Section-9 conjecture studies (extensions).
+
+Two open problems the paper states, made measurable:
+
+* the sorting write/read frontier (merge sort vs WA selection sort);
+* the LU/QR conjecture ("similar conclusions hold for LU, QR").
+"""
+
+import numpy as np
+
+from repro.core import (
+    blocked_lu,
+    blocked_qr,
+    external_merge_sort,
+    selection_sort_wa,
+    sorting_traffic_lb,
+)
+from repro.machine import TwoLevel
+from repro.util import format_table
+
+
+def _sorting_rows(M=64):
+    rows = []
+    for n in (256, 1024):
+        x = np.random.default_rng(n).standard_normal(n)
+        hm, hs = TwoLevel(M), TwoLevel(M)
+        external_merge_sort(x, M=M, hier=hm)
+        selection_sort_wa(x, M=M, hier=hs)
+        rows.append({
+            "n": n, "av_bound": sorting_traffic_lb(n, M),
+            "merge_reads": hm.reads_from_slow,
+            "merge_writes": hm.writes_to_slow,
+            "sel_reads": hs.reads_from_slow,
+            "sel_writes": hs.writes_to_slow,
+        })
+    return rows
+
+
+def _factor_rows():
+    rows = []
+    n, b = 32, 4
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    A += np.diag(np.abs(A).sum(axis=1) + 1.0)
+    for variant in ("left-looking", "right-looking"):
+        h = TwoLevel(3 * b * b)
+        blocked_lu(A.copy(), b=b, hier=h, variant=variant)
+        rows.append({"kernel": "LU", "variant": variant,
+                     "writes": h.writes_to_slow, "output": n * n})
+    m = 32
+    B = rng.standard_normal((m, n // 2))
+    for variant in ("left-looking", "right-looking"):
+        h = TwoLevel(m * b + 2 * b * b)
+        blocked_qr(B.copy(), b=b, hier=h, variant=variant)
+        rows.append({"kernel": "QR", "variant": variant,
+                     "writes": h.writes_to_slow, "output": m * n // 2})
+    return rows
+
+
+def _run():
+    return {"sorting": _sorting_rows(), "factor": _factor_rows()}
+
+
+def test_sec9(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    srt = result["sorting"]
+    print("\n" + format_table(
+        ["n", "AV bound", "merge reads", "merge writes",
+         "WA-sel reads", "WA-sel writes"],
+        [[r["n"], round(r["av_bound"]), r["merge_reads"],
+          r["merge_writes"], r["sel_reads"], r["sel_writes"]]
+         for r in srt],
+        title="Section 9 — sorting write/read frontier (M = 64 words)",
+    ))
+    print("\n" + format_table(
+        ["kernel", "variant", "writes to slow", "output"],
+        [[r["kernel"], r["variant"], r["writes"], r["output"]]
+         for r in result["factor"]],
+        title="Section 4.3 conjecture — LU and QR looking-direction "
+              "asymmetry",
+    ))
+
+    # Sorting frontier: selection sort writes = n; merge writes ~ reads.
+    for r in srt:
+        assert r["sel_writes"] == r["n"]
+        assert r["merge_writes"] == r["merge_reads"]
+        assert r["sel_reads"] > 2 * r["merge_reads"] or r["n"] < 512
+    # LU/QR: left-looking writes = output exactly; right-looking > 2x.
+    f = {(r["kernel"], r["variant"]): r for r in result["factor"]}
+    for k in ("LU", "QR"):
+        assert f[(k, "left-looking")]["writes"] == f[
+            (k, "left-looking")]["output"]
+        assert (f[(k, "right-looking")]["writes"]
+                > 2 * f[(k, "left-looking")]["writes"])

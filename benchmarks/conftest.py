@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the regeneration harness for every table and figure
+of the paper: run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the paper-style tables printed alongside the timings.  Each benchmark runs
+its harness once per round (``pedantic``) because the harnesses are
+deterministic and non-trivial in cost.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time *fn* with a single warm-up-free round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,57 @@
+"""How much cache does write-avoidance need under real replacement policies?
+
+Recreates the Section-6 investigation as a provisioning study: for each
+matmul instruction order, sweep the simulated LLC capacity (in units of
+L3 blocks) and replacement policy, and find the smallest cache at which
+write-backs reach the output floor.
+
+The punchlines (Propositions 6.1/6.2 + the Fig. 5 observation):
+
+* the two-level WA order (MKL-style kernel inside) reaches the floor with
+  just under **3** blocks;
+* the fully multi-level WA order needs **5** blocks under LRU;
+* the cache-oblivious order never reaches the floor at any capacity.
+
+Run:  python examples/cache_policy_study.py
+"""
+
+from repro.core import matmul_trace
+from repro.machine import CacheSim
+from repro.util import format_table
+
+N, MID = 64, 128
+B3, B2, BASE, LINE = 16, 8, 4, 4
+FLOOR = N * N // LINE
+
+rows = []
+for scheme in ("wa2", "wa-multilevel", "co"):
+    trace = matmul_trace(N, MID, N, scheme=scheme, b3=B3, b2=B2,
+                         base=BASE, line_size=LINE)
+    lines, writes = trace.finalize()
+    for policy in ("lru", "clock", "belady"):
+        row = [scheme, policy]
+        reached = None
+        for blocks in (3, 4, 5, 6):
+            sim = CacheSim(blocks * B3 * B3 + LINE, line_size=LINE,
+                           policy=policy)
+            sim.run_lines(lines, writes)
+            sim.flush()
+            wb = sim.stats.writebacks
+            row.append(f"{wb / FLOOR:.2f}x")
+            if reached is None and wb <= 1.05 * FLOOR:
+                reached = blocks
+        row.append(reached if reached is not None else "never")
+        rows.append(row)
+
+print(format_table(
+    ["scheme", "policy", "3 blk", "4 blk", "5 blk", "6 blk",
+     "floor reached at"],
+    rows,
+    title=(f"Write-backs / output floor ({FLOOR} lines) vs cache size, "
+           f"n={N}, middle={MID}"),
+))
+
+print("\nReading the table: provision ≥5 blocks of LLC per WA matmul if "
+      "you insist on the\nfully multi-level order, or restructure to the "
+      "slab order and get away with 3 —\nthe cache-oblivious code never "
+      "gets there, per Theorem 3.")

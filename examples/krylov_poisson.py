@@ -1,0 +1,42 @@
+"""Solving a 2-D Poisson-like system with write-avoiding Krylov methods.
+
+The workload the paper's Section 8 targets: an iterative solve whose
+vector traffic dominates, running out of a memory whose writes are
+expensive (NVM).  We solve the same SPD stencil system three ways and
+compare accuracy and slow-memory write traffic:
+
+* conventional CG,
+* CA-CG (s-step; communication-avoiding reads, same writes),
+* streaming CA-CG (write-avoiding: Θ(s) fewer writes, ≤2x flops).
+
+Run:  python examples/krylov_poisson.py
+"""
+
+import numpy as np
+
+from repro.krylov import cacg, cg, spd_stencil_system
+
+MESH, D = 48, 2           # 48x48 mesh, 9-point stencil
+A, rhs = spd_stencil_system(MESH, d=D, b=1, seed=7)
+n = A.shape[0]
+print(f"2-D stencil system: n = {n} unknowns, nnz = {A.nnz}\n")
+
+ref = cg(A, rhs, tol=1e-9)
+print(f"CG              : {ref.iterations:3d} iterations, "
+      f"writes/step = {ref.writes_per_iteration:9.1f}, "
+      f"residual = {ref.residuals[-1]:.2e}")
+
+for s in (2, 4, 8):
+    plain = cacg(A, rhs, s=s, tol=1e-9, block=n // 8)
+    stream = cacg(A, rhs, s=s, tol=1e-9, streaming=True, block=n // 8)
+    err = np.linalg.norm(stream.x - ref.x) / np.linalg.norm(ref.x)
+    print(f"CA-CG      s={s:2d}: {plain.inner_steps:3d} steps,      "
+          f"writes/step = {plain.writes_per_step:9.1f}")
+    print(f"CA-CG WA   s={s:2d}: {stream.inner_steps:3d} steps,      "
+          f"writes/step = {stream.writes_per_step:9.1f}, "
+          f"flops = {stream.traffic.flops / plain.traffic.flops:.2f}x plain, "
+          f"|x-x_cg|/|x_cg| = {err:.1e}")
+
+print("\nWrites per CG-equivalent step fall ~Θ(1/s) only for the streaming"
+      "\nvariant — the Section-8 result.  On NVM whose writes cost 10-20x"
+      "\nreads, that is the difference that pays for the 2x recompute.")

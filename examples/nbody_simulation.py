@@ -1,0 +1,54 @@
+"""A small gravitational N-body simulation on a write-limited memory.
+
+The intro-motivating workload for Algorithm 4: a long-running particle
+simulation whose force phase re-runs every step.  We integrate a leapfrog
+scheme where forces come from the blocked write-avoiding kernel and track
+cumulative slow-memory writes vs the force-symmetry variant — half the
+arithmetic, but Θ(N/b)-fold more writes per step.
+
+Run:  python examples/nbody_simulation.py
+"""
+
+import numpy as np
+
+from repro.core import gravity_phi2, nbody2
+from repro.machine import TwoLevel
+
+N, B, STEPS, DT = 64, 8, 10, 1e-3
+rng = np.random.default_rng(3)
+pos = rng.standard_normal((N, 3))
+vel = np.zeros((N, 3))
+
+h_wa = TwoLevel(3 * B)
+h_sym = TwoLevel(4 * B)
+
+pos_wa = pos.copy()
+vel_wa = vel.copy()
+pos_sym = pos.copy()
+vel_sym = vel.copy()
+
+energy_drift = []
+for step in range(STEPS):
+    F = nbody2(pos_wa, b=B, hier=h_wa, phi2=gravity_phi2)
+    vel_wa += DT * F
+    pos_wa += DT * vel_wa
+
+    F2 = nbody2(pos_sym, b=B, hier=h_sym, phi2=gravity_phi2,
+                use_symmetry=True)
+    vel_sym += DT * F2
+    pos_sym += DT * vel_sym
+
+assert np.allclose(pos_wa, pos_sym), "the two schedules agree numerically"
+
+print(f"{STEPS} leapfrog steps of an N={N} body simulation (block b={B}):\n")
+print("                         blocked WA     force-symmetry")
+print(f"writes to slow memory  {h_wa.writes_to_slow:12,}   "
+      f"{h_sym.writes_to_slow:14,}")
+print(f"reads from slow memory {h_wa.reads_from_slow:12,}   "
+      f"{h_sym.reads_from_slow:14,}")
+print(f"\nwrite floor per step = N = {N}; the WA kernel hits it "
+      f"({h_wa.writes_to_slow // STEPS}/step),")
+print(f"the symmetric kernel writes "
+      f"{h_sym.writes_to_slow // STEPS}/step — "
+      "Newton's third law halves flops\nbut forfeits write-avoidance "
+      "(Section 4.4).  On NVM, flops are free and writes are not.")

@@ -1,0 +1,63 @@
+"""Quickstart: what "write-avoiding" means, in 60 lines.
+
+Runs the paper's Algorithm 1 (blocked matmul) in its write-avoiding loop
+order and a non-WA order on an instrumented two-level memory, then replays
+the same computation's address trace through a simulated LRU cache — the
+two execution models the paper uses (explicit control, Section 4; hardware
+control, Section 6).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TwoLevel, blocked_matmul, wa_block_size
+from repro.core import matmul_trace
+from repro.machine import CacheSim
+
+# ------------------------------------------------------------------ #
+# 1. Explicit data movement (paper Section 4)
+# ------------------------------------------------------------------ #
+n = 64
+M = 3 * 16 * 16          # fast memory: three 16x16 blocks
+b = wa_block_size(M)     # the paper's b = sqrt(M/3)
+
+rng = np.random.default_rng(0)
+A = rng.standard_normal((n, n))
+B = rng.standard_normal((n, n))
+
+print(f"C = A @ B with n={n}, fast memory M={M} words, block b={b}\n")
+
+for order, label in [("ijk", "k innermost  (write-avoiding)"),
+                     ("kij", "k outermost  (communication-avoiding only)")]:
+    hier = TwoLevel(M)
+    C = blocked_matmul(A, B, b=b, hier=hier, loop_order=order)
+    assert np.allclose(C, A @ B)
+    print(f"loop order {order} — {label}")
+    print(f"  loads from slow memory : {hier.loads:>8}")
+    print(f"  writes to slow memory  : {hier.writes_to_slow:>8}"
+          f"   (output size = {n * n})")
+    print(f"  writes to fast memory  : {hier.writes_to_fast:>8}"
+          f"   (Theorem 1 floor = {hier.loads_plus_stores // 2})\n")
+
+# ------------------------------------------------------------------ #
+# 2. Hardware-controlled caches (paper Section 6)
+# ------------------------------------------------------------------ #
+print("Same computation through a simulated LRU cache "
+      "(write-back, write-allocate):\n")
+line = 4
+for scheme, label in [("wa2", "two-level WA blocking"),
+                      ("co", "cache-oblivious recursion")]:
+    trace = matmul_trace(n, n, n, scheme=scheme, b3=16, b2=8, base=4,
+                         line_size=line)
+    # Proposition 6.1: five blocks resident keep the WA property under LRU.
+    cache = CacheSim(5 * 16 * 16 + line, line_size=line, policy="lru")
+    lines, writes = trace.finalize()
+    cache.run_lines(lines, writes)
+    cache.flush()
+    floor = n * n // line
+    print(f"{label:28s}: LLC_VICTIMS.M = {cache.stats.writebacks:>6}"
+          f"   (write floor = {floor} lines)")
+
+print("\nThe WA order writes back exactly the output; the CO order's "
+      "write-backs grow with the problem — Theorem 3 in action.")

@@ -1,0 +1,42 @@
+"""The Section-9 conjecture, visualized: sorting's write/read frontier.
+
+The paper conjectures no sort can get o(n·log_M n) writes *and*
+O(n·log_M n) reads.  We sweep problem sizes with both endpoint algorithms
+and print the frontier: merge sort (balanced reads/writes, both near the
+Aggarwal–Vitter bound) vs the write-avoiding selection sort (writes = n
+exactly, reads blowing up as n²/M).
+
+Run:  python examples/sorting_frontier.py
+"""
+
+import numpy as np
+
+from repro.core import external_merge_sort, selection_sort_wa, sorting_traffic_lb
+from repro.machine import TwoLevel
+from repro.util import format_table
+
+M = 64
+rows = []
+for n in (256, 1024, 4096):
+    x = np.random.default_rng(n).standard_normal(n)
+    hm, hs = TwoLevel(M), TwoLevel(M)
+    assert (external_merge_sort(x, M=M, hier=hm) == np.sort(x)).all()
+    assert (selection_sort_wa(x, M=M, hier=hs) == np.sort(x)).all()
+    rows.append([
+        n,
+        round(sorting_traffic_lb(n, M), 0),
+        hm.reads_from_slow, hm.writes_to_slow,
+        hs.reads_from_slow, hs.writes_to_slow,
+    ])
+
+print(format_table(
+    ["n", "AV bound", "merge reads", "merge writes",
+     "WA-sel reads", "WA-sel writes"],
+    rows,
+    title=f"Sorting with fast memory M={M} words",
+))
+
+print("\nMerge sort: writes ≈ reads ≈ Θ(n·log_M n) — optimal total traffic,"
+      "\nno write savings.  Selection sort: writes = n (the floor), reads ="
+      "\nΘ(n²/M).  Nobody knows an algorithm strictly inside this frontier —"
+      "\nthe paper conjectures none exists.")

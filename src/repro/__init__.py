@@ -1,0 +1,72 @@
+"""repro — a reproduction of *Write-Avoiding Algorithms* (Carson, Demmel,
+Grigori, Knight, Koanantakool, Schwartz, Simhadri; IPDPS 2016 /
+UCB/EECS-2015-163).
+
+Subpackages
+-----------
+``repro.machine``
+    Explicit memory hierarchies with read/write counters, and a
+    cache simulator (LRU / 3-bit clock / Belady / …) standing in for the
+    paper's hardware counters.
+``repro.core``
+    The paper's sequential WA kernels (blocked matmul, TRSM, Cholesky,
+    N-body) and the non-WA comparators (cache-oblivious matmul, Strassen,
+    Cooley–Tukey FFT), all numerically executable and traffic-instrumented.
+``repro.cdag``
+    Computation DAGs, Theorem-2 bounds, and a red-blue pebbler.
+``repro.bounds``
+    The lower-bound catalogue (Theorems 1, 3, 4; Corollaries 1, 4).
+``repro.distributed``
+    A simulated distributed machine with per-channel counters, SUMMA /
+    Cannon / 2.5D matmul, parallel LU, and the Table-1/Table-2 cost models.
+``repro.krylov``
+    CG, s-step CA-CG, and the blocked/streaming matrix-powers kernels with
+    write counting.
+``repro.experiments``
+    One harness per table/figure of the paper.
+"""
+
+from repro.machine import CacheSim, MemoryHierarchy, TwoLevel
+from repro.core import (
+    blocked_cholesky,
+    blocked_matmul,
+    blocked_trsm,
+    co_matmul,
+    fft,
+    nbody2,
+    nbody_k,
+    strassen_matmul,
+    wa_block_size,
+    wa_matmul_multilevel,
+)
+from repro.bounds import parallel_mm_bounds, theorem1_holds
+from repro.distributed import DistMachine, HwParams, mm_25d, summa_2d
+from repro.krylov import cacg, cg, spd_stencil_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheSim",
+    "MemoryHierarchy",
+    "TwoLevel",
+    "blocked_cholesky",
+    "blocked_matmul",
+    "blocked_trsm",
+    "co_matmul",
+    "fft",
+    "nbody2",
+    "nbody_k",
+    "strassen_matmul",
+    "wa_block_size",
+    "wa_matmul_multilevel",
+    "parallel_mm_bounds",
+    "theorem1_holds",
+    "DistMachine",
+    "HwParams",
+    "mm_25d",
+    "summa_2d",
+    "cacg",
+    "cg",
+    "spd_stencil_system",
+    "__version__",
+]

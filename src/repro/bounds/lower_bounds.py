@@ -1,0 +1,175 @@
+"""Communication and write lower bounds from the paper.
+
+Organized as the paper presents them:
+
+* Section 2: Theorem 1 (writes-to-fast ≥ half of all traffic), the
+  f(M) catalogue ``W = Ω(#flops / f(M))``, Corollary 1 (multi-level), and
+  the WA targets (what a WA algorithm must achieve per level).
+* Section 5: Theorem 3 / Corollary 4 (cache-oblivious ⇒ not WA).
+* Section 7: the three parallel bounds W1, W2, W3 and Theorem 4's
+  Ω(n²/P^{2/3}) NVM-write bound when interprocessor communication is
+  optimal.
+
+All "Ω" returns are constant-free reference quantities for growth-rate and
+dominance comparisons; exact floors (like output size) are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.machine.hierarchy import TwoLevel
+from repro.util import require
+
+__all__ = [
+    "F_CATALOGUE",
+    "theorem1_write_to_fast_lb",
+    "theorem1_holds",
+    "matmul_traffic_lb",
+    "nbody_traffic_lb",
+    "corollary1_write_lb",
+    "wa_write_targets",
+    "theorem3_write_lb",
+    "co_write_lower_bound",
+    "parallel_mm_bounds",
+    "theorem4_l3_write_lb",
+]
+
+#: The f(M) catalogue of Section 2.1: W = Ω(#flops / f(M)).
+F_CATALOGUE: Dict[str, Callable[[float], float]] = {
+    "classical-linalg": lambda M: math.sqrt(M),
+    "strassen": lambda M: M ** (math.log2(7.0) / 2 - 1),
+    "nbody-2": lambda M: M,
+    "fft": lambda M: math.log2(M) if M > 1 else 1.0,
+}
+
+
+def nbody_k_f(k: int) -> Callable[[float], float]:
+    """f(M) = M^{k-1} for the (N,k)-body problem [38, 15]."""
+    require(k >= 2, f"k must be >= 2, got {k}")
+    return lambda M: M ** (k - 1)
+
+
+# --------------------------------------------------------------------- #
+# Section 2
+# --------------------------------------------------------------------- #
+def theorem1_write_to_fast_lb(loads_plus_stores: int) -> float:
+    """Theorem 1: writes to fast memory ≥ (loads + stores) / 2."""
+    require(loads_plus_stores >= 0, "traffic must be nonnegative")
+    return loads_plus_stores / 2
+
+
+def theorem1_holds(hier: TwoLevel) -> bool:
+    """Check Theorem 1 on a measured two-level execution."""
+    return hier.writes_to_fast >= theorem1_write_to_fast_lb(
+        hier.loads_plus_stores
+    )
+
+
+def matmul_traffic_lb(m: int, n: int, l: int, M: float) -> float:
+    """Ω(mnl/√M) loads+stores for classical matmul [28, 36, 7], with the
+    explicit Section-5 constant: W ≥ |S|/(8√M) − M."""
+    require(M > 0, "M must be positive")
+    return max(0.0, m * n * l / (8 * math.sqrt(M)) - M)
+
+
+def nbody_traffic_lb(N: int, k: int, M: float) -> float:
+    """Ω(N^k / M^{k-1}) traffic for the (N,k)-body problem (constant-free)."""
+    require(M > 0, "M must be positive")
+    require(k >= 2, f"k must be >= 2, got {k}")
+    return N**k / M ** (k - 1)
+
+
+def corollary1_write_lb(flops: float, f: Callable[[float], float],
+                        M_level: float) -> float:
+    """Corollary 1: writes to an intermediate level Ls are at least
+    W(s,s+1)/2 = Ω(#flops / f(Ms)) / 2 (constant-free reference)."""
+    require(M_level > 0, "level size must be positive")
+    return flops / f(M_level) / 2
+
+
+def wa_write_targets(
+    flops: float,
+    f: Callable[[float], float],
+    sizes: list,
+    output_size: int,
+) -> dict:
+    """What a WA algorithm must achieve (Section 2.1).
+
+    ``sizes = [M1, ..., Mr]`` (fastest first).  Returns per-level write
+    targets: Θ(#flops/f(Ms)) for s < r and Θ(output) for the last level.
+    """
+    require(len(sizes) >= 1, "need at least one level")
+    out = {}
+    for s, M in enumerate(sizes, start=1):
+        if s < len(sizes):
+            out[f"L{s}"] = flops / f(M)
+        else:
+            out[f"L{s}"] = float(output_size)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Section 5 (Theorem 3 / Corollary 4)
+# --------------------------------------------------------------------- #
+def theorem3_write_lb(S: int, M: float, c: float, M_prime: float) -> float:
+    """Equation (1): writes to slow memory of a CO algorithm run with a
+    smaller fast memory M' < M/(64c²):
+
+    ``Ws ≥ floor(|S|/(8 M^{3/2})) / (16c − 1) · (M/(64c²) − M')``.
+    """
+    require(c >= 1 / 8, f"c must be >= 1/8, got {c}")
+    require(M > 0 and M_prime > 0, "memory sizes must be positive")
+    require(M_prime < M / (64 * c * c),
+            f"Theorem 3 requires M' < M/(64c²) = {M / (64 * c * c)}")
+    segs = math.floor(S / (8 * M**1.5))
+    return segs / (16 * c - 1) * (M / (64 * c * c) - M_prime)
+
+
+def co_write_lower_bound(S: int, M_hat: float, c: float) -> float:
+    """Corollary 4: for *every* fast memory size M̂, a CO+CA algorithm
+    performs ``Ws ≥ floor(|S|/(8(128c²M̂)^{3/2}))/(16c−1) · M̂`` writes —
+    i.e. Ω(|S|/√M̂)."""
+    require(c >= 1 / 8, f"c must be >= 1/8, got {c}")
+    require(M_hat > 0, "M̂ must be positive")
+    segs = math.floor(S / (8 * (128 * c * c * M_hat) ** 1.5))
+    return segs / (16 * c - 1) * M_hat
+
+
+# --------------------------------------------------------------------- #
+# Section 7 (parallel)
+# --------------------------------------------------------------------- #
+@dataclass
+class ParallelMMBounds:
+    """The three per-processor lower bounds of Section 7 for n×n matmul."""
+
+    W1: float  # writes to the lowest local level: output size n²/P
+    W2: float  # interprocessor words: n²/sqrt(P·c)
+    W3: float  # reads from L2 / writes to L1: (n³/P)/sqrt(M1)
+
+    def ordered(self) -> bool:
+        """W1 ≤ W2 ≤ W3 (with gaps when n ≫ √P ≫ 1)."""
+        return self.W1 <= self.W2 <= self.W3
+
+
+def parallel_mm_bounds(n: int, P: int, c: float, M1: float) -> ParallelMMBounds:
+    """W1, W2, W3 for n×n matmul on P processors with replication c."""
+    require(P >= 1 and n >= 1, "n and P must be positive")
+    require(1 <= c <= P ** (1 / 3) + 1e-9,
+            f"replication c must be in [1, P^(1/3)], got {c}")
+    require(M1 > 0, "M1 must be positive")
+    return ParallelMMBounds(
+        W1=n * n / P,
+        W2=n * n / math.sqrt(P * c),
+        W3=(n**3 / P) / math.sqrt(M1),
+    )
+
+
+def theorem4_l3_write_lb(n: int, P: int) -> float:
+    """Theorem 4: if interprocessor communication attains its lower bound,
+    Ω(n²/P^{2/3}) words must be written to L3 (NVM) — asymptotically above
+    the output floor n²/P.  Constant-free."""
+    require(n >= 1 and P >= 1, "n and P must be positive")
+    return n * n / P ** (2 / 3)

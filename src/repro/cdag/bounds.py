@@ -1,0 +1,53 @@
+"""Theorem 2 and its corollaries, as checkable functions."""
+
+from __future__ import annotations
+
+import math
+
+from repro.util import ceil_div, check_positive_int, require
+
+__all__ = [
+    "theorem2_write_lower_bound",
+    "theorem2_write_lower_bound_from_traffic",
+    "corollary2_fft_traffic_lb",
+    "corollary3_strassen_traffic_lb",
+]
+
+
+def theorem2_write_lower_bound(t_loads: int, n_input_loads: int, d: int) -> int:
+    """Theorem 2(1): with out-degree ≤ d, an execution performing *t_loads*
+    loads of which *n_input_loads* are loads of inputs must write at least
+    ``ceil((t - N)/d)`` intermediate values to slow memory."""
+    require(t_loads >= 0 and n_input_loads >= 0, "counts must be nonnegative")
+    require(n_input_loads <= t_loads, "input loads cannot exceed loads")
+    check_positive_int(d, "d")
+    return ceil_div(t_loads - n_input_loads, d)
+
+
+def theorem2_write_lower_bound_from_traffic(
+    W_total: int, d: int, *, input_load_fraction: float = 0.5
+) -> float:
+    """Theorem 2(2): Ω(W/d) writes when at most half the traffic is input
+    loads.  Follows the proof's constants: if writes < W/(10d), then loads
+    ≥ (10d−1)/(10d)·W and writes ≥ ((10d−1)/(10d) − ½)·W/d."""
+    require(0 <= input_load_fraction <= 0.5, "fraction must be in [0, 1/2]")
+    check_positive_int(d, "d")
+    require(W_total >= 0, "W_total must be nonnegative")
+    frac = (10 * d - 1) / (10 * d) - input_load_fraction
+    return min(W_total / (10 * d), frac * W_total / d)
+
+
+def corollary2_fft_traffic_lb(n: int, M: int) -> float:
+    """Hong–Kung Ω(n·log n / log M) traffic bound for Cooley–Tukey FFT.
+
+    Returned without its constant: a growth-rate reference.
+    """
+    require(n >= 2 and M >= 2, "need n, M >= 2")
+    return n * math.log2(n) / math.log2(M)
+
+
+def corollary3_strassen_traffic_lb(n: int, M: int) -> float:
+    """Ω(n^ω₀ / M^(ω₀/2−1)) traffic bound for Strassen [8] (constant-free)."""
+    require(n >= 1 and M >= 1, "need n, M >= 1")
+    w0 = math.log2(7.0)
+    return n**w0 / M ** (w0 / 2 - 1)

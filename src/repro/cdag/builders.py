@@ -1,0 +1,181 @@
+"""CDAG builders for the algorithms the paper analyzes.
+
+Out-degree facts these constructions exhibit (and tests verify):
+
+* Cooley–Tukey FFT: out-degree ≤ 2 everywhere (Corollary 2's d).
+* Strassen: the scalar-multiplication descendants (``DecC``) have
+  out-degree ≤ 4 and contain no inputs (Corollary 3's d and N=0).
+* Classical matmul: the multiply vertices a(i,k)·b(k,j) have out-degree 1 —
+  DecC is *disconnected* — which is exactly why Theorem 2 has no bite and a
+  WA algorithm exists.
+"""
+
+from __future__ import annotations
+
+from repro.cdag.graph import CDAG
+from repro.util import check_positive_int, is_power_of_two, require
+
+__all__ = [
+    "fft_cdag",
+    "matmul_cdag",
+    "strassen_cdag",
+    "reduction_tree_cdag",
+    "linear_chain_cdag",
+]
+
+
+def fft_cdag(n: int) -> CDAG:
+    """Radix-2 Cooley–Tukey butterfly network on *n* inputs.
+
+    Vertices ``("x", stage, i)``; stage 0 = inputs, stage log2(n) = outputs.
+    Every vertex feeds exactly the two butterflies that consume it:
+    out-degree ≤ 2 including inputs.
+    """
+    check_positive_int(n, "n")
+    require(is_power_of_two(n), f"n must be a power of two, got {n}")
+    d = CDAG()
+    for i in range(n):
+        d.add_input(("x", 0, i))
+    stages = n.bit_length() - 1
+    for s in range(1, stages + 1):
+        span = 1 << s
+        half = span // 2
+        for i in range(n):
+            # Butterfly partner within the current span.
+            partner = i ^ half
+            d.add_op(
+                ("x", s, i),
+                [("x", s - 1, i), ("x", s - 1, partner)],
+                output=(s == stages),
+            )
+    return d
+
+
+def matmul_cdag(n: int) -> CDAG:
+    """Classical n×n×n matmul: C(i,j) = Σ_k a(i,k)·b(k,j).
+
+    Multiplication vertices ``("m", i, j, k)`` each feed one addition chain
+    ``("c", i, j, k)``; the multiply vertices have out-degree exactly 1
+    (disconnected DecC — no Theorem-2 obstruction), while the *inputs*
+    a(i,k), b(k,j) are reused n times each.
+    """
+    check_positive_int(n, "n")
+    d = CDAG()
+    for i in range(n):
+        for k in range(n):
+            d.add_input(("a", i, k))
+    for k in range(n):
+        for j in range(n):
+            d.add_input(("b", k, j))
+    for i in range(n):
+        for j in range(n):
+            prev = None
+            for k in range(n):
+                m = d.add_op(("m", i, j, k), [("a", i, k), ("b", k, j)])
+                if prev is None:
+                    prev = m
+                else:
+                    prev = d.add_op(("c", i, j, k), [prev, m])
+            d.mark_output(prev)
+    return d
+
+
+def strassen_cdag(n: int) -> CDAG:
+    """Strassen's recursion down to 1×1 base case.
+
+    Vertex naming uses the recursion path, so the graph is the exact
+    dependency structure of the algorithm.  Addition vertices have
+    out-degree 1 toward their consumer, product vertices feed up to 4
+    output recombinations — matching Corollary 3's d = 4 for DecC.
+    """
+    check_positive_int(n, "n")
+    require(is_power_of_two(n), f"n must be a power of two, got {n}")
+    d = CDAG()
+    for i in range(n):
+        for j in range(n):
+            d.add_input(("A", i, j))
+            d.add_input(("B", i, j))
+
+    counter = [0]
+
+    def fresh(tag: str):
+        counter[0] += 1
+        return (tag, counter[0])
+
+    def add(x, y, sign=1):
+        """Element-wise combination node set for two same-shape operands."""
+        out = [[fresh("s") for _ in row] for row in x]
+        for r, row in enumerate(x):
+            for c, xv in enumerate(row):
+                d.add_op(out[r][c], [xv, y[r][c]])
+        return out
+
+    def rec(X, Y):
+        """X, Y are 2-D lists of vertex ids; returns the product's ids."""
+        k = len(X)
+        if k == 1:
+            p = fresh("p")
+            d.add_op(p, [X[0][0], Y[0][0]])
+            return [[p]]
+        h = k // 2
+
+        def q(Z, r, c):
+            return [row[c * h : (c + 1) * h] for row in Z[r * h : (r + 1) * h]]
+
+        X11, X12, X21, X22 = q(X, 0, 0), q(X, 0, 1), q(X, 1, 0), q(X, 1, 1)
+        Y11, Y12, Y21, Y22 = q(Y, 0, 0), q(Y, 0, 1), q(Y, 1, 0), q(Y, 1, 1)
+        M1 = rec(add(X11, X22), add(Y11, Y22))
+        M2 = rec(add(X21, X22), Y11)
+        M3 = rec(X11, add(Y12, Y22, -1))
+        M4 = rec(X22, add(Y21, Y11, -1))
+        M5 = rec(add(X11, X12), Y22)
+        M6 = rec(add(X21, X11, -1), add(Y11, Y12))
+        M7 = rec(add(X12, X22, -1), add(Y21, Y22))
+        Z11 = add(add(M1, M4), add(M7, M5, -1))
+        Z12 = add(M3, M5)
+        Z21 = add(M2, M4)
+        Z22 = add(add(M1, M2, -1), add(M3, M6))
+        out = [[None] * k for _ in range(k)]
+        for r in range(h):
+            for c in range(h):
+                out[r][c] = Z11[r][c]
+                out[r][c + h] = Z12[r][c]
+                out[r + h][c] = Z21[r][c]
+                out[r + h][c + h] = Z22[r][c]
+        return out
+
+    A = [[("A", i, j) for j in range(n)] for i in range(n)]
+    B = [[("B", i, j) for j in range(n)] for i in range(n)]
+    Z = rec(A, B)
+    for row in Z:
+        for v in row:
+            d.mark_output(v)
+    return d
+
+
+def reduction_tree_cdag(n: int) -> CDAG:
+    """Binary-tree sum of n inputs (out-degree 1: maximal WA headroom)."""
+    check_positive_int(n, "n")
+    require(is_power_of_two(n), f"n must be a power of two, got {n}")
+    d = CDAG()
+    layer = [d.add_input(("x", i)) for i in range(n)]
+    level = 0
+    while len(layer) > 1:
+        level += 1
+        layer = [
+            d.add_op(("s", level, i), [layer[2 * i], layer[2 * i + 1]])
+            for i in range(len(layer) // 2)
+        ]
+    d.mark_output(layer[0])
+    return d
+
+
+def linear_chain_cdag(n: int) -> CDAG:
+    """x₀ → x₁ → ... → xₙ (out-degree 1, trivially WA)."""
+    check_positive_int(n, "n")
+    d = CDAG()
+    prev = d.add_input(("x", 0))
+    for i in range(1, n + 1):
+        prev = d.add_op(("x", i), [prev])
+    d.mark_output(prev)
+    return d

@@ -1,0 +1,129 @@
+"""CDAG representation (paper Section 3).
+
+Vertices are hashable ids; each is an *input* (no in-edges) or a *computed*
+value with explicit predecessor list.  Repeated updates to one program
+variable become distinct vertices (the paper's ``x = y+z; x = x+w`` example
+produces x1 and x2), so out-degree genuinely measures operand reuse.
+
+Built on :mod:`networkx` for traversal/toposort; the class adds the
+paper-specific bookkeeping (inputs, outputs, out-degree statistics over a
+subgraph excluding inputs — the quantity Theorem 2 constrains).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence
+
+import networkx as nx
+
+from repro.util import require
+
+__all__ = ["CDAG"]
+
+
+class CDAG:
+    """A computation DAG with input/output designation."""
+
+    def __init__(self) -> None:
+        self.g = nx.DiGraph()
+        self.inputs: set = set()
+        self.outputs: set = set()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_input(self, v: Hashable) -> Hashable:
+        require(v not in self.g, f"vertex {v!r} already exists")
+        self.g.add_node(v)
+        self.inputs.add(v)
+        return v
+
+    def add_op(
+        self, v: Hashable, preds: Sequence[Hashable], *, output: bool = False
+    ) -> Hashable:
+        """Add computed vertex *v* depending on *preds* (≥1 of them)."""
+        require(v not in self.g, f"vertex {v!r} already exists")
+        require(len(preds) >= 1, "computed vertex needs at least one input")
+        for p in preds:
+            require(p in self.g, f"unknown predecessor {p!r}")
+        self.g.add_node(v)
+        for p in preds:
+            self.g.add_edge(p, v)
+        if output:
+            self.outputs.add(v)
+        return v
+
+    def mark_output(self, v: Hashable) -> None:
+        require(v in self.g, f"unknown vertex {v!r}")
+        self.outputs.add(v)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        return self.g.number_of_nodes()
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.outputs)
+
+    def out_degree(self, v: Hashable) -> int:
+        return self.g.out_degree(v)
+
+    def max_out_degree(self, *, exclude_inputs: bool = True) -> int:
+        """Maximum out-degree ``d`` — the reuse bound in Theorem 2.
+
+        Theorem 2's hypothesis excludes input vertices; pass
+        ``exclude_inputs=False`` to include them (Corollary 2's FFT bound
+        holds even including inputs).
+        """
+        degrees = [
+            self.g.out_degree(v)
+            for v in self.g.nodes
+            if not (exclude_inputs and v in self.inputs)
+        ]
+        return max(degrees) if degrees else 0
+
+    def predecessors(self, v: Hashable) -> list:
+        return list(self.g.predecessors(v))
+
+    def successors(self, v: Hashable) -> list:
+        return list(self.g.successors(v))
+
+    def topological_order(self) -> list:
+        return list(nx.topological_sort(self.g))
+
+    def validate(self) -> None:
+        """Structural sanity: acyclic; inputs have no in-edges; every
+        non-input has at least one predecessor."""
+        require(nx.is_directed_acyclic_graph(self.g), "CDAG has a cycle")
+        for v in self.g.nodes:
+            indeg = self.g.in_degree(v)
+            if v in self.inputs:
+                require(indeg == 0, f"input {v!r} has in-edges")
+            else:
+                require(indeg >= 1, f"non-input {v!r} has no predecessors")
+
+    def induced_subgraph(self, vertices: Iterable[Hashable]) -> "CDAG":
+        """The sub-CDAG on *vertices* (used for Corollary 3's DecC)."""
+        vs = set(vertices)
+        sub = CDAG()
+        sub.g = self.g.subgraph(vs).copy()
+        sub.inputs = {
+            v for v in vs
+            if v in self.inputs or sub.g.in_degree(v) == 0
+        }
+        sub.outputs = self.outputs & vs
+        return sub
+
+    def descendants_of(self, sources: Iterable[Hashable]) -> set:
+        out: set = set()
+        for s in sources:
+            out.add(s)
+            out |= nx.descendants(self.g, s)
+        return out

@@ -1,0 +1,209 @@
+"""Red-blue pebble execution of a CDAG on a two-level memory.
+
+Executes the vertices of a CDAG in a given (or topological) schedule with a
+fast memory of *M* values, with **no recomputation** (matching the paper's
+footnote that none of its computations benefit from it):
+
+* computing a vertex writes it to fast memory (1 word);
+* operands must be resident: if evicted earlier they are re-loaded — and a
+  computed value with remaining consumers is **stored to slow memory**
+  before eviction (the writes Theorem 2 counts);
+* values with no remaining uses are discarded free (D2 endings);
+* outputs are stored exactly once (at last use or at the end).
+
+Eviction picks the resident value with the farthest next use in the
+schedule (Belady on the DAG), so the measured store count is a *lower
+envelope* over replacement decisions for the given schedule — making the
+"stores are unavoidable" conclusions robust: even an offline-optimal cache
+cannot dodge them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+from repro.cdag.graph import CDAG
+from repro.util import check_positive_int, require
+
+__all__ = ["PebbleStats", "pebble", "depth_first_schedule"]
+
+
+def depth_first_schedule(dag: CDAG) -> list:
+    """Topological schedule via post-order DFS from the sinks.
+
+    Depth-first evaluation keeps live intermediate sets small (O(depth) for
+    trees), which is what lets write-avoidable CDAGs actually avoid writes
+    under the pebbler; breadth-first toposorts store whole frontiers.
+    """
+    order: list = []
+    seen: set = set()
+    sinks = [v for v in dag.g.nodes if dag.g.out_degree(v) == 0]
+    for root in sinks:
+        stack = [(root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            if v in seen:
+                continue
+            if expanded:
+                seen.add(v)
+                order.append(v)
+                continue
+            stack.append((v, True))
+            for p in dag.predecessors(v):
+                if p not in seen:
+                    stack.append((p, False))
+    return order
+
+
+@dataclass
+class PebbleStats:
+    """Traffic observed while pebbling (in words = values)."""
+
+    loads: int = 0
+    stores: int = 0
+    writes_to_fast: int = 0
+    discards: int = 0
+    computed: int = 0
+
+    @property
+    def loads_plus_stores(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def store_fraction(self) -> float:
+        t = self.loads_plus_stores
+        return self.stores / t if t else 0.0
+
+
+def pebble(
+    dag: CDAG,
+    M: int,
+    schedule: Optional[Sequence[Hashable]] = None,
+) -> PebbleStats:
+    """Execute *dag* with fast memory of *M* values; return traffic stats.
+
+    *schedule* must be a topological order of the computed vertices (inputs
+    excluded or included — they are skipped); defaults to a topological
+    sort.  Raises if M < max in-degree + 1 (an op's operands and result
+    must fit simultaneously).
+    """
+    check_positive_int(M, "M")
+    if schedule is None:
+        schedule = dag.topological_order()
+    comp_schedule = [v for v in schedule if v not in dag.inputs]
+    require(
+        len(comp_schedule) == dag.n_vertices - dag.n_inputs,
+        "schedule must contain every computed vertex exactly once",
+    )
+
+    # Position of each vertex's consumers in the schedule, for next-use.
+    pos = {v: i for i, v in enumerate(comp_schedule)}
+    INF = len(comp_schedule) + 1
+
+    remaining = {v: dag.out_degree(v) for v in dag.g.nodes}
+
+    # consumer positions per value, sorted ascending; pointer per value.
+    uses: dict = {v: [] for v in dag.g.nodes}
+    for i, v in enumerate(comp_schedule):
+        for p in dag.predecessors(v):
+            uses[p].append(i)
+    for v in uses:
+        uses[v].sort()
+
+    def next_use_after(v: Hashable, t: int) -> int:
+        lst = uses[v]
+        # Binary search for first use > t.
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid] <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lst[lo] if lo < len(lst) else INF
+
+    stats = PebbleStats()
+    in_fast: set = set()
+    stored: set = set(dag.inputs)  # values with a valid slow-memory copy
+    # Lazy max-heap of (-next_use, v) for eviction.
+    heap: list = []
+    cur_next: dict = {}
+
+    def push(v: Hashable, t: int) -> None:
+        nu = next_use_after(v, t)
+        cur_next[v] = nu
+        heapq.heappush(heap, (-nu, v))
+
+    def evict_one(t: int, protect: set) -> None:
+        # Pop until a valid, unprotected victim; protected valid entries
+        # must be re-pushed or they would become unevictable later.
+        stash = []
+        while True:
+            negnu, v = heapq.heappop(heap)
+            if v in in_fast and cur_next.get(v) == -negnu:
+                if v in protect:
+                    stash.append((negnu, v))
+                else:
+                    break
+        for e in stash:
+            heapq.heappush(heap, e)
+        in_fast.discard(v)
+        needed_later = remaining[v] > 0 or (
+            v in dag.outputs and v not in stored
+        )
+        if needed_later and v not in stored:
+            stats.stores += 1
+            stored.add(v)
+        elif not needed_later:
+            stats.discards += 1
+
+    max_indeg = max(
+        (dag.g.in_degree(v) for v in comp_schedule), default=0
+    )
+    require(
+        M >= max_indeg + 1,
+        f"fast memory M={M} cannot hold an op's {max_indeg} operands "
+        f"plus its result",
+    )
+
+    for t, v in enumerate(comp_schedule):
+        preds = dag.predecessors(v)
+        # Bring operands in.
+        for p in preds:
+            if p not in in_fast:
+                require(
+                    p in stored,
+                    f"operand {p!r} neither resident nor stored — "
+                    f"schedule is not topological",
+                )
+                while len(in_fast) >= M:
+                    evict_one(t, set(preds) | {v})
+                in_fast.add(p)
+                stats.loads += 1
+                stats.writes_to_fast += 1
+            push(p, t)
+        # Compute v into fast memory.
+        while len(in_fast) >= M:
+            evict_one(t, set(preds) | {v})
+        in_fast.add(v)
+        stats.writes_to_fast += 1
+        stats.computed += 1
+        push(v, t)
+        # Operand uses consumed.
+        for p in preds:
+            remaining[p] -= 1
+            if remaining[p] == 0 and p in in_fast and p not in dag.outputs:
+                # Dead value: free discard (D2).
+                in_fast.discard(p)
+                stats.discards += 1
+
+    # Drain: outputs must reside in slow memory at the end (paper Sec. 2).
+    for v in list(in_fast):
+        if v in dag.outputs and v not in stored:
+            stats.stores += 1
+            stored.add(v)
+    for v in dag.outputs:
+        require(v in stored, f"output {v!r} was lost")  # invariant
+    return stats

@@ -1,0 +1,104 @@
+"""Sequential kernels: the paper's WA algorithms and their comparators."""
+
+from repro.core.matmul import (
+    LOOP_ORDERS,
+    MatmulCounts,
+    blocked_matmul,
+    matmul_expected_counts,
+    naive_matmul,
+    wa_block_size,
+)
+from repro.core.multilevel import (
+    ab_matmul_multilevel,
+    multilevel_expected_writes,
+    wa_matmul_multilevel,
+)
+from repro.core.trsm import blocked_trsm, trsm_expected_counts
+from repro.core.cholesky import blocked_cholesky, cholesky_expected_counts
+from repro.core.nbody import (
+    gravity_phi2,
+    nbody2,
+    nbody_expected_counts,
+    nbody_k,
+    triple_phi3,
+)
+from repro.core.cache_oblivious import (
+    co_matmul,
+    co_task_order,
+    ideal_cache_misses,
+)
+from repro.core.strassen import (
+    OMEGA0,
+    strassen_lower_bound,
+    strassen_matmul,
+    strassen_traffic,
+)
+from repro.core.fft import dft_direct, fft, fft_traffic, four_step_fft
+from repro.core.traces import (
+    MATMUL_SCHEMES,
+    cholesky_trace,
+    hierarchical_task_order,
+    matmul_trace,
+    nbody_trace,
+    trsm_trace,
+)
+from repro.core.lu import blocked_lu, lu_expected_counts, unpack_lu
+from repro.core.multilevel_factor import cholesky_multilevel, trsm_multilevel
+from repro.core.apsp import apsp_expected_writes, floyd_warshall_blocked
+from repro.core.qr import apply_q, blocked_qr, qr_expected_counts
+from repro.core.sorting import (
+    external_merge_sort,
+    selection_sort_wa,
+    sorting_traffic_lb,
+)
+
+__all__ = [
+    "LOOP_ORDERS",
+    "MatmulCounts",
+    "blocked_matmul",
+    "matmul_expected_counts",
+    "naive_matmul",
+    "wa_block_size",
+    "ab_matmul_multilevel",
+    "multilevel_expected_writes",
+    "wa_matmul_multilevel",
+    "blocked_trsm",
+    "trsm_expected_counts",
+    "blocked_cholesky",
+    "cholesky_expected_counts",
+    "gravity_phi2",
+    "nbody2",
+    "nbody_expected_counts",
+    "nbody_k",
+    "triple_phi3",
+    "co_matmul",
+    "co_task_order",
+    "ideal_cache_misses",
+    "OMEGA0",
+    "strassen_lower_bound",
+    "strassen_matmul",
+    "strassen_traffic",
+    "dft_direct",
+    "fft",
+    "fft_traffic",
+    "four_step_fft",
+    "MATMUL_SCHEMES",
+    "cholesky_trace",
+    "hierarchical_task_order",
+    "matmul_trace",
+    "nbody_trace",
+    "trsm_trace",
+    "blocked_lu",
+    "lu_expected_counts",
+    "unpack_lu",
+    "cholesky_multilevel",
+    "trsm_multilevel",
+    "external_merge_sort",
+    "selection_sort_wa",
+    "sorting_traffic_lb",
+    "apsp_expected_writes",
+    "floyd_warshall_blocked",
+    "apply_q",
+    "blocked_qr",
+    "qr_expected_counts",
+]

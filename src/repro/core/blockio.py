@@ -1,0 +1,110 @@
+"""Block-slot residency model shared by the explicitly blocked kernels.
+
+The paper's Algorithms 1–4 hold a small, fixed number of blocks in fast
+memory (e.g. one block each of A, B and C) and move whole blocks between
+levels.  :class:`BlockSlot` models one such resident block: ``ensure``
+detects whether the requested block is already resident (no traffic) or must
+be fetched — first storing the previous occupant if it is dirty.  This
+single mechanism makes *every* loop order's traffic fall out naturally:
+with the reduction loop innermost the C slot's occupant never changes inside
+the inner loop (write-avoiding); with the reduction loop outer it is evicted
+dirty every iteration (not write-avoiding).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.machine.hierarchy import MemoryHierarchy
+
+__all__ = ["BlockSlot"]
+
+
+class BlockSlot:
+    """One fast-memory block slot above channel *level* of *hier*.
+
+    Parameters
+    ----------
+    hier:
+        Hierarchy to charge traffic to (may be ``None`` for pure-numeric
+        runs; then all methods are no-ops).
+    level:
+        The fast level this slot lives in; loads come from ``level+1``.
+    dirty_on_load:
+        If True the occupant is assumed modified while resident (a C/output
+        block): it is stored back on eviction.  If False it is read-only
+        (A/B input blocks) and eviction is silent (a D2 discard).
+    """
+
+    def __init__(
+        self,
+        hier: Optional[MemoryHierarchy],
+        level: int = 1,
+        *,
+        dirty_on_load: bool = False,
+    ):
+        self.hier = hier
+        self.level = level
+        self.dirty_on_load = dirty_on_load
+        self.key: Optional[Hashable] = None
+        self.words: int = 0
+        self.dirty: bool = False
+
+    def ensure(
+        self,
+        key: Hashable,
+        words: int,
+        *,
+        create: bool = False,
+    ) -> bool:
+        """Make block *key* (of *words* words) resident; return True on reuse.
+
+        ``create=True`` begins an R2 residency (e.g. zero-initializing an
+        output accumulator): the block is written in fast memory without a
+        load from the slower level.
+        """
+        if key == self.key:
+            return True
+        if self.hier is not None:
+            self._evict()
+            if create:
+                self.hier.create(self.level, words)
+            else:
+                self.hier.load(self.level, words)
+        self.key = key
+        self.words = words
+        self.dirty = self.dirty_on_load or create
+        return False
+
+    def mark_dirty(self) -> None:
+        self.dirty = True
+
+    def _evict(self) -> None:
+        if self.key is not None and self.dirty and self.hier is not None:
+            self.hier.store(self.level, self.words)
+        self.key = None
+        self.dirty = False
+
+    def writeback(self) -> None:
+        """Store the occupant if dirty but keep it resident (now clean).
+
+        Models writing a finished output block to slow memory while
+        continuing to read it from fast memory (right-looking schedules).
+        """
+        if self.key is not None and self.dirty:
+            if self.hier is not None:
+                self.hier.store(self.level, self.words)
+            self.dirty = False
+
+    def flush(self) -> None:
+        """Store the occupant if dirty and empty the slot (end of kernel)."""
+        if self.hier is not None:
+            self._evict()
+        else:
+            self.key = None
+            self.dirty = False
+
+    def discard(self) -> None:
+        """Drop the occupant without a store (a D2 ending)."""
+        self.key = None
+        self.dirty = False

@@ -1,0 +1,241 @@
+"""Multi-level write-avoiding matmul (paper Section 4.1 and Figure 4).
+
+Two instruction orders from Figure 4, identical arithmetic, very different
+interaction with caches:
+
+* :func:`wa_matmul_multilevel` — ``WAMatMul`` (Fig. 4a): at **every** level
+  of the recursion the loop over the dimension perpendicular to C (the
+  reduction) is innermost.  This attains the write lower bound at every
+  level under explicit control, but under LRU needs *five* blocks to fit
+  per level (Proposition 6.1).
+
+* :func:`ab_matmul_multilevel` — ``ABMatMul`` (Fig. 4b): the reduction loop
+  is innermost only at the *top* level; below it, block multiplications are
+  executed in slabs parallel to the C block (reduction loop outermost).
+  Under LRU this keeps the C block at high priority, so just under *three*
+  blocks per level suffice — the trade-off Section 6.2 studies.
+
+Both charge traffic to a :class:`~repro.machine.hierarchy.MemoryHierarchy`
+with one level per blocking size, using per-level
+:class:`~repro.core.blockio.BlockSlot` residency (one A, B, C block slot per
+level, exactly the paper's explicit-movement schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.blockio import BlockSlot
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.util import check_multiple, check_positive_int, require
+
+__all__ = [
+    "wa_matmul_multilevel",
+    "ab_matmul_multilevel",
+    "multilevel_expected_writes",
+]
+
+
+def _validate(A, B, C, block_sizes):
+    A = np.asarray(A)
+    B = np.asarray(B)
+    m, n = A.shape
+    n2, l = B.shape
+    require(n == n2, f"inner dimensions disagree: A {A.shape}, B {B.shape}")
+    if C is None:
+        C = np.zeros((m, l), dtype=np.result_type(A, B))
+    else:
+        require(C.shape == (m, l), f"C has shape {C.shape}, expected {(m, l)}")
+    require(len(block_sizes) >= 1, "need at least one blocking size")
+    prev = None
+    for b in block_sizes:
+        check_positive_int(b, "block size")
+        if prev is not None:
+            check_multiple(prev, b, "parent block size")
+        prev = b
+    b_top = block_sizes[0]
+    check_multiple(m, b_top, "m")
+    check_multiple(n, b_top, "n")
+    check_multiple(l, b_top, "l")
+    return A, B, C, m, n, l
+
+
+def _make_slots(hier: Optional[MemoryHierarchy], nlevels: int):
+    """slots[d] = (A, B, C) block slots for recursion depth d.
+
+    Depth d uses hierarchy level ``nlevels - d`` (depth 0 = slowest level).
+    """
+    slots = []
+    for d in range(nlevels):
+        level = nlevels - d
+        slots.append(
+            (
+                BlockSlot(hier, level),
+                BlockSlot(hier, level),
+                BlockSlot(hier, level, dirty_on_load=True),
+            )
+        )
+    return slots
+
+
+def _run_multilevel(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    block_sizes: Sequence[int],
+    hier: Optional[MemoryHierarchy],
+    reduction_innermost_below: bool,
+) -> np.ndarray:
+    """Shared recursion for the two Figure-4 orders.
+
+    ``reduction_innermost_below`` selects WAMatMul (True) vs ABMatMul
+    (False, slab order below the top level).
+    """
+    nlev = len(block_sizes)
+    if hier is not None:
+        require(
+            hier.r == nlev,
+            f"hierarchy has {hier.r} levels but {nlev} blocking sizes given",
+        )
+        for d, b in enumerate(block_sizes):
+            level = nlev - d
+            require(
+                3 * b * b <= hier.sizes[level - 1],
+                f"three {b}x{b} blocks exceed L{level} "
+                f"({hier.sizes[level - 1]} words)",
+            )
+            hier.alloc(level, 3 * b * b)
+    slots = _make_slots(hier, nlev)
+
+    def rec(depth: int, i0: int, j0: int, k0: int, span: int) -> None:
+        b = block_sizes[depth]
+        nb = span // b
+        sa, sb, sc = slots[depth]
+        bb = b * b
+        top_or_wa = depth == 0 or reduction_innermost_below
+
+        def visit(ib: int, jb: int, kb: int) -> None:
+            i = i0 + ib * b
+            j = j0 + jb * b
+            k = k0 + kb * b
+            sc.ensure(("C", i, j), bb)
+            sa.ensure(("A", i, k), bb)
+            sb.ensure(("B", k, j), bb)
+            if depth == nlev - 1:
+                C[i : i + b, j : j + b] += (
+                    A[i : i + b, k : k + b] @ B[k : k + b, j : j + b]
+                )
+            else:
+                rec(depth + 1, i, j, k, b)
+
+        if top_or_wa:
+            # i, j, k with the reduction (k) innermost — WA order.
+            for ib in range(nb):
+                for jb in range(nb):
+                    for kb in range(nb):
+                        visit(ib, jb, kb)
+        else:
+            # Slab order: reduction outermost (Fig. 4b's j, i, k loops).
+            for kb in range(nb):
+                for ib in range(nb):
+                    for jb in range(nb):
+                        visit(ib, jb, kb)
+
+    m, _ = A.shape
+    _, l = B.shape
+    n = A.shape[1]
+    b_top = block_sizes[0]
+    try:
+        # Top level always runs the WA order over b_top-sized blocks.
+        for ib in range(m // b_top):
+            for jb in range(l // b_top):
+                for kb in range(n // b_top):
+                    i, j, k = ib * b_top, jb * b_top, kb * b_top
+                    sa, sb, sc = slots[0]
+                    bb = b_top * b_top
+                    sc.ensure(("C", i, j), bb)
+                    sa.ensure(("A", i, k), bb)
+                    sb.ensure(("B", k, j), bb)
+                    if nlev == 1:
+                        C[i : i + b_top, j : j + b_top] += (
+                            A[i : i + b_top, k : k + b_top]
+                            @ B[k : k + b_top, j : j + b_top]
+                        )
+                    else:
+                        rec(1, i, j, k, b_top)
+        # Flush dirty C blocks at every level, innermost first so stores
+        # propagate outward level by level.
+        for d in range(nlev - 1, -1, -1):
+            slots[d][2].flush()
+    finally:
+        if hier is not None:
+            for d, b in enumerate(block_sizes):
+                hier.free(nlev - d, 3 * b * b)
+    return C
+
+
+def wa_matmul_multilevel(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: Optional[np.ndarray] = None,
+    *,
+    block_sizes: Sequence[int],
+    hier: Optional[MemoryHierarchy] = None,
+) -> np.ndarray:
+    """Figure 4a ``WAMatMul``: reduction innermost at every level.
+
+    ``block_sizes`` is ordered slowest level first (e.g. ``[64, 16, 8]`` for
+    L3, L2, L1); each must divide its parent and the top size must divide
+    all three matrix dimensions.  If *hier* is given it must have
+    ``len(block_sizes)`` levels, each holding three blocks of its size.
+    """
+    A, B, C, m, n, l = _validate(A, B, C, block_sizes)
+    return _run_multilevel(A, B, C, block_sizes, hier, True)
+
+
+def ab_matmul_multilevel(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: Optional[np.ndarray] = None,
+    *,
+    block_sizes: Sequence[int],
+    hier: Optional[MemoryHierarchy] = None,
+) -> np.ndarray:
+    """Figure 4b ``ABMatMul``: WA order at the top level, slabs below."""
+    A, B, C, m, n, l = _validate(A, B, C, block_sizes)
+    return _run_multilevel(A, B, C, block_sizes, hier, False)
+
+
+def multilevel_expected_writes(
+    m: int, n: int, l: int, block_sizes: Sequence[int]
+) -> list:
+    """Exact per-level write predictions for WAMatMul (Fig. 4a).
+
+    Returns ``[writes_into_level_for_b, ...]`` aligned with *block_sizes*
+    (slowest first), plus — via the induction of Section 4.1 — the writes
+    to the backing store are always ``m·l`` (checked separately).
+
+    Writes **into** the level with block size ``b`` (parent block ``bp``):
+
+    * A and B tile fills from above: ``2·m·n·l / b``
+    * C tile fills from above: once per parent task per C sub-tile,
+      ``m·n·l / bp`` (at the top level each C block is filled once: ``m·l``)
+    * C tile stores arriving from the level below: one per child C tile per
+      own task, ``m·n·l / b`` (absent at the innermost level)
+
+    All are Θ(m·n·l/√M_level) except the output-sized terms — the WA
+    property at every level.
+    """
+    out = []
+    nlev = len(block_sizes)
+    for d, b in enumerate(block_sizes):
+        ab_fills = 2 * m * n * l // b
+        if d == 0:
+            c_fills = m * l
+        else:
+            c_fills = m * n * l // block_sizes[d - 1]
+        c_stores_from_below = 0 if d == nlev - 1 else m * n * l // b
+        out.append(ab_fills + c_fills + c_stores_from_below)
+    return out

@@ -1,0 +1,251 @@
+"""Direct N-body force computation (paper Algorithm 4 and its (N,k) form).
+
+The blocked direct (N,2)-body algorithm streams blocks of the "source"
+particle array through fast memory while one block of output forces stays
+resident: writes to slow memory = N (the output), attaining the write lower
+bound, while reads are Θ(N²/b).
+
+Also provided:
+
+* :func:`nbody_k` — the (N,k)-body generalization with k nested block
+  loops; writes to slow stay N, reads Θ(N^k/b^{k-1}), at a k! arithmetic
+  penalty for ignoring symmetry (Section 4.4).
+* ``use_symmetry=True`` — the classic Newton's-third-law optimization that
+  halves arithmetic but updates forces on *both* blocks of every pair, so
+  every pass dirties O(N) words: Θ(N²/b) writes — provably not WA (the
+  paper's counterexample).
+
+Force laws are pluggable; the default is softened inverse-square gravity
+with unit masses, vectorized over block pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.blockio import BlockSlot
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.util import check_multiple, check_positive_int, require
+
+__all__ = [
+    "gravity_phi2",
+    "triple_phi3",
+    "nbody2",
+    "nbody_k",
+    "nbody_expected_counts",
+]
+
+
+def gravity_phi2(
+    P1: np.ndarray, P2: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Softened inverse-square pairwise forces of block P2 on block P1.
+
+    Shapes: P1 (b1, d), P2 (b2, d) → forces (b1, d).  Self-interactions
+    (identical coordinates) contribute zero, implementing the paper's
+    convention that Φ₂(x, x) = 0.
+    """
+    diff = P2[None, :, :] - P1[:, None, :]  # (b1, b2, d)
+    r2 = np.einsum("ijk,ijk->ij", diff, diff)
+    # Zero out exact coincidences (self pairs when P1 and P2 overlap).
+    mask = r2 > 0
+    inv = np.zeros_like(r2)
+    np.divide(1.0, (r2 + eps) ** 1.5, out=inv, where=mask)
+    return np.einsum("ijk,ij->ik", diff, inv)
+
+
+def triple_phi3(
+    P1: np.ndarray, P2: np.ndarray, P3: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """A simple 3-body force kernel (per-triple, zero on repeated bodies).
+
+    For each (i, j, m): contribution to body i is
+    ``(Pj + Pm - 2 Pi) / (|Pj-Pi|² + |Pm-Pi|² + eps)^{3/2}``, zeroed when
+    any two participants coincide — a stand-in exercising the same data
+    movement as any genuine 3-body potential (e.g. Axilrod–Teller).
+    """
+    d1 = P2[None, :, None, :] - P1[:, None, None, :]   # (b1,b2,1,d)
+    d2 = P3[None, None, :, :] - P1[:, None, None, :]   # (b1,1,b3,d)
+    r2 = (
+        np.einsum("ijkl,ijkl->ijk", d1, d1)
+        + np.einsum("ijkl,ijkl->ijk", d2, d2)
+    )
+    num = d1 + d2  # broadcast to (b1,b2,b3,d)
+    # Zero when i==j, i==m (captured by zero distances) or j==m.
+    jm = np.einsum(
+        "jkl,jkl->jk",
+        P3[None, :, :] - P2[:, None, :],
+        P3[None, :, :] - P2[:, None, :],
+    )
+    valid = (
+        (np.einsum("ijkl,ijkl->ijk", d1, d1) > 0)
+        & (np.einsum("ijkl,ijkl->ijk", d2, d2) > 0)
+        & (jm[None, :, :] > 0)
+    )
+    w = np.zeros_like(r2)
+    np.divide(1.0, (r2 + eps) ** 1.5, out=w, where=valid)
+    return np.einsum("ijkl,ijk->il", num, w)
+
+
+def nbody_expected_counts(N: int, b: int, k: int = 2) -> dict:
+    """Predicted traffic of the blocked (N,k)-body algorithm.
+
+    Writes to slow = N; writes to fast = 2N + N²/b + ... + N^k/b^{k-1}
+    (Section 4.4).
+    """
+    check_multiple(N, b, "N")
+    wf = 2 * N
+    term = N
+    for _ in range(k - 1):
+        term = term * N // b
+        wf += term
+    return {"writes_to_slow": N, "writes_to_fast": wf}
+
+
+def nbody2(
+    P1: np.ndarray,
+    P2: Optional[np.ndarray] = None,
+    *,
+    b: int,
+    hier: Optional[MemoryHierarchy] = None,
+    phi2: Callable[[np.ndarray, np.ndarray], np.ndarray] = gravity_phi2,
+    use_symmetry: bool = False,
+    level: int = 1,
+) -> np.ndarray:
+    """Blocked direct (N,2)-body (paper Algorithm 4).
+
+    Computes ``F[i] = sum_j phi2(P1[i], P2[j])``.  If *P2* is omitted the
+    interaction is within P1 (the usual self-gravitating case).
+
+    With ``use_symmetry=True`` (only valid for P2 is P1 and an antisymmetric
+    force law) each block pair is visited once and both blocks' forces are
+    updated — half the arithmetic, but Θ(N²/b) writes to slow memory.
+
+    Memory units follow the paper: capacities count *particles* (a particle
+    and a force are each one unit).
+    """
+    P1 = np.asarray(P1)
+    require(P1.ndim == 2, f"P1 must be (N, d), got {P1.shape}")
+    self_interaction = P2 is None
+    P2arr = P1 if self_interaction else np.asarray(P2)
+    require(P2arr.shape[1] == P1.shape[1], "P1/P2 dimensionality mismatch")
+    require(not use_symmetry or self_interaction,
+            "use_symmetry requires a self-interaction (P2 omitted)")
+    N = P1.shape[0]
+    N2 = P2arr.shape[0]
+    check_positive_int(b, "b")
+    check_multiple(N, b, "N")
+    check_multiple(N2, b, "N2")
+    F = np.zeros_like(P1, dtype=float)
+    nslots = 3 if not use_symmetry else 4
+    if hier is not None:
+        require(nslots * b <= hier.sizes[level - 1],
+                f"{nslots} {b}-particle blocks exceed fast memory")
+        hier.alloc(level, nslots * b)
+
+    slot_p1 = BlockSlot(hier, level)
+    slot_p2 = BlockSlot(hier, level)
+    slot_f = BlockSlot(hier, level)   # output block F(i)
+    slot_fj = BlockSlot(hier, level)  # partner block F(j) (symmetric mode)
+
+    def pb(P, i):
+        return P[i * b : (i + 1) * b]
+
+    try:
+        if not use_symmetry:
+            for i in range(N // b):
+                slot_p1.ensure(("P1", i), b)
+                slot_f.ensure(("F", i), b, create=True)
+                for j in range(N2 // b):
+                    slot_p2.ensure(("P2", j), b)
+                    F[i * b : (i + 1) * b] += phi2(pb(P1, i), pb(P2arr, j))
+                slot_f.flush()
+        else:
+            # Newton's-third-law schedule: visit unordered block pairs once
+            # and update forces on *both* blocks.  Every inner iteration
+            # dirties a partner block F(j) which must round-trip through
+            # slow memory — Θ(N²/b) writes, the paper's counterexample.
+            for i in range(N // b):
+                slot_p1.ensure(("P1", i), b)
+                # F(i) holds partial sums from earlier passes (i > 0).
+                slot_f.ensure(("F", i), b, create=(i == 0))
+                slot_f.mark_dirty()
+                F[i * b : (i + 1) * b] += phi2(pb(P1, i), pb(P1, i))
+                for j in range(i + 1, N // b):
+                    slot_p2.ensure(("P1", j), b)
+                    slot_fj.ensure(("F", j), b, create=(i == 0))
+                    slot_fj.mark_dirty()
+                    F[i * b : (i + 1) * b] += phi2(pb(P1, i), pb(P1, j))
+                    F[j * b : (j + 1) * b] += phi2(pb(P1, j), pb(P1, i))
+                slot_fj.flush()
+                slot_f.flush()
+    finally:
+        if hier is not None:
+            hier.free(level, nslots * b)
+    return F
+
+
+def nbody_k(
+    P: np.ndarray,
+    *,
+    b: int,
+    k: int = 3,
+    hier: Optional[MemoryHierarchy] = None,
+    phik: Optional[Callable[..., np.ndarray]] = None,
+    level: int = 1,
+) -> np.ndarray:
+    """Blocked direct (N,k)-body: k nested block loops (Section 4.4).
+
+    ``F[i1] = sum over (i2..ik) of phik(P[i1], ..., P[ik])`` with the output
+    block resident across all inner loops.  Writes to slow memory = N.
+    Fast memory must hold k+1 blocks (k particle blocks + 1 force block).
+    """
+    P = np.asarray(P)
+    require(P.ndim == 2, f"P must be (N, d), got {P.shape}")
+    require(k >= 2, f"k must be >= 2, got {k}")
+    if phik is None:
+        if k == 2:
+            phik = gravity_phi2
+        elif k == 3:
+            phik = triple_phi3
+        else:
+            raise ValueError(f"no default force law for k={k}; pass phik")
+    N = P.shape[0]
+    check_positive_int(b, "b")
+    check_multiple(N, b, "N")
+    nb = N // b
+    F = np.zeros_like(P, dtype=float)
+    if hier is not None:
+        require((k + 1) * b <= hier.sizes[level - 1],
+                f"{k + 1} blocks of {b} particles exceed fast memory")
+        hier.alloc(level, (k + 1) * b)
+
+    slots = [BlockSlot(hier, level) for _ in range(k)]
+    slot_f = BlockSlot(hier, level)
+
+    def pb(i):
+        return P[i * b : (i + 1) * b]
+
+    def rec(depth: int, idx: list) -> None:
+        if depth == k:
+            blocks = [pb(i) for i in idx]
+            F[idx[0] * b : (idx[0] + 1) * b] += phik(*blocks)
+            return
+        for j in range(nb):
+            slots[depth].ensure(("P", depth, j), b)
+            idx.append(j)
+            if depth == 0:
+                slot_f.ensure(("F", j), b, create=True)
+            rec(depth + 1, idx)
+            if depth == 0:
+                slot_f.flush()
+            idx.pop()
+
+    try:
+        rec(0, [])
+    finally:
+        if hier is not None:
+            hier.free(level, (k + 1) * b)
+    return F

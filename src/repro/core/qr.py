@@ -1,0 +1,205 @@
+"""Blocked Householder QR — the paper's other conjectured factorization.
+
+Section 4.3 conjectures the left-/right-looking WA asymmetry "holds for
+LU, QR, and related factorizations".  We implement both orders of blocked
+Householder QR with the compact WY representation so the conjecture is
+checkable for QR too:
+
+* **left-looking**: block column j is updated by applying all previously
+  computed block reflectors (read-only), then factored; each output block
+  (V and R packed in place) is stored once — writes to slow ≈ n·m, the
+  output size.
+* **right-looking**: each freshly factored panel immediately updates the
+  whole trailing matrix, evicting a dirty block per update — Θ(n·m²/b)
+  writes.
+
+The panel factorization and the block reflector ``I − V·T·Vᵀ`` are built
+from scratch (no LAPACK ``geqrt``); numerics are validated against
+``numpy.linalg.qr`` reconstruction in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.blockio import BlockSlot
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.util import check_multiple, check_positive_int, require
+
+__all__ = ["blocked_qr", "apply_q", "qr_expected_counts"]
+
+
+def qr_expected_counts(m: int, n: int, b: int) -> dict:
+    """Writes to slow memory of the WA (left-looking) blocked QR: the
+    packed V\\R output, stored once = m·n words."""
+    check_multiple(m, b, "m")
+    check_multiple(n, b, "n")
+    return {"writes_to_slow": m * n, "output_words": m * n}
+
+
+def _householder_panel(panel: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """In-place Householder QR of a tall panel (m ≥ b columns).
+
+    The panel is overwritten with R in its upper triangle and the
+    reflector vectors below the diagonal (unit leading entries implicit);
+    returns the b×b upper-triangular T of the compact WY representation
+    ``Q = H₀·H₁·…·H_{b−1} = I − V·T·Vᵀ``.
+    """
+    m, b = panel.shape
+    require(m >= b, f"panel must be tall, got {panel.shape}")
+    T = np.zeros((b, b))
+    for k in range(b):
+        x = panel[k:, k]
+        x0 = x[0]
+        sigma = float(x[1:] @ x[1:])
+        if sigma == 0.0:
+            # Already upper triangular in this column: H_k = I.
+            T[k, k] = 0.0
+            continue
+        normx = np.sqrt(x0 * x0 + sigma)
+        beta = -np.sign(x0) * normx if x0 != 0 else -normx
+        tau = (beta - x0) / beta
+        vtail = x[1:] / (x0 - beta)
+        # Apply H_k = I − tau·v·vᵀ (v = [1; vtail]) to trailing columns.
+        trail = panel[k:, k + 1:]
+        if trail.shape[1]:
+            w = tau * (trail[0, :] + vtail @ trail[1:, :])
+            trail[0, :] -= w
+            trail[1:, :] -= np.outer(vtail, w)
+        panel[k, k] = beta
+        panel[k + 1:, k] = vtail
+        # Compact-WY: T[:k, k] = −tau · T[:k,:k] · (V[:,:k]ᵀ v_k).
+        T[k, k] = tau
+        if k > 0:
+            Vprev = np.zeros((m, k))
+            for j in range(k):
+                Vprev[j, j] = 1.0
+                Vprev[j + 1:, j] = panel[j + 1:, j]
+            vk = np.zeros(m)
+            vk[k] = 1.0
+            vk[k + 1:] = vtail
+            T[:k, k] = -tau * (T[:k, :k] @ (Vprev.T @ vk))
+    return T, panel
+
+
+def _apply_block_reflector(
+    V_panel: np.ndarray, T: np.ndarray, C: np.ndarray
+) -> None:
+    """C ← Qᵀ·C = (I − V·Tᵀ·Vᵀ)·C, V packed below V_panel's diagonal."""
+    m, b = V_panel.shape
+    V = np.zeros((m, b))
+    for j in range(b):
+        V[j, j] = 1.0
+        V[j + 1:, j] = V_panel[j + 1:, j]
+    C -= V @ (T.T @ (V.T @ C))
+
+
+def apply_q(packed: np.ndarray, Ts: list, X: np.ndarray) -> np.ndarray:
+    """Compute Q·X from the packed factorization (for reconstruction)."""
+    m = packed.shape[0]
+    b = Ts[0][1].shape[0] if Ts else m
+    Y = X.copy()
+    # Q = H_0 H_1 ... ; Q X applies reflectors in reverse.
+    for col0, T in reversed(Ts):
+        bw = T.shape[0]
+        V = np.zeros((m - col0, bw))
+        for j in range(bw):
+            V[j, j] = 1.0
+            V[j + 1:, j] = packed[col0 + j + 1:, col0 + j]
+        Y[col0:] -= V @ (T @ (V.T @ Y[col0:]))
+    return Y
+
+
+def blocked_qr(
+    A: np.ndarray,
+    *,
+    b: int,
+    hier: Optional[MemoryHierarchy] = None,
+    variant: str = "left-looking",
+    level: int = 1,
+) -> Tuple[np.ndarray, list]:
+    """Blocked Householder QR, packed in place.
+
+    Returns ``(packed, Ts)``: R in the upper triangle, reflector vectors
+    below the diagonal, and the list of per-panel ``(col0, T)`` WY factors
+    (the T factors are O(b²) each and modelled as living with the panel).
+
+    Traffic is charged per b-column panel block of rows — the natural
+    blocking for tall panels: a "block" here is a b×b tile, consistent
+    with the other kernels.
+    """
+    require(variant in ("left-looking", "right-looking"),
+            f"unknown variant {variant!r}")
+    A = np.asarray(A, dtype=float)
+    require(A.ndim == 2, f"A must be 2-D, got {A.shape}")
+    m, n = A.shape
+    require(m >= n, f"A must be tall or square, got {A.shape}")
+    check_positive_int(b, "b")
+    check_multiple(m, b, "m")
+    check_multiple(n, b, "n")
+    nb = n // b
+    bbw = b * b
+    panel_words = m * b
+    if hier is not None:
+        # The active panel stays resident while processed (the natural
+        # one-sided-factorization working set), plus one streamed V tile
+        # and one T tile.
+        require(panel_words + 2 * bbw <= hier.sizes[level - 1],
+                f"an m×b panel plus two {b}x{b} tiles "
+                f"({panel_words + 2 * bbw} words) exceed fast memory "
+                f"L{level} ({hier.sizes[level - 1]} words)")
+        hier.alloc(level, panel_words + 2 * bbw)
+
+    slot_v = BlockSlot(hier, level)
+    slot_t = BlockSlot(hier, level)
+    Ts: list = []
+
+    def stream_v_panel(k: int) -> None:
+        """Read V panel k (rows k·b..m) tile by tile, plus its T factor."""
+        if hier is None:
+            return
+        for i in range(k, m // b):
+            slot_v.ensure(("V", i, k), bbw)
+        slot_t.ensure(("T", k), bbw)
+
+    try:
+        if variant == "left-looking":
+            for j in range(nb):
+                if hier is not None:
+                    hier.load(level, panel_words, msgs=m // b)
+                for k in range(j):
+                    stream_v_panel(k)
+                    col0, T = Ts[k]
+                    Vp = A[col0:, col0:col0 + b]
+                    _apply_block_reflector(Vp, T,
+                                           A[col0:, j * b:(j + 1) * b])
+                T, _ = _householder_panel(A[j * b:, j * b:(j + 1) * b])
+                Ts.append((j * b, T))
+                # Store the finished panel (V + R) exactly once.
+                if hier is not None:
+                    hier.store(level, panel_words, msgs=m // b)
+        else:
+            for j in range(nb):
+                rows = m - j * b
+                if hier is not None:
+                    hier.load(level, rows * b, msgs=rows // b)
+                T, _ = _householder_panel(A[j * b:, j * b:(j + 1) * b])
+                Ts.append((j * b, T))
+                if hier is not None:
+                    hier.store(level, rows * b, msgs=rows // b)
+                # Immediately update every trailing panel: each one
+                # round-trips through slow memory — the non-WA signature.
+                for jj in range(j + 1, nb):
+                    stream_v_panel(j)
+                    Vp = A[j * b:, j * b:(j + 1) * b]
+                    _apply_block_reflector(
+                        Vp, Ts[j][1], A[j * b:, jj * b:(jj + 1) * b])
+                    if hier is not None:
+                        hier.load(level, rows * b, msgs=rows // b)
+                        hier.store(level, rows * b, msgs=rows // b)
+    finally:
+        if hier is not None:
+            hier.free(level, panel_words + 2 * bbw)
+    return A, Ts

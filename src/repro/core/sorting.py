@@ -1,0 +1,124 @@
+"""Sorting under asymmetric read/write costs (paper Section 9 conjecture).
+
+The paper conjectures that no sorting algorithm can simultaneously perform
+``o(n·log_M n)`` writes *and* ``O(n·log_M n)`` reads to slow memory — fewer
+writes must cost asymptotically more reads.  This module implements both
+endpoints of that conjectured frontier, with exact two-level traffic
+counting, so the trade-off is observable:
+
+* :func:`external_merge_sort` — the classical CA algorithm: M-word runs,
+  (M/block)-way merges; reads ≈ writes ≈ n·⌈log_{M/b} (n/M)⌉ + n.  Write
+  traffic is Θ(total traffic): *not* write-avoiding.
+* :func:`selection_sort_wa` — a write-avoiding strategy: repeatedly scan
+  the unsorted input and emit the next M-word chunk of the sorted output
+  (selection by range).  Writes = n exactly (each output word once, plus
+  nothing else), but reads = Θ(n²/M): write-minimal and read-profligate.
+
+Both are real sorts (validated against ``numpy.sort``); the counters are
+mechanical counts of the block schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.hierarchy import TwoLevel
+from repro.util import check_positive_int, require
+
+__all__ = ["external_merge_sort", "selection_sort_wa", "sorting_traffic_lb"]
+
+
+def sorting_traffic_lb(n: int, M: float) -> float:
+    """Aggarwal–Vitter Ω(n·log_M n) bound on reads+writes [3] (log base M,
+    constant-free)."""
+    require(n >= 2 and M >= 2, "need n, M >= 2")
+    return n * math.log(n) / math.log(M)
+
+
+def external_merge_sort(
+    x: np.ndarray,
+    *,
+    M: int,
+    hier: Optional[TwoLevel] = None,
+) -> np.ndarray:
+    """Classical external merge sort with fast memory of *M* words.
+
+    Phase 1 sorts ⌈n/M⌉ runs of M words (read n, write n); each merge pass
+    k-way-merges runs with k = max(2, M//2) (read n, write n per pass).
+    Total traffic Θ(n·log_{M}(n/M) + n) with reads ≈ writes — the
+    communication-optimal but write-heavy endpoint.
+    """
+    check_positive_int(M, "M")
+    require(M >= 4, f"fast memory must hold at least 4 words, got {M}")
+    x = np.asarray(x).ravel()
+    n = len(x)
+    if n == 0:
+        return x.copy()
+
+    runs = []
+    for lo in range(0, n, M):
+        chunk = np.sort(x[lo : lo + M])
+        if hier is not None:
+            hier.load_fast(len(chunk), msgs=1)
+            hier.store_slow(len(chunk), msgs=1)
+        runs.append(chunk)
+
+    k = max(2, M // 2)  # merge arity: one block per run + output block
+    while len(runs) > 1:
+        next_runs = []
+        for i in range(0, len(runs), k):
+            group = runs[i : i + k]
+            if len(group) == 1:
+                next_runs.append(group[0])
+                continue
+            merged = np.sort(np.concatenate(group))  # stand-in k-way merge
+            if hier is not None:
+                w = len(merged)
+                hier.load_fast(w, msgs=max(1, w // max(1, M // k)))
+                hier.store_slow(w, msgs=max(1, w // max(1, M // k)))
+            next_runs.append(merged)
+        runs = next_runs
+    return runs[0]
+
+
+def selection_sort_wa(
+    x: np.ndarray,
+    *,
+    M: int,
+    hier: Optional[TwoLevel] = None,
+) -> np.ndarray:
+    """Write-avoiding sort: writes = n, reads = Θ(n²/M).
+
+    Repeatedly stream the whole input through fast memory keeping only the
+    next M/2 smallest not-yet-output values (a bounded selection buffer),
+    then write that chunk of the output once.  The input is never
+    rewritten; each output word is written exactly once — at the price of
+    ⌈2n/M⌉ full input scans.
+
+    This is the read-heavy endpoint of the Section-9 conjecture's frontier.
+    """
+    check_positive_int(M, "M")
+    require(M >= 4, f"fast memory must hold at least 4 words, got {M}")
+    x = np.asarray(x).ravel()
+    n = len(x)
+    out = np.empty_like(x)
+    chunk = max(1, M // 2)
+    emitted = 0
+    # Stable total order via (value, original index) to handle duplicates.
+    idx = np.arange(n)
+    while emitted < n:
+        # One full scan of the input (n reads), keeping the chunk smallest
+        # keys strictly greater than the last emitted key.
+        if hier is not None:
+            hier.load_fast(n, msgs=max(1, n // chunk))
+        keys = np.lexsort((idx, x))  # conceptual; selection by order stat
+        take = keys[emitted : emitted + chunk]
+        vals = np.sort(x[take])
+        out[emitted : emitted + len(take)] = vals
+        if hier is not None:
+            hier.store_slow(len(take), msgs=1)
+        emitted += len(take)
+    return out

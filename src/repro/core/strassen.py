@@ -1,0 +1,141 @@
+"""Strassen's matrix multiplication, with two-level traffic accounting.
+
+Strassen is the paper's second impossibility example (Corollary 3): its
+CDAG restricted to the scalar multiplications and their descendants has
+out-degree ≤ 4 and no input vertices, so by Theorem 2 the number of writes
+to slow memory is Ω(n^ω₀ / M^(ω₀/2−1)) with ω₀ = log₂7 — the same order as
+the total traffic.  No reordering can make Strassen write-avoiding.
+
+Provided:
+
+* :func:`strassen_matmul` — numeric Strassen (power-of-two sizes, classical
+  cutoff), validated against numpy.
+* :func:`strassen_traffic` — the recursion's explicit two-level traffic
+  accounting: a subproblem fitting in fast memory is loaded/stored once;
+  above that, every temporary (the 10 input sums and the quadrant
+  recombinations) must round-trip through slow memory.
+* :func:`strassen_lower_bound` — the Ω(n^ω₀/M^(ω₀/2−1)) bound from [8].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import is_power_of_two, require
+
+__all__ = [
+    "OMEGA0",
+    "strassen_matmul",
+    "strassen_traffic",
+    "strassen_lower_bound",
+    "StrassenTraffic",
+]
+
+OMEGA0 = math.log2(7.0)
+
+
+def strassen_matmul(
+    A: np.ndarray, B: np.ndarray, *, cutoff: int = 32
+) -> np.ndarray:
+    """Strassen's algorithm for square power-of-two matrices.
+
+    Falls back to numpy ``@`` for subproblems of size ≤ *cutoff* (Strassen's
+    recursion is exact in exact arithmetic; the cutoff only limits floating
+    point error growth and Python overhead).
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    require(A.ndim == 2 and A.shape[0] == A.shape[1], "A must be square")
+    require(B.shape == A.shape, "A and B must have identical shapes")
+    n = A.shape[0]
+    require(is_power_of_two(n), f"n must be a power of two, got {n}")
+    require(cutoff >= 1, "cutoff must be >= 1")
+
+    def rec(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        k = X.shape[0]
+        if k <= cutoff:
+            return X @ Y
+        h = k // 2
+        X11, X12, X21, X22 = X[:h, :h], X[:h, h:], X[h:, :h], X[h:, h:]
+        Y11, Y12, Y21, Y22 = Y[:h, :h], Y[:h, h:], Y[h:, :h], Y[h:, h:]
+        M1 = rec(X11 + X22, Y11 + Y22)
+        M2 = rec(X21 + X22, Y11)
+        M3 = rec(X11, Y12 - Y22)
+        M4 = rec(X22, Y21 - Y11)
+        M5 = rec(X11 + X12, Y22)
+        M6 = rec(X21 - X11, Y11 + Y12)
+        M7 = rec(X12 - X22, Y21 + Y22)
+        Z = np.empty_like(X)
+        Z[:h, :h] = M1 + M4 - M5 + M7
+        Z[:h, h:] = M3 + M5
+        Z[h:, :h] = M2 + M4
+        Z[h:, h:] = M1 - M2 + M3 + M6
+        return Z
+
+    return rec(A, B)
+
+
+@dataclass
+class StrassenTraffic:
+    """Two-level traffic of the Strassen recursion."""
+
+    loads: int
+    stores: int
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def store_fraction(self) -> float:
+        """Stores as a fraction of total traffic — Θ(1), never o(1)."""
+        return self.stores / self.total if self.total else 0.0
+
+
+def strassen_traffic(n: int, M: int) -> StrassenTraffic:
+    """Explicit two-level traffic of Strassen on n×n with fast memory M.
+
+    Accounting (standard, see [8]): if the subproblem fits
+    (``3k² ≤ M``) it loads its operands (2k²) and stores its output (k²)
+    once.  Otherwise the 10 input sums (S-matrices, 10·(k/2)² words) are
+    formed by streaming operands through fast memory and **written to slow
+    memory**, the 7 products recurse, and the 4 output quadrants are
+    recombined with 8 additions whose results are written to slow memory
+    (4·(k/2)² output words, with operands re-read).
+
+    The resulting store count is Θ(n^ω₀/M^(ω₀/2−1)) — within a constant
+    factor of total traffic, matching Corollary 3.
+    """
+    require(is_power_of_two(n), f"n must be a power of two, got {n}")
+    require(M >= 3, f"fast memory too small: {M}")
+
+    def rec(k: int) -> StrassenTraffic:
+        if 3 * k * k <= M:
+            return StrassenTraffic(loads=2 * k * k, stores=k * k)
+        h = k // 2
+        hh = h * h
+        sub = rec(h)
+        # Input sums: read 2 operand quadrants, write 1 temp, ×10.
+        sum_loads, sum_stores = 10 * 2 * hh, 10 * hh
+        # Output recombination: each quadrant reads its M-terms and writes
+        # the quadrant; 12 quadrant-sized reads, 4 quadrant-sized writes.
+        out_loads, out_stores = 12 * hh, 4 * hh
+        return StrassenTraffic(
+            loads=7 * sub.loads + sum_loads + out_loads,
+            stores=7 * sub.stores + sum_stores + out_stores,
+        )
+
+    return rec(n)
+
+
+def strassen_lower_bound(n: int, M: int) -> float:
+    """Ω(n^ω₀ / M^(ω₀/2−1)) traffic lower bound for Strassen [8].
+
+    Returned without its (unpublished) constant: use for growth-rate
+    comparisons, not absolute counts.
+    """
+    require(n >= 1 and M >= 1, "n and M must be positive")
+    return n**OMEGA0 / M ** (OMEGA0 / 2 - 1)

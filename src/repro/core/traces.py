@@ -1,0 +1,280 @@
+"""Address-trace generators for the Section 6 cache experiments.
+
+These produce the line-level traces that stand in for the paper's hardware
+runs: each matmul *instruction order* (cache-oblivious, MKL-like, two-level
+WA, multi-level WA, slab/AB) is lowered to a sequence of base-tile tasks,
+and every task touches the lines of its A and B tiles (reads) and its C
+tile (writes).  Intra-tile reuse happens below the simulated cache level
+and cannot change its replacement state, so one touch per tile visit is the
+faithful granularity (see DESIGN.md "Modelling conventions").
+
+The task orders are driven by a small hierarchical scheduler spec so all
+variants share one code path:
+
+``spec = [("blocked", b, "ijk"), ("co", base)]`` means: block the problem
+into b×b×b bricks visited in loop order i→j→k (k innermost), and execute
+each brick cache-obliviously down to *base*-sized tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.machine.arrays import matrix_trio
+from repro.machine.trace import TraceBuffer
+from repro.util import check_multiple, require
+
+__all__ = [
+    "hierarchical_task_order",
+    "matmul_trace",
+    "trsm_trace",
+    "cholesky_trace",
+    "nbody_trace",
+    "MATMUL_SCHEMES",
+]
+
+Task = Tuple[int, int, int, int, int, int]
+LevelSpec = Union[Tuple[str, int, str], Tuple[str, int]]
+
+
+def _co_tasks(i0, i1, j0, j1, k0, k1, base) -> Iterator[Task]:
+    mi, li, ni = i1 - i0, j1 - j0, k1 - k0
+    if mi <= base and li <= base and ni <= base:
+        yield (i0, i1, j0, j1, k0, k1)
+        return
+    big = max(mi, ni, li)
+    if big == mi:
+        h = mi // 2
+        yield from _co_tasks(i0, i0 + h, j0, j1, k0, k1, base)
+        yield from _co_tasks(i0 + h, i1, j0, j1, k0, k1, base)
+    elif big == ni:
+        h = ni // 2
+        yield from _co_tasks(i0, i1, j0, j1, k0, k0 + h, base)
+        yield from _co_tasks(i0, i1, j0, j1, k0 + h, k1, base)
+    else:
+        h = li // 2
+        yield from _co_tasks(i0, i1, j0, j0 + h, k0, k1, base)
+        yield from _co_tasks(i0, i1, j0 + h, j1, k0, k1, base)
+
+
+def _blocked_tasks(
+    i0, i1, j0, j1, k0, k1, b: int, order: str, rest: Sequence[LevelSpec]
+) -> Iterator[Task]:
+    require(set(order) == {"i", "j", "k"}, f"bad loop order {order!r}")
+    ris = range(i0, i1, b)
+    rjs = range(j0, j1, b)
+    rks = range(k0, k1, b)
+    axes = {"i": ris, "j": rjs, "k": rks}
+    lo, mid, hi = order
+    for x in axes[lo]:
+        for y in axes[mid]:
+            for z in axes[hi]:
+                v = {lo: x, mid: y, hi: z}
+                i, j, k = v["i"], v["j"], v["k"]
+                yield from _dispatch(
+                    i, min(i + b, i1), j, min(j + b, j1),
+                    k, min(k + b, k1), rest,
+                )
+
+
+def _dispatch(
+    i0, i1, j0, j1, k0, k1, spec: Sequence[LevelSpec]
+) -> Iterator[Task]:
+    if not spec:
+        yield (i0, i1, j0, j1, k0, k1)
+        return
+    head, rest = spec[0], spec[1:]
+    kind = head[0]
+    if kind == "co":
+        require(not rest, "'co' must be the last level of a spec")
+        yield from _co_tasks(i0, i1, j0, j1, k0, k1, head[1])
+    elif kind == "blocked":
+        _, b, order = head  # type: ignore[misc]
+        yield from _blocked_tasks(i0, i1, j0, j1, k0, k1, b, order, rest)
+    else:
+        raise ValueError(f"unknown level kind {kind!r}")
+
+
+def hierarchical_task_order(
+    m: int, n: int, l: int, spec: Sequence[LevelSpec]
+) -> Iterator[Task]:
+    """Yield base tasks of C(m×l) += A(m×n)·B(n×l) under *spec*."""
+    require(m > 0 and n > 0 and l > 0, "dimensions must be positive")
+    yield from _dispatch(0, m, 0, l, 0, n, spec)
+
+
+#: Named instruction orders of Figures 2 and 5.  Each maps experiment knobs
+#: (L3/L2 blocking sizes, base tile) to a scheduler spec.
+MATMUL_SCHEMES = ("co", "mkl-like", "wa2", "wa-multilevel", "ab-multilevel")
+
+
+def _scheme_spec(
+    scheme: str, b3: int, b2: int, base: int
+) -> List[LevelSpec]:
+    if scheme == "co":
+        # Figure 2a: pure cache-oblivious order, no level-aware blocking.
+        return [("co", base)]
+    if scheme == "mkl-like":
+        # Figure 2b stand-in: an L2-blocked, speed-tuned order that ignores
+        # L3-level write locality: rank-k panels (reduction outermost).
+        return [("blocked", b2, "kij"), ("co", base)]
+    if scheme == "wa2":
+        # Figures 2c–f: block for L3 with the reduction innermost; inside
+        # the block, the paper calls MKL dgemm, whose panel order re-touches
+        # C tiles at close intervals — modelled as the same rank-k panel
+        # order as "mkl-like" (this is what keeps the C block at high LRU
+        # priority even when only ~3 blocks fit; cf. Fig. 5 right column).
+        return [("blocked", b3, "ijk"), ("blocked", b2, "kij"), ("co", base)]
+    if scheme == "wa-multilevel":
+        # Figure 5 left column / Fig. 4a: reduction innermost at every level.
+        return [
+            ("blocked", b3, "ijk"),
+            ("blocked", b2, "ijk"),
+            ("co", base),
+        ]
+    if scheme == "ab-multilevel":
+        # Figure 5 right column / Fig. 4b: WA order only at the top; slabs
+        # (reduction outermost) below.
+        return [
+            ("blocked", b3, "ijk"),
+            ("blocked", b2, "kij"),
+            ("co", base),
+        ]
+    raise ValueError(f"unknown scheme {scheme!r}; one of {MATMUL_SCHEMES}")
+
+
+def matmul_trace(
+    m: int,
+    n: int,
+    l: int,
+    *,
+    scheme: str,
+    b3: int = 64,
+    b2: int = 16,
+    base: int = 8,
+    line_size: int = 8,
+    c_touch_hint: bool = False,
+) -> TraceBuffer:
+    """Build the line-level trace of one matmul instruction order.
+
+    Layout: C, A, B allocated contiguously in one address space (C first).
+    Every base task touches A-tile lines and B-tile lines as reads and
+    C-tile lines as writes, in that order.
+
+    ``c_touch_hint`` implements the paper's Section-6.2 closing
+    suggestion: between successive b2-level block multiplications, re-touch
+    the *whole* resident b3-level C block to bump its LRU priority —
+    rescuing the multi-level WA order when fewer than five blocks fit.
+
+    Returns a :class:`~repro.machine.trace.TraceBuffer`; feed it to
+    :class:`~repro.machine.cache.CacheSim` via ``finalize()``.
+    """
+    C, A, B, _space = matrix_trio(None, m, n, l, line_size)
+    buf = TraceBuffer(line_size)
+    spec = _scheme_spec(scheme, b3, b2, base)
+    last_b2 = None
+    for (i0, i1, j0, j1, k0, k1) in hierarchical_task_order(m, n, l, spec):
+        if c_touch_hint:
+            cur_b2 = (i0 // b2, j0 // b2, k0 // b2)
+            if cur_b2 != last_b2 and last_b2 is not None:
+                ci, cj = (i0 // b3) * b3, (j0 // b3) * b3
+                buf.touch_lines(
+                    C.tile_lines(ci, min(ci + b3, m), cj, min(cj + b3, l)),
+                    write=False,
+                )
+            last_b2 = cur_b2
+        buf.touch_lines(A.tile_lines(i0, i1, k0, k1), write=False)
+        buf.touch_lines(B.tile_lines(k0, k1, j0, j1), write=False)
+        buf.touch_lines(C.tile_lines(i0, i1, j0, j1), write=True)
+    return buf
+
+
+# --------------------------------------------------------------------- #
+# Proposition 6.2 traces: TRSM, Cholesky, N-body under hardware caching
+# --------------------------------------------------------------------- #
+def trsm_trace(
+    n: int, m: int, *, b: int, line_size: int = 8
+) -> TraceBuffer:
+    """Line trace of the two-level WA TRSM (Algorithm 2, k innermost).
+
+    Each inner iteration reads the T(i,k) and X(k,j) tiles and writes the
+    B(i,j) tile being accumulated; the diagonal solve reads T(i,i) and
+    writes B(i,j) once more.  Proposition 6.2: under LRU with five b×b
+    blocks resident, write-backs = n·m (output) lines.
+    """
+    check_multiple(n, b, "n")
+    check_multiple(m, b, "m")
+    from repro.machine.arrays import AddressSpace, TracedMatrix
+
+    space = AddressSpace(line_size)
+    B = TracedMatrix(space, "B", n, m)
+    T = TracedMatrix(space, "T", n, n)
+    buf = TraceBuffer(line_size)
+    nb, mb = n // b, m // b
+
+    def tile(M_, i, j):
+        return M_.tile_lines(i * b, (i + 1) * b, j * b, (j + 1) * b)
+
+    for j in range(mb):
+        for i in range(nb - 1, -1, -1):
+            for k in range(i + 1, nb):
+                buf.touch_lines(tile(T, i, k), write=False)
+                buf.touch_lines(tile(B, k, j), write=False)
+                buf.touch_lines(tile(B, i, j), write=True)
+            buf.touch_lines(tile(T, i, i), write=False)
+            buf.touch_lines(tile(B, i, j), write=True)
+    return buf
+
+
+def cholesky_trace(n: int, *, b: int, line_size: int = 8) -> TraceBuffer:
+    """Line trace of the left-looking WA Cholesky (Algorithm 3).
+
+    Proposition 6.2: LRU write-backs = the lower-triangle output
+    (≈ n²/2 words) when five blocks fit.
+    """
+    check_multiple(n, b, "n")
+    from repro.machine.arrays import AddressSpace, TracedMatrix
+
+    space = AddressSpace(line_size)
+    A = TracedMatrix(space, "A", n, n)
+    buf = TraceBuffer(line_size)
+    nb = n // b
+
+    def tile(i, j):
+        return A.tile_lines(i * b, (i + 1) * b, j * b, (j + 1) * b)
+
+    for i in range(nb):
+        for k in range(i):
+            buf.touch_lines(tile(i, k), write=False)
+            buf.touch_lines(tile(i, i), write=True)
+        buf.touch_lines(tile(i, i), write=True)  # in-place factorization
+        for j in range(i + 1, nb):
+            for k in range(i):
+                buf.touch_lines(tile(i, k), write=False)
+                buf.touch_lines(tile(j, k), write=False)
+                buf.touch_lines(tile(j, i), write=True)
+            buf.touch_lines(tile(i, i), write=False)
+            buf.touch_lines(tile(j, i), write=True)  # TRSM result
+    return buf
+
+
+def nbody_trace(N: int, *, b: int, line_size: int = 8) -> TraceBuffer:
+    """Line trace of the blocked (N,2)-body (Algorithm 4).
+
+    Particle and force arrays are one "word" per particle here; the
+    write floor is the N force words.
+    """
+    check_multiple(N, b, "N")
+    from repro.machine.arrays import AddressSpace, TracedVector
+
+    space = AddressSpace(line_size)
+    P = TracedVector(space, "P", N)
+    F = TracedVector(space, "F", N)
+    buf = TraceBuffer(line_size)
+    for i in range(0, N, b):
+        buf.touch_lines(P.segment_lines(i, i + b), write=False)
+        buf.touch_lines(F.segment_lines(i, i + b), write=True)
+        for j in range(0, N, b):
+            buf.touch_lines(P.segment_lines(j, j + b), write=False)
+            buf.touch_lines(F.segment_lines(i, i + b), write=True)
+    return buf

@@ -1,0 +1,59 @@
+"""Process-grid helpers shared by the parallel algorithms."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util import check_positive_int, require
+
+__all__ = ["square_grid_side", "Grid2D"]
+
+
+def square_grid_side(P: int) -> int:
+    """√P for a square grid, validating P is a perfect square."""
+    check_positive_int(P, "P")
+    q = math.isqrt(P)
+    require(q * q == P, f"P={P} must be a perfect square")
+    return q
+
+
+class Grid2D:
+    """A q×q process grid with block-distributed square matrices.
+
+    Rank ids are ``row * q + col``.  ``block(X, r, c)`` extracts the
+    (n/q)×(n/q) block of a global matrix owned by grid position (r, c).
+    """
+
+    def __init__(self, P: int):
+        self.q = square_grid_side(P)
+        self.P = P
+
+    def rank(self, r: int, c: int) -> int:
+        return (r % self.q) * self.q + (c % self.q)
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        return divmod(rank, self.q)
+
+    def row_ranks(self, r: int) -> List[int]:
+        return [self.rank(r, c) for c in range(self.q)]
+
+    def col_ranks(self, c: int) -> List[int]:
+        return [self.rank(r, c) for r in range(self.q)]
+
+    def block(self, X: np.ndarray, r: int, c: int) -> np.ndarray:
+        n = X.shape[0]
+        require(n % self.q == 0,
+                f"matrix dimension {n} not divisible by grid side {self.q}")
+        nb = n // self.q
+        return X[r * nb : (r + 1) * nb, c * nb : (c + 1) * nb]
+
+    def assemble(self, blocks: dict, n: int, dtype=float) -> np.ndarray:
+        """Rebuild a global matrix from a {(r, c): block} dict."""
+        nb = n // self.q
+        out = np.zeros((n, n), dtype=dtype)
+        for (r, c), blk in blocks.items():
+            out[r * nb : (r + 1) * nb, c * nb : (c + 1) * nb] = blk
+        return out

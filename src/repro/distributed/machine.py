@@ -1,0 +1,234 @@
+"""The simulated distributed machine (paper Section 7, Figure 1).
+
+Every rank has word counters for the channels the paper's cost model
+charges:
+
+* ``nw_sent`` / ``nw_recv``   — interprocessor words (network attaches to L2);
+* ``l2_to_l3`` / ``l3_to_l2`` — NVM writes / reads (β23 / β32);
+* ``l2_to_l1`` / ``l1_to_l2`` — local cache traffic (β21 / β12), charged by
+  local kernels via :meth:`DistMachine.charge_local`.
+
+Data lives in per-rank keyed stores, one per level (``"L2"``, ``"L3"``).
+:meth:`send` moves an array between ranks (counting both ends);
+:meth:`bcast` implements a binomial-tree broadcast so message/word counts
+reflect a real collective (the analytic model's ``2·log₂(g)`` factors).
+
+This is a *single-process simulation*: ranks execute in a deterministic
+interleaving, which is sufficient because every algorithm here is BSP-style
+(steps separated by communication) and we only measure traffic volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util import check_positive_int, require
+
+__all__ = ["RankCounters", "DistMachine"]
+
+
+@dataclass
+class RankCounters:
+    """Per-rank traffic, in words (and messages for latency terms)."""
+
+    nw_sent: int = 0
+    nw_recv: int = 0
+    nw_msgs_sent: int = 0
+    nw_msgs_recv: int = 0
+    l2_to_l3: int = 0       # NVM writes
+    l3_to_l2: int = 0       # NVM reads
+    l2_to_l3_msgs: int = 0
+    l3_to_l2_msgs: int = 0
+    l2_to_l1: int = 0
+    l1_to_l2: int = 0
+
+    @property
+    def nw_words(self) -> int:
+        return self.nw_sent + self.nw_recv
+
+    @property
+    def nvm_writes(self) -> int:
+        return self.l2_to_l3
+
+    @property
+    def nvm_reads(self) -> int:
+        return self.l3_to_l2
+
+
+class DistMachine:
+    """P simulated ranks with L2 (DRAM) and optional L3 (NVM) stores."""
+
+    def __init__(
+        self,
+        P: int,
+        *,
+        M1: Optional[float] = None,
+        M2: Optional[float] = None,
+        M3: Optional[float] = None,
+    ):
+        check_positive_int(P, "P")
+        self.P = P
+        self.M1, self.M2, self.M3 = M1, M2, M3
+        self.counters: List[RankCounters] = [RankCounters() for _ in range(P)]
+        self._store: List[Dict[str, Dict[Hashable, np.ndarray]]] = [
+            {"L2": {}, "L3": {}} for _ in range(P)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # stores
+    # ------------------------------------------------------------------ #
+    def _check_rank(self, r: int) -> None:
+        require(0 <= r < self.P, f"rank {r} out of range 0..{self.P - 1}")
+
+    def put(self, rank: int, key: Hashable, arr: np.ndarray,
+            level: str = "L2") -> None:
+        """Place initial data on a rank without charging traffic (the
+        paper's 'initially one copy stored in a balanced way')."""
+        self._check_rank(rank)
+        require(level in ("L2", "L3"), f"bad level {level!r}")
+        self._store[rank][level][key] = np.asarray(arr)
+
+    def get(self, rank: int, key: Hashable, level: str = "L2") -> np.ndarray:
+        self._check_rank(rank)
+        try:
+            return self._store[rank][level][key]
+        except KeyError:
+            raise KeyError(f"rank {rank} has no {key!r} in {level}") from None
+
+    def has(self, rank: int, key: Hashable, level: str = "L2") -> bool:
+        self._check_rank(rank)
+        return key in self._store[rank][level]
+
+    def delete(self, rank: int, key: Hashable, level: str = "L2") -> None:
+        self._check_rank(rank)
+        self._store[rank][level].pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # NVM traffic (L2 <-> L3)
+    # ------------------------------------------------------------------ #
+    def store_nvm(self, rank: int, key: Hashable,
+                  arr: Optional[np.ndarray] = None) -> None:
+        """Write *key* (or the given array) from L2 to L3: β23 traffic."""
+        self._check_rank(rank)
+        if arr is None:
+            arr = self.get(rank, key, "L2")
+        arr = np.asarray(arr)
+        self._store[rank]["L3"][key] = arr
+        c = self.counters[rank]
+        c.l2_to_l3 += arr.size
+        c.l2_to_l3_msgs += 1
+
+    def load_nvm(self, rank: int, key: Hashable) -> np.ndarray:
+        """Read *key* from L3 into L2: β32 traffic."""
+        self._check_rank(rank)
+        arr = self.get(rank, key, "L3")
+        self._store[rank]["L2"][key] = arr
+        c = self.counters[rank]
+        c.l3_to_l2 += arr.size
+        c.l3_to_l2_msgs += 1
+        return arr
+
+    def charge_nvm_write(self, rank: int, words: int, msgs: int = 1) -> None:
+        """Charge β23 traffic without data movement (local-kernel detail)."""
+        self._check_rank(rank)
+        self.counters[rank].l2_to_l3 += words
+        self.counters[rank].l2_to_l3_msgs += msgs
+
+    def charge_nvm_read(self, rank: int, words: int, msgs: int = 1) -> None:
+        self._check_rank(rank)
+        self.counters[rank].l3_to_l2 += words
+        self.counters[rank].l3_to_l2_msgs += msgs
+
+    def charge_local(self, rank: int, *, l2_to_l1: int = 0,
+                     l1_to_l2: int = 0) -> None:
+        """Charge L1↔L2 traffic reported by a local (sequential) kernel."""
+        self._check_rank(rank)
+        self.counters[rank].l2_to_l1 += l2_to_l1
+        self.counters[rank].l1_to_l2 += l1_to_l2
+
+    # ------------------------------------------------------------------ #
+    # network
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, key: Hashable,
+             arr: Optional[np.ndarray] = None) -> None:
+        """Point-to-point: a read on *src*, a write into *dst*'s L2."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        require(src != dst, "send to self is a no-op; don't charge it")
+        if arr is None:
+            arr = self.get(src, key, "L2")
+        arr = np.asarray(arr)
+        self._store[dst]["L2"][key] = arr
+        cs, cd = self.counters[src], self.counters[dst]
+        cs.nw_sent += arr.size
+        cs.nw_msgs_sent += 1
+        cd.nw_recv += arr.size
+        cd.nw_msgs_recv += 1
+
+    def bcast(self, root: int, ranks: Sequence[int], key: Hashable,
+              arr: Optional[np.ndarray] = None) -> None:
+        """Binomial-tree broadcast of *key* from *root* to *ranks*.
+
+        Matches the simple algorithm the paper models: along the critical
+        path a broadcast to g ranks costs Θ(log₂ g) messages of the full
+        word count (no pipelining or scatter-allgather refinements).
+        """
+        ranks = list(ranks)
+        require(root in ranks, "root must be a member of the group")
+        if arr is None:
+            arr = self.get(root, key, "L2")
+        have = [root]
+        rest = [r for r in ranks if r != root]
+        while rest:
+            senders = list(have)
+            for s in senders:
+                if not rest:
+                    break
+                d = rest.pop(0)
+                self.send(s, d, key, arr)
+                have.append(d)
+
+    def reduce(self, root: int, ranks: Sequence[int], key: Hashable) -> np.ndarray:
+        """Binomial-tree sum-reduction of per-rank arrays stored at *key*.
+
+        Every rank must hold *key* in L2; the reduced array lands on
+        *root* (under the same key).
+        """
+        ranks = list(ranks)
+        require(root in ranks, "root must be a member of the group")
+        parts = {r: self.get(r, key, "L2") for r in ranks}
+        live = [r for r in ranks]
+        # Pairwise tree: in each round, the second half sends to the first.
+        while len(live) > 1:
+            half = (len(live) + 1) // 2
+            for i in range(half, len(live)):
+                src, dst = live[i], live[i - half]
+                self.send(src, dst, ("_red", key, src), parts[src])
+                parts[dst] = parts[dst] + parts[src]
+                self.delete(dst, ("_red", key, src))
+            live = live[:half]
+        # Move the result to root if the tree finished elsewhere.
+        if live[0] != root:
+            self.send(live[0], root, key, parts[live[0]])
+        self._store[root]["L2"][key] = parts[live[0]]
+        return parts[live[0]]
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def max_over_ranks(self, attr: str) -> int:
+        return max(getattr(c, attr) for c in self.counters)
+
+    def total_over_ranks(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self.counters)
+
+    def summary(self) -> dict:
+        keys = ["nw_sent", "nw_recv", "l2_to_l3", "l3_to_l2",
+                "l2_to_l1", "l1_to_l2"]
+        return {
+            k: {"max": self.max_over_ranks(k), "total": self.total_over_ranks(k)}
+            for k in keys
+        }

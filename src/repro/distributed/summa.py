@@ -1,0 +1,205 @@
+"""SUMMA-family parallel matrix multiplication.
+
+* :func:`summa_2d` — classic 2D SUMMA (Model 1).  Demonstrates the paper's
+  Model-1 observation: using the WA local multiply caps writes to L2 from L1
+  at the network volume Θ(n²/√P) — not the lower bound n²/P, but never the
+  dominant cost.  The ``hoard=True`` variant stores all incoming panels
+  first (needs Θ(√P)-times more L2) and *does* attain n²/P local writes.
+
+* :func:`summa_l3_ool2` — SUMMAL3ooL2 (Model 2.2): the matrices live in NVM
+  (L3); each rank computes one √(M2/3)-sized C tile at a time entirely in
+  L2 and writes it to NVM exactly once.  Attains the NVM-write lower bound
+  W1 = n²/P at the price of Θ(n³/(P·√M2)) interprocessor words (Table 2's
+  right column), illustrating one side of the Theorem-4 trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.matmul import matmul_expected_counts, wa_block_size
+from repro.distributed.grid import Grid2D
+from repro.distributed.machine import DistMachine
+from repro.util import require
+
+__all__ = ["summa_2d", "summa_l3_ool2"]
+
+
+def _charge_local_wa_matmul(
+    machine: DistMachine, rank: int, m: int, n: int, l: int, M1: float
+) -> None:
+    """Charge the L1↔L2 traffic of one local WA multiply (Algorithm 1).
+
+    Uses the exact closed-form counts already validated against the
+    instrumented kernel in :mod:`repro.core.matmul`.
+    """
+    b = wa_block_size(M1)
+    while b > 1 and (m % b or n % b or l % b):
+        b -= 1
+    counts = matmul_expected_counts(m, n, l, b)
+    machine.charge_local(rank, l2_to_l1=counts.loads, l1_to_l2=counts.stores)
+
+
+def summa_2d(
+    A: np.ndarray,
+    B: np.ndarray,
+    machine: DistMachine,
+    *,
+    hoard: bool = False,
+    M1: Optional[float] = None,
+) -> np.ndarray:
+    """2D SUMMA on a √P×√P grid; returns the assembled C = A·B.
+
+    ``hoard=True`` implements the Section-7 variant that stores all √P
+    incoming panels in L2 before multiplying once — attaining the W1 =
+    n²/P bound on writes to L2 from L1 at a Θ(√P) memory premium.
+    *M1* enables local L1↔L2 traffic charging via the WA local multiply.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = A.shape[0]
+    require(A.shape == (n, n) and B.shape == (n, n),
+            "summa_2d expects square matrices of equal size")
+    g = Grid2D(machine.P)
+    q = g.q
+    require(n % q == 0, f"n={n} must be divisible by grid side {q}")
+    nb = n // q
+
+    # Initial layout: one copy, block-distributed (no traffic charged).
+    for r in range(q):
+        for c in range(q):
+            rk = g.rank(r, c)
+            machine.put(rk, ("A", r, c), g.block(A, r, c))
+            machine.put(rk, ("B", r, c), g.block(B, r, c))
+            machine.put(rk, ("C", r, c), np.zeros((nb, nb)))
+
+    for t in range(q):
+        # Owners broadcast panel t along rows (A) and columns (B).
+        for r in range(q):
+            src = g.rank(r, t)
+            machine.put(src, ("Apanel", r, t), machine.get(src, ("A", r, t)))
+            machine.bcast(src, g.row_ranks(r), ("Apanel", r, t))
+        for c in range(q):
+            src = g.rank(t, c)
+            machine.put(src, ("Bpanel", t, c), machine.get(src, ("B", t, c)))
+            machine.bcast(src, g.col_ranks(c), ("Bpanel", t, c))
+        for r in range(q):
+            for c in range(q):
+                rk = g.rank(r, c)
+                Ab = machine.get(rk, ("Apanel", r, t))
+                Bb = machine.get(rk, ("Bpanel", t, c))
+                if not hoard:
+                    machine.get(rk, ("C", r, c))[...] += Ab @ Bb
+                    if M1 is not None:
+                        _charge_local_wa_matmul(machine, rk, nb, nb, nb, M1)
+                else:
+                    machine.put(rk, ("Ahoard", r, t), Ab)
+                    machine.put(rk, ("Bhoard", t, c), Bb)
+
+    if hoard:
+        # One big local multiply per rank: C(r,c) = A(r,:) · B(:,c).
+        for r in range(q):
+            for c in range(q):
+                rk = g.rank(r, c)
+                Arow = np.hstack([machine.get(rk, ("Ahoard", r, t))
+                                  for t in range(q)])
+                Bcol = np.vstack([machine.get(rk, ("Bhoard", t, c))
+                                  for t in range(q)])
+                machine.get(rk, ("C", r, c))[...] += Arow @ Bcol
+                if M1 is not None:
+                    _charge_local_wa_matmul(machine, rk, nb, n, nb, M1)
+
+    # Rename the staged panel keys so reruns don't collide.
+    blocks = {(r, c): machine.get(g.rank(r, c), ("C", r, c))
+              for r in range(q) for c in range(q)}
+    return g.assemble(blocks, n)
+
+
+def summa_l3_ool2(
+    A: np.ndarray,
+    B: np.ndarray,
+    machine: DistMachine,
+    *,
+    M2: float,
+) -> np.ndarray:
+    """SUMMAL3ooL2 (Model 2.2): data in NVM, one C tile in L2 at a time.
+
+    Each rank's C block is tiled into √(M2/3)-sized tiles; a tile is
+    accumulated across all n/√(M2/3) SUMMA steps while resident in L2 and
+    written to NVM exactly once — NVM writes per rank = n²/P, the W1 bound.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n = A.shape[0]
+    require(A.shape == (n, n) and B.shape == (n, n),
+            "expects square matrices of equal size")
+    g = Grid2D(machine.P)
+    q = g.q
+    require(n % q == 0, f"n={n} must be divisible by grid side {q}")
+    nb = n // q
+    t2 = int(math.isqrt(int(M2 // 3)))  # tile edge sqrt(M2/3)
+    while t2 > 1 and (nb % t2 or n % t2):
+        t2 -= 1
+    require(t2 >= 1, "M2 too small for a 1x1 tile")
+    require(3 * t2 * t2 <= M2, "internal: tile sizing")
+
+    # Initial layout: one copy, block-distributed, in NVM (L3).
+    for r in range(q):
+        for c in range(q):
+            rk = g.rank(r, c)
+            machine.put(rk, ("A", r, c), g.block(A, r, c), level="L3")
+            machine.put(rk, ("B", r, c), g.block(B, r, c), level="L3")
+
+    ntile = nb // t2          # C tiles per rank edge
+    ksteps = n // t2          # global reduction steps per tile
+    out_blocks = {}
+    for r in range(q):
+        for c in range(q):
+            out_blocks[(r, c)] = np.zeros((nb, nb))
+
+    for ti in range(ntile):
+        for tj in range(ntile):
+            # All ranks accumulate their tile (ti, tj) over global k.
+            ctile = {
+                (r, c): np.zeros((t2, t2)) for r in range(q) for c in range(q)
+            }
+            for ks in range(ksteps):
+                kcol_owner = (ks * t2) // nb      # grid column owning A k-chunk
+                koff = (ks * t2) % nb
+                for r in range(q):
+                    # Owner of A tile: rank (r, kcol_owner); read from NVM,
+                    # broadcast along the row.
+                    src = g.rank(r, kcol_owner)
+                    Ablk = machine.get(src, ("A", r, kcol_owner), level="L3")
+                    Atile = Ablk[ti * t2:(ti + 1) * t2, koff:koff + t2]
+                    machine.charge_nvm_read(src, Atile.size)
+                    machine.put(src, ("At", r), Atile)
+                    machine.bcast(src, g.row_ranks(r), ("At", r))
+                for c in range(q):
+                    src = g.rank(kcol_owner, c)
+                    Bblk = machine.get(src, ("B", kcol_owner, c), level="L3")
+                    Btile = Bblk[koff:koff + t2, tj * t2:(tj + 1) * t2]
+                    machine.charge_nvm_read(src, Btile.size)
+                    machine.put(src, ("Bt", c), Btile)
+                    machine.bcast(src, g.col_ranks(c), ("Bt", c))
+                for r in range(q):
+                    for c in range(q):
+                        rk = g.rank(r, c)
+                        ctile[(r, c)] += (
+                            machine.get(rk, ("At", r))
+                            @ machine.get(rk, ("Bt", c))
+                        )
+            # Tile finished: write to NVM exactly once.
+            for r in range(q):
+                for c in range(q):
+                    rk = g.rank(r, c)
+                    machine.put(rk, ("Ct", r, c, ti, tj), ctile[(r, c)])
+                    machine.store_nvm(rk, ("Ct", r, c, ti, tj))
+                    out_blocks[(r, c)][
+                        ti * t2:(ti + 1) * t2, tj * t2:(tj + 1) * t2
+                    ] = ctile[(r, c)]
+
+    return g.assemble(out_blocks, n)

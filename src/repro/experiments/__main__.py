@@ -1,0 +1,98 @@
+"""Command-line regeneration of any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig2 [--quick]
+    python -m repro.experiments table1
+    python -m repro.experiments all --quick
+
+``--quick`` shrinks the Figure-2/5 geometry so everything finishes in
+seconds (the structure is identical; only scale changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    Fig2Config,
+    format_fig2,
+    format_fig5,
+    format_lu,
+    format_sec3,
+    format_sec4,
+    format_sec5,
+    format_sec6,
+    format_sec7_model1,
+    format_sec8,
+    format_table1,
+    format_table2,
+    run_fig2,
+    run_fig5,
+    run_lu,
+    run_sec3,
+    run_sec4,
+    run_sec5,
+    run_sec6,
+    run_sec7_model1,
+    run_sec8,
+    run_table1,
+    run_table2,
+)
+
+
+def _fig_cfg(quick: bool) -> Fig2Config:
+    if quick:
+        return Fig2Config(n_outer=48, middles=(4, 16, 64), line_size=4,
+                          b2=8, base=4)
+    return Fig2Config(n_outer=96, middles=(8, 32, 128, 256), line_size=4,
+                      b2=8, base=4)
+
+
+def main(argv=None) -> int:
+    experiments = {
+        "fig2": lambda q: format_fig2(run_fig2(_fig_cfg(q))),
+        "fig5": lambda q: format_fig5(run_fig5(_fig_cfg(q))),
+        "table1": lambda q: format_table1(run_table1()),
+        "table2": lambda q: format_table2(run_table2()),
+        "sec3": lambda q: format_sec3(run_sec3()),
+        "sec4": lambda q: format_sec4(run_sec4()),
+        "sec5": lambda q: format_sec5(run_sec5()),
+        "sec6": lambda q: format_sec6(
+            run_sec6(n=32 if q else 64, middle=32 if q else 128)),
+        "sec7": lambda q: format_sec7_model1(run_sec7_model1()),
+        "sec8": lambda q: format_sec8(
+            run_sec8(mesh=128 if q else 256, block=32 if q else 64)),
+        "lu": lambda q: format_lu(run_lu()),
+    }
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures of 'Write-Avoiding "
+                    "Algorithms' (Carson et al., IPDPS 2016).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(experiments) + ["all", "list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller geometry, seconds instead of minutes")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(experiments):
+            print(name)
+        return 0
+    names = sorted(experiments) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(f"==== {name} " + "=" * max(0, 64 - len(name)))
+        print(experiments[name](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

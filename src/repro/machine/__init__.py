@@ -1,0 +1,59 @@
+"""Memory-hierarchy and cache substrate.
+
+Two complementary execution models, mirroring the paper's Section 2 vs
+Section 6 viewpoints:
+
+* :mod:`repro.machine.hierarchy` — *explicitly controlled* data movement
+  between r levels (the model of Sections 2 and 4).  Kernels call
+  :meth:`MemoryHierarchy.load` / :meth:`~MemoryHierarchy.store`; every word
+  moved is counted as a read at the source level and a write at the
+  destination level.
+
+* :mod:`repro.machine.cache` — *hardware-controlled* movement (Section 6).
+  Kernels emit address traces (:mod:`repro.machine.trace`), and a write-back
+  write-allocate cache with a pluggable replacement policy
+  (:mod:`repro.machine.policies`) produces Nehalem-style counters
+  (``LLC_VICTIMS.M``, ``LLC_VICTIMS.E``, ``LLC_S_FILLS.E``).
+"""
+
+from repro.machine.counters import ChannelCounters, LevelCounters, ResidencyClass
+from repro.machine.hierarchy import MemoryHierarchy, TwoLevel
+from repro.machine.cache import CacheSim, CacheStats
+from repro.machine.multicache import CacheHierarchySim
+from repro.machine.energy import EnergyModel
+from repro.machine.policies import (
+    POLICIES,
+    BeladyPolicy,
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    SegmentedLRUPolicy,
+    make_policy,
+)
+from repro.machine.trace import TraceBuffer
+from repro.machine.arrays import TracedMatrix, TracedVector, AddressSpace
+
+__all__ = [
+    "ChannelCounters",
+    "LevelCounters",
+    "ResidencyClass",
+    "MemoryHierarchy",
+    "TwoLevel",
+    "CacheSim",
+    "CacheStats",
+    "CacheHierarchySim",
+    "EnergyModel",
+    "POLICIES",
+    "BeladyPolicy",
+    "ClockPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "SegmentedLRUPolicy",
+    "make_policy",
+    "TraceBuffer",
+    "TracedMatrix",
+    "TracedVector",
+    "AddressSpace",
+]

@@ -1,0 +1,167 @@
+"""Address-space layout for traced arrays.
+
+The Section-6 experiments need word addresses for matrix tiles so that the
+cache simulator sees the same line-sharing effects a real row-major layout
+produces (e.g. adjacent tile rows falling in one line).  An
+:class:`AddressSpace` hands out line-aligned base addresses;
+:class:`TracedMatrix` and :class:`TracedVector` translate tile/segment
+touches into line-id arrays for a :class:`~repro.machine.trace.TraceBuffer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util import check_positive_int, round_up
+
+__all__ = ["AddressSpace", "TracedMatrix", "TracedVector"]
+
+
+class AddressSpace:
+    """Allocates disjoint, line-aligned word-address ranges."""
+
+    def __init__(self, line_size: int = 8):
+        check_positive_int(line_size, "line_size")
+        self.line_size = line_size
+        self._next = 0
+        self.allocations: dict[str, Tuple[int, int]] = {}
+
+    def alloc(self, name: str, nwords: int) -> int:
+        """Reserve *nwords* for *name*; returns the base word address."""
+        check_positive_int(nwords, "nwords")
+        if name in self.allocations:
+            raise ValueError(f"array name {name!r} already allocated")
+        base = self._next
+        self.allocations[name] = (base, nwords)
+        self._next = round_up(base + nwords, self.line_size)
+        return base
+
+    @property
+    def total_words(self) -> int:
+        return self._next
+
+
+class TracedMatrix:
+    """Row-major matrix with address translation for tile touches.
+
+    Does not hold numeric data — tracing and computation are decoupled (the
+    numeric kernels in :mod:`repro.core` are validated separately); this
+    class only produces the *addresses* a kernel's tile accesses cover.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        name: str,
+        nrows: int,
+        ncols: int,
+    ):
+        check_positive_int(nrows, "nrows")
+        check_positive_int(ncols, "ncols")
+        self.space = space
+        self.name = name
+        self.nrows = nrows
+        self.ncols = ncols
+        self.base = space.alloc(name, nrows * ncols)
+        self.line_size = space.line_size
+
+    def addr(self, i: int, j: int) -> int:
+        """Word address of element (i, j)."""
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexError(f"({i},{j}) out of bounds for {self.name}")
+        return self.base + i * self.ncols + j
+
+    def tile_lines(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        """Line ids covering the tile ``[i0:i1, j0:j1]``, row by row.
+
+        Rows are emitted in order; within a row the covering lines are
+        emitted in ascending order.  Duplicates across rows are preserved —
+        they are genuine repeated touches of a shared line.
+        """
+        if not (0 <= i0 <= i1 <= self.nrows and 0 <= j0 <= j1 <= self.ncols):
+            raise IndexError(
+                f"tile [{i0}:{i1},{j0}:{j1}] out of bounds for "
+                f"{self.name} ({self.nrows}x{self.ncols})"
+            )
+        if i0 == i1 or j0 == j1:
+            return np.empty(0, dtype=np.int64)
+        L = self.line_size
+        nc = self.ncols
+        row_starts = self.base + np.arange(i0, i1, dtype=np.int64) * nc
+        firsts = (row_starts + j0) // L
+        lasts = (row_starts + j1 - 1) // L
+        counts = lasts - firsts + 1
+        total = int(counts.sum())
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        # Per-row arange; the row count of a tile is small (≤ block size)
+        # so this loop is not a hot path compared to the cache replay.
+        for f, c in zip(firsts.tolist(), counts.tolist()):
+            out[pos : pos + c] = np.arange(f, f + c, dtype=np.int64)
+            pos += c
+        return out
+
+    def whole_lines(self) -> np.ndarray:
+        return self.tile_lines(0, self.nrows, 0, self.ncols)
+
+    @property
+    def n_lines(self) -> int:
+        """Number of distinct lines the matrix occupies."""
+        first = self.base // self.line_size
+        last = (self.base + self.nrows * self.ncols - 1) // self.line_size
+        return last - first + 1
+
+
+class TracedVector:
+    """Contiguous vector with segment-touch address translation."""
+
+    def __init__(self, space: AddressSpace, name: str, n: int):
+        check_positive_int(n, "n")
+        self.space = space
+        self.name = name
+        self.n = n
+        self.base = space.alloc(name, n)
+        self.line_size = space.line_size
+
+    def segment_lines(self, lo: int, hi: int) -> np.ndarray:
+        """Line ids covering elements ``[lo, hi)``."""
+        if not (0 <= lo <= hi <= self.n):
+            raise IndexError(f"segment [{lo}:{hi}) out of bounds for {self.name}")
+        if lo == hi:
+            return np.empty(0, dtype=np.int64)
+        L = self.line_size
+        first = (self.base + lo) // L
+        last = (self.base + hi - 1) // L
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def whole_lines(self) -> np.ndarray:
+        return self.segment_lines(0, self.n)
+
+    @property
+    def n_lines(self) -> int:
+        first = self.base // self.line_size
+        last = (self.base + self.n - 1) // self.line_size
+        return last - first + 1
+
+
+def matrix_trio(
+    space: Optional[AddressSpace],
+    m: int,
+    n: int,
+    l: int,
+    line_size: int = 8,
+) -> Tuple[TracedMatrix, TracedMatrix, TracedMatrix, AddressSpace]:
+    """Allocate C (m×l), A (m×n), B (n×l) in one address space.
+
+    Convenience used by the matmul trace generators; layout order matches
+    the experiments (C first so its base is stable across middle-dimension
+    sweeps).
+    """
+    if space is None:
+        space = AddressSpace(line_size)
+    C = TracedMatrix(space, "C", m, l)
+    A = TracedMatrix(space, "A", m, n)
+    B = TracedMatrix(space, "B", n, l)
+    return C, A, B, space

@@ -1,0 +1,331 @@
+"""Write-back, write-allocate cache simulator (paper Section 6).
+
+This is the software stand-in for the paper's hardware-counter measurements
+on the Xeon 7560 ("Nehalem-EX"): we replay address traces through a cache of
+configurable capacity, line size, associativity and replacement policy, and
+report counters under the same names the paper uses:
+
+* ``LLC_S_FILLS.E``   — lines filled into the cache on misses;
+* ``LLC_VICTIMS.M``   — *modified* (dirty) lines evicted, i.e. obligatory
+  write-backs to the level below — the paper's measure of writes to slow
+  memory;
+* ``LLC_VICTIMS.E``   — clean ("exclusive") lines evicted and forgotten.
+
+Coherence is trivially modelled for the single-threaded experiments: lines
+are E (clean) or M (dirty), matching the MESIF subset the paper says is
+relevant (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.machine.policies import (
+    BeladyPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.util import check_positive_int
+
+__all__ = ["CacheSim", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Event counters, in cache lines."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    victims_m: int = 0
+    victims_e: int = 0
+    flush_writebacks: int = 0
+
+    @property
+    def writebacks(self) -> int:
+        """Total dirty lines written to the level below (evictions + flush)."""
+        return self.victims_m + self.flush_writebacks
+
+    @property
+    def victims(self) -> int:
+        return self.victims_m + self.victims_e
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "LLC_S_FILLS.E": self.fills,
+            "LLC_VICTIMS.M": self.victims_m,
+            "LLC_VICTIMS.E": self.victims_e,
+            "writebacks": self.writebacks,
+        }
+
+
+class CacheSim:
+    """A single cache level fed by word-address traces.
+
+    Parameters
+    ----------
+    capacity_words:
+        Cache capacity in words.  Must be a multiple of ``line_size``.
+    line_size:
+        Words per cache line (default 8 ≈ 64-byte lines of float64).
+    policy:
+        Replacement policy name (see :data:`repro.machine.policies.POLICIES`)
+        or a policy *class*.  ``"belady"`` selects the offline ideal-cache
+        simulation.
+    associativity:
+        Lines per set; ``None`` (default) means fully associative.
+    rng:
+        Only used by the random policy.
+
+    Notes
+    -----
+    Addresses are **word** addresses; the simulator maps them to lines.
+    ``run(addrs, writes)`` replays a whole trace; ``access(addr, write)``
+    is the single-step form.  Traces may also be supplied pre-translated to
+    line ids via ``run_lines``.
+    """
+
+    def __init__(
+        self,
+        capacity_words: int,
+        *,
+        line_size: int = 8,
+        policy: str = "lru",
+        associativity: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        check_positive_int(capacity_words, "capacity_words")
+        check_positive_int(line_size, "line_size")
+        if capacity_words % line_size != 0:
+            raise ValueError(
+                f"capacity_words={capacity_words} must be a multiple of "
+                f"line_size={line_size}"
+            )
+        self.capacity_lines = capacity_words // line_size
+        self.line_size = line_size
+        self.policy_name = policy
+        if associativity is None:
+            associativity = self.capacity_lines
+        check_positive_int(associativity, "associativity")
+        if self.capacity_lines % associativity != 0:
+            raise ValueError(
+                f"capacity ({self.capacity_lines} lines) must be a multiple "
+                f"of associativity ({associativity})"
+            )
+        self.associativity = associativity
+        self.num_sets = self.capacity_lines // associativity
+        kwargs = {"rng": rng} if policy == "random" else {}
+        self._sets: list[ReplacementPolicy] = [
+            make_policy(policy, associativity, **kwargs)
+            for _ in range(self.num_sets)
+        ]
+        self._dirty: dict[int, bool] = {}
+        self.stats = CacheStats()
+        self._offline = isinstance(self._sets[0], BeladyPolicy)
+        #: line id evicted by the most recent access (None if no eviction);
+        #: used by CacheHierarchySim to propagate write-backs downward.
+        self._last_victim: Optional[int] = None
+        self._last_victim_dirty: bool = False
+
+    # ------------------------------------------------------------------ #
+    # online path
+    # ------------------------------------------------------------------ #
+    def _set_of(self, line: int) -> ReplacementPolicy:
+        return self._sets[line % self.num_sets]
+
+    def access(self, addr: int, write: bool = False) -> None:
+        """Access one word address (online policies only)."""
+        if self._offline:
+            raise RuntimeError(
+                "Belady policy is offline; collect a trace and call run()"
+            )
+        self._access_line(addr // self.line_size, write)
+
+    def _access_line(self, line: int, write: bool) -> None:
+        st = self.stats
+        st.accesses += 1
+        dirty = self._dirty
+        self._last_victim = None
+        self._last_victim_dirty = False
+        if line in dirty:
+            st.hits += 1
+            if write:
+                dirty[line] = True
+            self._set_of(line).touch(line, write)
+            return
+        st.misses += 1
+        st.fills += 1
+        pol = self._set_of(line)
+        if pol.full:
+            victim = pol.choose_victim()
+            pol.remove(victim)
+            self._last_victim = victim
+            if dirty.pop(victim):
+                st.victims_m += 1
+                self._last_victim_dirty = True
+            else:
+                st.victims_e += 1
+        pol.add(line, write)
+        dirty[line] = write
+
+    def run_lines(self, lines: np.ndarray, writes: np.ndarray) -> CacheStats:
+        """Replay a trace of line ids.  Returns the (cumulative) stats."""
+        lines = np.asarray(lines)
+        writes = np.asarray(writes, dtype=bool)
+        if lines.shape != writes.shape:
+            raise ValueError("lines and writes must have matching shapes")
+        if self._offline:
+            self._run_belady(lines, writes)
+        elif isinstance(self._sets[0], LRUPolicy) and self.num_sets == 1:
+            self._run_lru_fast(lines, writes)
+        else:
+            acc = self._access_line
+            for line, w in zip(lines.tolist(), writes.tolist()):
+                acc(line, w)
+        return self.stats
+
+    def run(self, addrs: np.ndarray, writes: np.ndarray) -> CacheStats:
+        """Replay a trace of word addresses."""
+        addrs = np.asarray(addrs)
+        return self.run_lines(addrs // self.line_size, writes)
+
+    def flush(self) -> CacheStats:
+        """Evict everything; dirty lines count as flush write-backs.
+
+        The paper's experiments end with the output array written back to
+        DRAM, so harnesses flush before reading ``LLC_VICTIMS`` totals —
+        flush write-backs are reported separately but included in
+        ``writebacks``.
+        """
+        if self._offline:
+            # Offline runs flush internally at the end of run().
+            return self.stats
+        for pol in self._sets:
+            for tag in list(pol.tags):
+                pol.remove(tag)
+                if self._dirty.pop(tag):
+                    self.stats.flush_writebacks += 1
+                else:
+                    self.stats.victims_e += 1
+        return self.stats
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._dirty)
+
+    # ------------------------------------------------------------------ #
+    # fast path: fully-associative LRU (the default for big sweeps)
+    # ------------------------------------------------------------------ #
+    def _run_lru_fast(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Hand-inlined fully-associative LRU loop.
+
+        Identical semantics to the generic path; exists because Figure-2/5
+        sweeps replay millions of line events and the per-access overhead of
+        the policy-object indirection dominates otherwise.
+        """
+        cap = self.capacity_lines
+        dirty = self._dirty
+        pol = self._sets[0]
+        order = pol._order  # type: ignore[attr-defined]
+        hits = misses = fills = vm = ve = 0
+        for line, w in zip(lines.tolist(), writes.tolist()):
+            if line in dirty:
+                hits += 1
+                if w:
+                    dirty[line] = True
+                del order[line]
+                order[line] = None
+            else:
+                misses += 1
+                fills += 1
+                if len(order) >= cap:
+                    victim = next(iter(order))
+                    del order[victim]
+                    if dirty.pop(victim):
+                        vm += 1
+                    else:
+                        ve += 1
+                order[line] = None
+                dirty[line] = w
+        st = self.stats
+        st.accesses += len(lines)
+        st.hits += hits
+        st.misses += misses
+        st.fills += fills
+        st.victims_m += vm
+        st.victims_e += ve
+
+    # ------------------------------------------------------------------ #
+    # offline path: Belady / ideal cache
+    # ------------------------------------------------------------------ #
+    def _run_belady(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Farthest-next-use (MIN) replacement with dirty-bit tracking.
+
+        Classic two-pass algorithm: compute next-use indices in a reverse
+        scan, then simulate with a lazy max-heap keyed by next use.  Set
+        associativity is ignored (the ideal-cache model of [24] is fully
+        associative), matching how the paper uses it as a bound.
+        """
+        n = len(lines)
+        next_use = np.empty(n, dtype=np.int64)
+        last_seen: dict[int, int] = {}
+        INF = n + 1
+        lines_list = lines.tolist()
+        for i in range(n - 1, -1, -1):
+            ln = lines_list[i]
+            next_use[i] = last_seen.get(ln, INF)
+            last_seen[ln] = i
+        cap = self.capacity_lines
+        resident: dict[int, bool] = {}  # line -> dirty
+        cur_next: dict[int, int] = {}
+        heap: list[Tuple[int, int]] = []  # (-next_use, line), lazy entries
+        st = self.stats
+        nu_list = next_use.tolist()
+        w_list = np.asarray(writes, dtype=bool).tolist()
+        hits = misses = fills = vm = ve = 0
+        for i in range(n):
+            ln = lines_list[i]
+            nu = nu_list[i]
+            w = w_list[i]
+            if ln in resident:
+                hits += 1
+                if w:
+                    resident[ln] = True
+            else:
+                misses += 1
+                fills += 1
+                if len(resident) >= cap:
+                    # Evict the line with the farthest *current* next use.
+                    while True:
+                        negnu, cand = heapq.heappop(heap)
+                        if cand in resident and cur_next.get(cand) == -negnu:
+                            break
+                    if resident.pop(cand):
+                        vm += 1
+                    else:
+                        ve += 1
+                    del cur_next[cand]
+                resident[ln] = w
+            cur_next[ln] = nu
+            heapq.heappush(heap, (-nu, ln))
+        # End-of-trace flush.
+        for ln, d in resident.items():
+            if d:
+                st.flush_writebacks += 1
+            else:
+                ve += 1
+        st.accesses += n
+        st.hits += hits
+        st.misses += misses
+        st.fills += fills
+        st.victims_m += vm
+        st.victims_e += ve

@@ -1,0 +1,139 @@
+"""Read/write counters for memory levels and transfer channels.
+
+The paper's refined model (Section 2) splits each *load* into a read at the
+slow level plus a write at the fast level, and each *store* into a read at
+the fast level plus a write at the slow level.  :class:`LevelCounters` holds
+the per-level read/write totals that this bookkeeping produces;
+:class:`ChannelCounters` additionally tracks words and messages moved across
+one channel (between two adjacent levels, or over the network), which is what
+the paper's α–β cost model charges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["LevelCounters", "ChannelCounters", "ResidencyClass"]
+
+
+class ResidencyClass(enum.Enum):
+    """Residency classification from Section 2.
+
+    A variable's residency in fast memory begins with R1 (loaded from slow)
+    or R2 (created in fast memory), and ends with D1 (stored to slow) or D2
+    (discarded).  Theorem 1 rests on the fact that every residency of any
+    class performs at least one write to fast memory.
+    """
+
+    R1D1 = "R1/D1"
+    R1D2 = "R1/D2"
+    R2D1 = "R2/D1"
+    R2D2 = "R2/D2"
+
+    @property
+    def begins_with_load(self) -> bool:
+        return self in (ResidencyClass.R1D1, ResidencyClass.R1D2)
+
+    @property
+    def ends_with_store(self) -> bool:
+        return self in (ResidencyClass.R1D1, ResidencyClass.R2D1)
+
+
+@dataclass
+class LevelCounters:
+    """Reads and writes observed at one memory level, in words."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def add(self, other: "LevelCounters") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+
+    def copy(self) -> "LevelCounters":
+        return LevelCounters(self.reads, self.writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LevelCounters(reads={self.reads}, writes={self.writes})"
+
+
+@dataclass
+class ChannelCounters:
+    """Traffic across one channel (e.g. L2↔L1, L3↔L2, or the network).
+
+    ``words_down``/``msgs_down`` flow toward the *faster* (or receiving) side
+    — i.e. loads; ``words_up``/``msgs_up`` flow toward the slower side —
+    i.e. stores.  The α–β time for this channel under a
+    :class:`~repro.distributed.costmodel.HwParams` is
+    ``alpha * msgs + beta * words`` per direction.
+    """
+
+    words_down: int = 0
+    msgs_down: int = 0
+    words_up: int = 0
+    msgs_up: int = 0
+
+    @property
+    def words(self) -> int:
+        return self.words_down + self.words_up
+
+    @property
+    def msgs(self) -> int:
+        return self.msgs_down + self.msgs_up
+
+    def record_down(self, words: int, msgs: int = 1) -> None:
+        self.words_down += words
+        self.msgs_down += msgs
+
+    def record_up(self, words: int, msgs: int = 1) -> None:
+        self.words_up += words
+        self.msgs_up += msgs
+
+    def add(self, other: "ChannelCounters") -> None:
+        self.words_down += other.words_down
+        self.msgs_down += other.msgs_down
+        self.words_up += other.words_up
+        self.msgs_up += other.msgs_up
+
+    def copy(self) -> "ChannelCounters":
+        return ChannelCounters(
+            self.words_down, self.msgs_down, self.words_up, self.msgs_up
+        )
+
+
+@dataclass
+class ResidencyLog:
+    """Optional audit log of residency begin/end events (Section 2).
+
+    Kernels that want to *prove* their write counts can log residencies; the
+    Theorem-1 checker then cross-validates writes-to-fast against the count
+    of residencies.
+    """
+
+    counts: dict = field(
+        default_factory=lambda: {cls: 0 for cls in ResidencyClass}
+    )
+
+    def record(self, cls: ResidencyClass, n: int = 1) -> None:
+        self.counts[cls] += n
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def loads_implied(self) -> int:
+        return sum(
+            n for cls, n in self.counts.items() if cls.begins_with_load
+        )
+
+    @property
+    def stores_implied(self) -> int:
+        return sum(
+            n for cls, n in self.counts.items() if cls.ends_with_store
+        )

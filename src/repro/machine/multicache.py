@@ -1,0 +1,121 @@
+"""Multi-level cache hierarchy simulation (inclusive, write-back).
+
+The Section-6 experiments measure only the L3↔DRAM boundary; the Figure-5
+discussion, however, is about instruction orders that are (or are not) WA
+at *several* levels simultaneously.  :class:`CacheHierarchySim` chains
+:class:`~repro.machine.cache.CacheSim` levels so one trace produces
+counters at every boundary:
+
+* an access goes to L1; a miss at level i becomes an access at level i+1
+  (fill path);
+* a dirty eviction at level i becomes a *write* access at level i+1
+  (write-back path); the final level's dirty evictions are the writes to
+  backing memory.
+
+The model is inclusive-enough for counting purposes: each level is an
+independent filter; no back-invalidation is modelled (the paper's
+experiments are single-threaded and the quantities are per-boundary line
+counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.cache import CacheSim, CacheStats
+from repro.util import require
+
+__all__ = ["CacheHierarchySim"]
+
+
+class CacheHierarchySim:
+    """A chain of write-back caches fed by one line trace.
+
+    Parameters
+    ----------
+    capacities:
+        Words per level, strictly increasing (e.g. ``[L1, L2, L3]``).
+    line_size:
+        Shared line size in words.
+    policies:
+        One policy name per level (default ``"lru"`` everywhere).
+        Offline ("belady") policies are not supported here — miss streams
+        are produced level by level, online.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        *,
+        line_size: int = 8,
+        policies: Optional[Sequence[str]] = None,
+    ):
+        require(len(capacities) >= 1, "need at least one level")
+        prev = 0
+        for c in capacities:
+            require(c > prev, "capacities must be strictly increasing")
+            prev = c
+        if policies is None:
+            policies = ["lru"] * len(capacities)
+        require(len(policies) == len(capacities),
+                "one policy per level required")
+        require(all(p != "belady" for p in policies),
+                "offline policies are not supported in the hierarchy")
+        self.levels: List[CacheSim] = [
+            CacheSim(c, line_size=line_size, policy=p)
+            for c, p in zip(capacities, policies)
+        ]
+        self.line_size = line_size
+        #: dirty lines written out of the last level (to backing memory).
+        self.backing_writes = 0
+        self.backing_reads = 0
+
+    def _access(self, depth: int, line: int, write: bool) -> None:
+        lvl = self.levels[depth]
+        if line in lvl._dirty:  # hit: no propagation
+            lvl._access_line(line, write)
+            return
+        # Miss: the fill comes from below (a read), and a dirty victim
+        # (if any) goes below (a write).
+        lvl._access_line(line, write)
+        victim = lvl._last_victim
+        victim_dirty = lvl._last_victim_dirty
+        if depth + 1 < len(self.levels):
+            self._access(depth + 1, line, False)
+            if victim_dirty and victim is not None:
+                self._access(depth + 1, victim, True)
+        else:
+            self.backing_reads += 1
+            if victim_dirty:
+                self.backing_writes += 1
+
+    def run_lines(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        lines = np.asarray(lines)
+        writes = np.asarray(writes, dtype=bool)
+        require(lines.shape == writes.shape, "trace shape mismatch")
+        for line, w in zip(lines.tolist(), writes.tolist()):
+            self._access(0, line, w)
+
+    def flush(self) -> None:
+        """Flush every level, propagating dirty lines downward."""
+        for depth, lvl in enumerate(self.levels):
+            for pol in lvl._sets:
+                for tag in list(pol.tags):
+                    pol.remove(tag)
+                    if lvl._dirty.pop(tag):
+                        lvl.stats.flush_writebacks += 1
+                        if depth + 1 < len(self.levels):
+                            self._access(depth + 1, tag, True)
+                        else:
+                            self.backing_writes += 1
+                    else:
+                        lvl.stats.victims_e += 1
+        # Deeper levels may have received new dirty lines from the flush
+        # cascade above; the loop order (top down) already handles it.
+
+    def stats(self, level: int) -> CacheStats:
+        """Counters of one level (0 = fastest)."""
+        require(0 <= level < len(self.levels), "level out of range")
+        return self.levels[level].stats

@@ -1,0 +1,92 @@
+"""Address-trace collection.
+
+Kernels running in "trace mode" append word-address ranges (or explicit
+line-id arrays) to a :class:`TraceBuffer`; the buffer concatenates them
+lazily into the ``(lines, writes)`` pair that
+:meth:`repro.machine.cache.CacheSim.run_lines` consumes.
+
+Traces are stored at **line** granularity because every Section-6 quantity
+is measured in cache lines.  Chunks are numpy arrays so that multi-million
+event traces stay compact and concatenation is vectorized (per the
+hpc-parallel guidance: no per-element Python appends in hot paths).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["TraceBuffer"]
+
+
+class TraceBuffer:
+    """An append-only sequence of (line id, is-write) events."""
+
+    def __init__(self, line_size: int = 8):
+        if line_size <= 0:
+            raise ValueError(f"line_size must be positive, got {line_size}")
+        self.line_size = line_size
+        self._chunks: list[Tuple[np.ndarray, bool]] = []
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def touch_lines(self, lines: np.ndarray, write: bool = False) -> None:
+        """Append an array of line ids, all reads or all writes."""
+        lines = np.asarray(lines, dtype=np.int64)
+        if lines.ndim != 1:
+            lines = lines.ravel()
+        if len(lines) == 0:
+            return
+        self._chunks.append((lines, bool(write)))
+        self._n += len(lines)
+
+    def touch_words(self, start: int, nwords: int, write: bool = False) -> None:
+        """Append the lines covering words ``[start, start+nwords)``."""
+        if nwords <= 0:
+            return
+        first = start // self.line_size
+        last = (start + nwords - 1) // self.line_size
+        self.touch_lines(np.arange(first, last + 1, dtype=np.int64), write)
+
+    def extend(self, other: "TraceBuffer") -> None:
+        if other.line_size != self.line_size:
+            raise ValueError("cannot mix traces with different line sizes")
+        self._chunks.extend(other._chunks)
+        self._n += other._n
+
+    # ------------------------------------------------------------------ #
+    # consuming
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate into ``(lines, writes)`` arrays."""
+        if not self._chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=bool)
+        lines = np.concatenate([c for c, _ in self._chunks])
+        writes = np.concatenate(
+            [np.full(len(c), w, dtype=bool) for c, w in self._chunks]
+        )
+        return lines, writes
+
+    def iter_chunks(self) -> Iterator[Tuple[np.ndarray, bool]]:
+        return iter(self._chunks)
+
+    @property
+    def n_unique_lines(self) -> int:
+        """Distinct lines touched (the trace's working-set size in lines)."""
+        lines, _ = self.finalize()
+        return int(len(np.unique(lines)))
+
+    @property
+    def n_write_events(self) -> int:
+        return sum(len(c) for c, w in self._chunks if w)
+
+    @property
+    def n_read_events(self) -> int:
+        return sum(len(c) for c, w in self._chunks if not w)

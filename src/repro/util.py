@@ -1,0 +1,148 @@
+"""Shared helpers: argument validation, integer geometry, table formatting.
+
+These utilities are deliberately dependency-light so every subpackage can use
+them without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_multiple",
+    "ceil_div",
+    "round_up",
+    "is_power_of_two",
+    "next_power_of_two",
+    "block_count",
+    "format_table",
+    "format_si",
+    "pairwise_ratios",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds.
+
+    Used at public API boundaries so user errors surface as ``ValueError``
+    with a clear explanation rather than as downstream numpy shape errors.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_multiple(n: int, b: int, what: str = "dimension") -> None:
+    """Validate that ``n`` is a positive multiple of block size ``b``.
+
+    The paper's algorithms assume dimensions divide evenly by the block size
+    ("assume n is a multiple of b"); we enforce rather than silently pad.
+    """
+    check_positive_int(n, what)
+    check_positive_int(b, "block size")
+    if n % b != 0:
+        raise ValueError(f"{what}={n} must be a multiple of block size {b}")
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for nonnegative ints."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(n: int, multiple: int) -> int:
+    """Round *n* up to the nearest multiple of *multiple*."""
+    return ceil_div(n, multiple) * multiple
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ≥ *n* (n ≥ 1)."""
+    check_positive_int(n, "n")
+    return 1 << (n - 1).bit_length()
+
+
+def block_count(n: int, b: int) -> int:
+    """Number of blocks of size *b* covering a dimension of size *n*.
+
+    Equivalent to the paper's ``round_up`` helper in Figure 4.
+    """
+    return ceil_div(n, b)
+
+
+def format_si(x: float) -> str:
+    """Compact human format: 2.0M, 3.4K, 512, 0.25."""
+    if x == 0:
+        return "0"
+    ax = abs(x)
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if ax >= scale:
+            return f"{x / scale:.3g}{suffix}"
+    if ax >= 1:
+        return f"{x:.4g}"
+    return f"{x:.3g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a plain-text table (used by experiment harnesses).
+
+    Floats are formatted with :func:`format_si`; everything else via ``str``.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return format_si(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(s.ljust(w) for s, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pairwise_ratios(xs: Sequence[float]) -> list[float]:
+    """Successive ratios x[i+1]/x[i]; used to check asymptotic growth rates."""
+    out = []
+    for a, b in zip(xs, xs[1:]):
+        if a == 0:
+            raise ValueError("cannot take ratio with zero denominator")
+        out.append(b / a)
+    return out
+
+
+def isqrt_exact(n: int) -> int:
+    """Integer square root that must be exact (√n ∈ ℕ), else ValueError."""
+    r = math.isqrt(n)
+    if r * r != n:
+        raise ValueError(f"{n} is not a perfect square")
+    return r

@@ -1,0 +1,118 @@
+"""Tests for blocked Floyd–Warshall (validated against networkx)."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apsp import apsp_expected_writes, floyd_warshall_blocked
+from repro.machine import TwoLevel
+
+
+def random_digraph_matrix(n, p=0.35, seed=0):
+    rng = np.random.default_rng(seed)
+    D = np.full((n, n), np.inf)
+    np.fill_diagonal(D, 0.0)
+    mask = rng.random((n, n)) < p
+    weights = rng.uniform(1.0, 10.0, size=(n, n))
+    D[mask] = weights[mask]
+    np.fill_diagonal(D, 0.0)
+    return D
+
+
+def networkx_apsp(D):
+    n = D.shape[0]
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and math.isfinite(D[i, j]):
+                G.add_edge(i, j, weight=float(D[i, j]))
+    out = np.full_like(D, np.inf)
+    np.fill_diagonal(out, 0.0)
+    for src, dists in nx.all_pairs_dijkstra_path_length(G, weight="weight"):
+        for dst, d in dists.items():
+            out[src, dst] = d
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,b", [(8, 4), (12, 4), (16, 8), (8, 8)])
+    def test_matches_networkx(self, n, b):
+        D = random_digraph_matrix(n, seed=n + b)
+        got = floyd_warshall_blocked(D.copy(), b=b)
+        np.testing.assert_allclose(got, networkx_apsp(D), rtol=1e-12)
+
+    def test_matches_unblocked_fw(self):
+        n = 12
+        D = random_digraph_matrix(n, seed=9)
+        ref = D.copy()
+        for k in range(n):
+            np.minimum(ref, ref[:, k:k + 1] + ref[k:k + 1, :], out=ref)
+        got = floyd_warshall_blocked(D.copy(), b=4)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_disconnected_stays_inf(self):
+        D = np.full((4, 4), np.inf)
+        np.fill_diagonal(D, 0.0)
+        D[0, 1] = 1.0
+        got = floyd_warshall_blocked(D.copy(), b=2)
+        assert got[0, 1] == 1.0
+        assert np.isinf(got[1, 0])
+        assert np.isinf(got[2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            floyd_warshall_blocked(np.zeros((4, 6)), b=2)
+        with pytest.raises(ValueError):
+            floyd_warshall_blocked(np.zeros((6, 6)), b=4)
+
+
+class TestTraffic:
+    def test_writes_theta_n3_over_b(self):
+        """The k-loop dependency forces every block to round-trip once per
+        k-block — Θ(n³/b) writes, unlike WA matmul's n²."""
+        n, b = 16, 4
+        h = TwoLevel(3 * b * b)
+        floyd_warshall_blocked(random_digraph_matrix(n, seed=1), b=b,
+                               hier=h)
+        exp = apsp_expected_writes(n, b)
+        # Exact: every block written once per K (diag/row/col/trailing).
+        assert h.writes_to_slow == exp["writes_to_slow"]
+        assert h.writes_to_slow > 2 * n * n  # far above the output floor
+
+    def test_write_growth_is_cubic(self):
+        b = 4
+        writes = []
+        for n in (8, 16):
+            h = TwoLevel(3 * b * b)
+            floyd_warshall_blocked(random_digraph_matrix(n, seed=n),
+                                   b=b, hier=h)
+            writes.append(h.writes_to_slow)
+        assert writes[1] / writes[0] == 8.0  # (n³/b): 2³
+
+    def test_theorem1(self):
+        n, b = 16, 4
+        h = TwoLevel(3 * b * b)
+        floyd_warshall_blocked(random_digraph_matrix(n, seed=2), b=b,
+                               hier=h)
+        assert 2 * h.writes_to_fast >= h.loads_plus_stores
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nb=st.integers(min_value=1, max_value=4),
+    b=st.sampled_from([2, 4]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_fw_matches_unblocked(nb, b, seed):
+    n = nb * b
+    D = random_digraph_matrix(n, seed=seed)
+    ref = D.copy()
+    for k in range(n):
+        np.minimum(ref, ref[:, k:k + 1] + ref[k:k + 1, :], out=ref)
+    got = floyd_warshall_blocked(D.copy(), b=b)
+    np.testing.assert_allclose(got, ref, rtol=1e-12)

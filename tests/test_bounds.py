@@ -1,0 +1,154 @@
+"""Tests for the lower-bound catalogue (Sections 2, 5, 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    F_CATALOGUE,
+    co_write_lower_bound,
+    corollary1_write_lb,
+    matmul_traffic_lb,
+    nbody_traffic_lb,
+    parallel_mm_bounds,
+    theorem1_holds,
+    theorem1_write_to_fast_lb,
+    theorem3_write_lb,
+    theorem4_l3_write_lb,
+    wa_write_targets,
+)
+from repro.bounds.lower_bounds import nbody_k_f
+from repro.machine import TwoLevel
+
+
+class TestTheorem1:
+    def test_lb_formula(self):
+        assert theorem1_write_to_fast_lb(100) == 50
+
+    def test_holds_on_hierarchy(self):
+        h = TwoLevel(64)
+        h.load_fast(40)
+        h.store_slow(10)
+        assert theorem1_holds(h)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_write_to_fast_lb(-1)
+
+
+class TestFCatalogue:
+    def test_catalogue_entries(self):
+        assert F_CATALOGUE["classical-linalg"](64) == 8
+        assert F_CATALOGUE["nbody-2"](64) == 64
+        assert F_CATALOGUE["fft"](64) == 6
+        # Strassen: M^(w0/2 - 1), w0 = log2 7 ≈ 2.807 → exponent ≈ 0.4037.
+        assert 0.39 < math.log(F_CATALOGUE["strassen"](math.e)) < 0.41
+
+    def test_nbody_k_f(self):
+        f3 = nbody_k_f(3)
+        assert f3(10) == 100
+        with pytest.raises(ValueError):
+            nbody_k_f(1)
+
+    def test_bounds_decrease_with_memory(self):
+        """All W = Ω(flops/f(M)) bounds shrink as M grows."""
+        flops = 1e9
+        for name, f in F_CATALOGUE.items():
+            assert flops / f(1 << 10) > flops / f(1 << 20), name
+
+
+class TestSequentialBounds:
+    def test_matmul_lb_explicit_constant(self):
+        # |S|/(8 sqrt M) - M
+        assert matmul_traffic_lb(64, 64, 64, 64) == 64**3 / 64 - 64
+        # Tiny problems with big M: bound degenerates to 0, not negative.
+        assert matmul_traffic_lb(2, 2, 2, 10**6) == 0.0
+
+    def test_nbody_lb(self):
+        assert nbody_traffic_lb(100, 2, 10) == 1000
+        assert nbody_traffic_lb(100, 3, 10) == 10**4
+        with pytest.raises(ValueError):
+            nbody_traffic_lb(100, 1, 10)
+
+    def test_corollary1(self):
+        lb = corollary1_write_lb(1e6, F_CATALOGUE["classical-linalg"], 100)
+        assert lb == 1e6 / 10 / 2
+
+    def test_wa_write_targets(self):
+        t = wa_write_targets(
+            1e6, F_CATALOGUE["classical-linalg"], [100, 10_000], 50
+        )
+        assert t["L1"] == 1e6 / 10
+        assert t["L2"] == 50.0  # slowest level: just the output
+
+
+class TestTheorem3:
+    def test_formula_positive_when_hypotheses_met(self):
+        S = 4000**3
+        M = 10**6
+        c = 1.0
+        Mp = M / 128  # < M/(64c²)
+        ws = theorem3_write_lb(S, M, c, Mp)
+        assert ws > 0
+        # Ω(|S|/sqrt(M)) scale; the proof's constant is ≈ 1/(8·15·64).
+        assert ws > S / math.sqrt(M) / 20_000
+
+    def test_requires_smaller_cache(self):
+        with pytest.raises(ValueError):
+            theorem3_write_lb(10**9, 10**6, 1.0, 10**6)
+
+    def test_corollary4_omega_scaling(self):
+        """Ws = Ω(|S|/√M̂): quadrupling M̂ halves the bound, roughly."""
+        S = 10**12
+        w1 = co_write_lower_bound(S, 10**4, 1.0)
+        w2 = co_write_lower_bound(S, 4 * 10**4, 1.0)
+        assert w1 > 0 and w2 > 0
+        assert 1.5 < w1 / w2 < 2.5
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            theorem3_write_lb(10**9, 10**6, 0.01, 10)
+        with pytest.raises(ValueError):
+            co_write_lower_bound(10**9, 10**4, 0.01)
+
+
+class TestParallelBounds:
+    def test_ordering_w1_w2_w3(self):
+        b = parallel_mm_bounds(n=10_000, P=64, c=1, M1=1 << 15)
+        assert b.ordered()
+        assert b.W1 < b.W2 < b.W3
+
+    def test_values(self):
+        b = parallel_mm_bounds(n=1000, P=100, c=1, M1=10_000)
+        assert b.W1 == 10**6 / 100
+        assert b.W2 == 10**6 / 10
+        assert b.W3 == (10**9 / 100) / 100
+
+    def test_replication_reduces_w2(self):
+        b1 = parallel_mm_bounds(n=1000, P=64, c=1, M1=1024)
+        b4 = parallel_mm_bounds(n=1000, P=64, c=4, M1=1024)
+        assert b4.W2 == b1.W2 / 2  # c=4 halves the word count
+
+    def test_c_range_enforced(self):
+        with pytest.raises(ValueError):
+            parallel_mm_bounds(n=100, P=8, c=3, M1=100)  # c > P^(1/3)
+
+    def test_theorem4_exceeds_output_floor(self):
+        n, P = 10_000, 512
+        assert theorem4_l3_write_lb(n, P) > n * n / P
+        # Gap is exactly P^(1/3).
+        ratio = theorem4_l3_write_lb(n, P) / (n * n / P)
+        assert abs(ratio - P ** (1 / 3)) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=10_000),
+    P=st.sampled_from([1, 4, 16, 64, 256]),
+    M1=st.sampled_from([64, 1024, 1 << 14]),
+)
+def test_property_parallel_bounds_ordered_when_c1(n, P, M1):
+    b = parallel_mm_bounds(n=n, P=P, c=1, M1=M1)
+    assert b.W1 <= b.W2 + 1e-12

@@ -1,0 +1,254 @@
+"""Tests for CDAG construction, Theorem-2 bounds, and the pebbler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdag import (
+    CDAG,
+    depth_first_schedule,
+    fft_cdag,
+    linear_chain_cdag,
+    matmul_cdag,
+    pebble,
+    reduction_tree_cdag,
+    strassen_cdag,
+    theorem2_write_lower_bound,
+)
+from repro.cdag.bounds import (
+    corollary2_fft_traffic_lb,
+    corollary3_strassen_traffic_lb,
+    theorem2_write_lower_bound_from_traffic,
+)
+
+
+class TestCDAGBasics:
+    def test_example_from_paper(self):
+        """x = y+z; x = x+w gives 5 vertices and 4 edges (Section 3)."""
+        d = CDAG()
+        d.add_input("y")
+        d.add_input("z")
+        d.add_input("w")
+        d.add_op("x1", ["y", "z"])
+        d.add_op("x2", ["x1", "w"], output=True)
+        d.validate()
+        assert d.n_vertices == 5
+        assert d.g.number_of_edges() == 4
+        assert d.out_degree("x1") == 1
+
+    def test_duplicate_vertex_rejected(self):
+        d = CDAG()
+        d.add_input("a")
+        with pytest.raises(ValueError):
+            d.add_input("a")
+        with pytest.raises(ValueError):
+            d.add_op("a", ["a"])
+
+    def test_unknown_predecessor_rejected(self):
+        d = CDAG()
+        with pytest.raises(ValueError):
+            d.add_op("x", ["missing"])
+
+    def test_validate_catches_cycle(self):
+        d = CDAG()
+        d.add_input("a")
+        d.add_op("b", ["a"])
+        d.g.add_edge("b", "a")  # corrupt deliberately
+        with pytest.raises(ValueError):
+            d.validate()
+
+    def test_induced_subgraph(self):
+        d = matmul_cdag(2)
+        mults = [v for v in d.g.nodes if v[0] == "m"]
+        sub = d.induced_subgraph(d.descendants_of(mults))
+        assert sub.n_vertices > 0
+        assert all(v[0] in ("m", "c") for v in sub.g.nodes)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_fft_out_degree_at_most_2(self, n):
+        d = fft_cdag(n)
+        d.validate()
+        assert d.max_out_degree(exclude_inputs=False) <= 2
+        assert d.n_inputs == n
+        assert d.n_outputs == n
+        stages = n.bit_length() - 1
+        assert d.n_vertices == n * (stages + 1)
+
+    def test_fft_butterfly_structure(self):
+        d = fft_cdag(4)
+        # Each non-input has exactly 2 predecessors.
+        for v in d.g.nodes:
+            if v not in d.inputs:
+                assert d.g.in_degree(v) == 2
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_matmul_cdag_structure(self, n):
+        d = matmul_cdag(n)
+        d.validate()
+        assert d.n_inputs == 2 * n * n
+        assert d.n_outputs == n * n
+        # Multiply vertices have out-degree exactly 1 (disconnected DecC).
+        for v in d.g.nodes:
+            if isinstance(v, tuple) and v[0] == "m":
+                assert d.out_degree(v) <= 1
+
+    def test_matmul_inputs_reused_n_times(self):
+        n = 4
+        d = matmul_cdag(n)
+        for v in d.inputs:
+            assert d.out_degree(v) == n
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_strassen_decC_out_degree_at_most_4(self, n):
+        d = strassen_cdag(n)
+        d.validate()
+        # DecC: scalar products and their descendants.
+        prods = [v for v in d.g.nodes
+                 if isinstance(v, tuple) and v[0] == "p"]
+        assert len(prods) == 7 ** int(np.log2(n))
+        dec_c = d.induced_subgraph(d.descendants_of(prods))
+        assert dec_c.max_out_degree(exclude_inputs=False) <= 4
+        # DecC contains no input vertices of the full CDAG (N = 0).
+        assert not any(v in d.inputs for v in dec_c.g.nodes)
+
+    def test_reduction_tree(self):
+        d = reduction_tree_cdag(8)
+        d.validate()
+        assert d.max_out_degree() == 1
+        assert d.n_outputs == 1
+
+    def test_linear_chain(self):
+        d = linear_chain_cdag(5)
+        d.validate()
+        assert d.n_vertices == 6
+
+
+class TestTheorem2Bound:
+    def test_part1_formula(self):
+        assert theorem2_write_lower_bound(100, 20, 4) == 20
+        assert theorem2_write_lower_bound(10, 10, 2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_write_lower_bound(5, 10, 2)
+        with pytest.raises(ValueError):
+            theorem2_write_lower_bound(10, 5, 0)
+
+    def test_part2_is_omega_w_over_d(self):
+        lb = theorem2_write_lower_bound_from_traffic(10_000, 2)
+        assert lb >= 10_000 / 40  # W/(10·2·2) scale
+        lb4 = theorem2_write_lower_bound_from_traffic(10_000, 4)
+        assert lb4 < lb
+
+    def test_traffic_lb_references(self):
+        assert corollary2_fft_traffic_lb(1 << 10, 1 << 5) == 1024 * 10 / 5
+        assert corollary3_strassen_traffic_lb(64, 16) > 64**2
+
+
+class TestPebbler:
+    def test_chain_needs_no_intermediate_stores(self):
+        d = linear_chain_cdag(50)
+        st_ = pebble(d, M=2)
+        assert st_.stores == 1  # only the output
+        assert st_.loads == 1  # only the input
+
+    def test_reduction_tree_is_wa_with_small_memory(self):
+        d = reduction_tree_cdag(64)
+        st_ = pebble(d, M=8, schedule=depth_first_schedule(d))
+        # Depth-first pebbling stores only the output — never a partial sum.
+        assert st_.stores == 1
+        assert st_.loads == 64  # every input loaded exactly once
+
+    def test_breadth_first_schedule_wastes_writes(self):
+        """Same DAG, level-by-level schedule: whole frontiers spill.  The
+        *schedule*, not the DAG, decides whether WA is achieved."""
+        d = reduction_tree_cdag(64)
+        bfs = pebble(d, M=8)  # default nx toposort is breadth-first-ish
+        dfs = pebble(d, M=8, schedule=depth_first_schedule(d))
+        assert bfs.stores > 10 * dfs.stores
+
+    def test_matmul_blocked_schedule_is_wa(self):
+        """Classical matmul with the k-innermost schedule: stores = n²
+        exactly (the output), far below total traffic — the CDAG-level
+        view of Algorithm 1."""
+        n = 6
+        d = matmul_cdag(n)
+        sched = []
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    sched.append(("m", i, j, k))
+                    if k >= 1:
+                        sched.append(("c", i, j, k))
+        st_ = pebble(d, M=3 * n, schedule=sched)
+        assert st_.stores == n * n
+        assert st_.loads > st_.stores  # reads dominate: WA headroom
+
+    def test_fft_stores_scale_with_traffic(self):
+        """Corollary 2 empirically: FFT stores stay a constant fraction of
+        loads+stores as n grows, for fixed M."""
+        fracs = []
+        for n in (64, 256, 1024):
+            d = fft_cdag(n)
+            st_ = pebble(d, M=16)
+            fracs.append(st_.store_fraction)
+        assert all(f > 0.25 for f in fracs)
+        # Store count itself grows superlinearly (≈ n log n / log M).
+        d64 = pebble(fft_cdag(64), M=16).stores
+        d1024 = pebble(fft_cdag(1024), M=16).stores
+        assert d1024 > 16 * d64  # 16x more inputs, >16x more stores
+
+    def test_fft_store_lb_theorem2(self):
+        """Measured FFT stores respect Theorem 2(1) with d=2."""
+        n, M = 256, 16
+        d = fft_cdag(n)
+        st_ = pebble(d, M=M)
+        lb = theorem2_write_lower_bound(st_.loads, n, 2)
+        assert st_.stores >= lb > 0
+
+    def test_strassen_stores_constant_fraction(self):
+        d = strassen_cdag(8)
+        st_ = pebble(d, M=12)
+        assert st_.store_fraction > 0.2
+
+    def test_memory_too_small_rejected(self):
+        d = reduction_tree_cdag(4)
+        with pytest.raises(ValueError):
+            pebble(d, M=2)  # needs 2 operands + 1 result
+
+    def test_big_memory_one_pass(self):
+        d = fft_cdag(64)
+        st_ = pebble(d, M=10_000)
+        assert st_.loads == 64  # inputs once
+        assert st_.stores == 64  # outputs once
+
+    def test_bad_schedule_rejected(self):
+        d = linear_chain_cdag(3)
+        with pytest.raises(ValueError):
+            pebble(d, M=4, schedule=[("x", 1)])  # incomplete
+
+    def test_theorem1_shape_on_pebbler(self):
+        """writes-to-fast ≥ (loads+stores)/2 in the pebble model too."""
+        d = fft_cdag(128)
+        st_ = pebble(d, M=8)
+        assert 2 * st_.writes_to_fast >= st_.loads_plus_stores
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    exp=st.integers(min_value=2, max_value=6),
+    M=st.integers(min_value=4, max_value=64),
+)
+def test_property_pebble_fft_conservation(exp, M):
+    """Pebbling any FFT: every input loaded ≥ once; outputs stored ≥ once;
+    Theorem 2's bound holds."""
+    n = 2**exp
+    d = fft_cdag(n)
+    st_ = pebble(d, M=M)
+    assert st_.loads >= n
+    assert st_.stores >= n
+    assert st_.stores >= theorem2_write_lower_bound(st_.loads, n, 2)
+    assert st_.computed == d.n_vertices - n

@@ -1,0 +1,75 @@
+"""Property-based tests for the distributed collectives' conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import DistMachine
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    P=st.integers(min_value=2, max_value=16),
+    words=st.integers(min_value=1, max_value=100),
+    root=st.integers(min_value=0, max_value=15),
+)
+def test_property_bcast_conservation(P, words, root):
+    """Broadcast: every non-root receives the payload exactly once;
+    sent == received; delivery is complete."""
+    root %= P
+    m = DistMachine(P)
+    payload = np.arange(float(words))
+    m.put(root, "x", payload)
+    m.bcast(root, list(range(P)), "x")
+    assert m.total_over_ranks("nw_recv") == (P - 1) * words
+    assert m.total_over_ranks("nw_sent") == (P - 1) * words
+    assert m.counters[root].nw_recv == 0
+    for r in range(P):
+        np.testing.assert_array_equal(m.get(r, "x"), payload)
+    # Binomial tree depth: no rank sends more than ceil(log2 P) times...
+    # (the root relays at most that many messages).
+    assert m.counters[root].nw_msgs_sent <= int(np.ceil(np.log2(P))) + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    P=st.integers(min_value=1, max_value=12),
+    words=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_reduce_correct_and_conservative(P, words, seed):
+    """Reduction: result = sum of contributions; words sent == received."""
+    rng = np.random.default_rng(seed)
+    m = DistMachine(P)
+    parts = [rng.standard_normal(words) for _ in range(P)]
+    for r in range(P):
+        m.put(r, "y", parts[r])
+    out = m.reduce(0, list(range(P)), "y")
+    np.testing.assert_allclose(out, np.sum(parts, axis=0), rtol=1e-12)
+    assert m.total_over_ranks("nw_sent") == m.total_over_ranks("nw_recv")
+    # A tree reduction moves (P-1) payloads in total.
+    assert m.total_over_ranks("nw_recv") == (P - 1) * words
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    P=st.integers(min_value=2, max_value=10),
+    n_msgs=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_point_to_point_conservation(P, n_msgs, seed):
+    """Random message pattern: global sent == global recv, per-message
+    word counts exact."""
+    rng = np.random.default_rng(seed)
+    m = DistMachine(P)
+    total = 0
+    for i in range(n_msgs):
+        src, dst = rng.choice(P, size=2, replace=False)
+        w = int(rng.integers(1, 30))
+        m.put(int(src), ("m", i), np.zeros(w))
+        m.send(int(src), int(dst), ("m", i))
+        total += w
+    assert m.total_over_ranks("nw_sent") == total
+    assert m.total_over_ranks("nw_recv") == total
+    assert m.total_over_ranks("nw_msgs_sent") == n_msgs

@@ -1,0 +1,171 @@
+"""Tests for blocked/naive matmul: numerics and Section-4.1 traffic claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LOOP_ORDERS,
+    blocked_matmul,
+    matmul_expected_counts,
+    naive_matmul,
+    wa_block_size,
+)
+from repro.machine import TwoLevel
+
+
+def rand(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("order", LOOP_ORDERS)
+    def test_all_loop_orders_correct(self, order):
+        A, B = rand(12, 8, 1), rand(8, 16, 2)
+        C = blocked_matmul(A, B, b=4, loop_order=order)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-12)
+
+    def test_accumulates_into_existing_c(self):
+        A, B = rand(8, 8, 3), rand(8, 8, 4)
+        C0 = rand(8, 8, 5)
+        C = blocked_matmul(A, B, C0.copy(), b=4)
+        np.testing.assert_allclose(C, C0 + A @ B, rtol=1e-12)
+
+    def test_rectangular(self):
+        A, B = rand(6, 9, 6), rand(9, 3, 7)
+        C = blocked_matmul(A, B, b=3)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-12)
+
+    def test_naive_matmul(self):
+        A, B = rand(5, 7, 8), rand(7, 3, 9)
+        np.testing.assert_allclose(naive_matmul(A, B), A @ B, rtol=1e-12)
+
+    def test_block_size_from_hierarchy(self):
+        hier = TwoLevel(3 * 16)  # b = 4
+        A, B = rand(8, 8, 10), rand(8, 8, 11)
+        C = blocked_matmul(A, B, hier=hier)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-12)
+
+
+class TestValidation:
+    def test_bad_loop_order(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(4, 4), rand(4, 4), b=2, loop_order="abc")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(4, 4), rand(6, 4), b=2)
+
+    def test_c_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(4, 4), rand(4, 4), np.zeros((3, 3)), b=2)
+
+    def test_non_multiple_dimension(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(5, 4), rand(4, 4), b=2)
+
+    def test_missing_b_and_hier(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(4, 4), rand(4, 4))
+
+    def test_blocks_must_fit(self):
+        hier = TwoLevel(10)  # can't hold 3 blocks of 4x4
+        with pytest.raises(ValueError):
+            blocked_matmul(rand(8, 8), rand(8, 8), b=4, hier=hier)
+
+    def test_wa_block_size(self):
+        assert wa_block_size(48) == 4
+        assert wa_block_size(3) == 1
+        with pytest.raises(ValueError):
+            wa_block_size(2)
+
+
+class TestAlgorithm1Traffic:
+    """The in-line traffic annotations of Algorithm 1, verified exactly."""
+
+    def run(self, m, n, l, b, order):
+        hier = TwoLevel(3 * b * b)
+        A, B = rand(m, n, 1), rand(n, l, 2)
+        blocked_matmul(A, B, b=b, hier=hier, loop_order=order)
+        return hier
+
+    @pytest.mark.parametrize("order", ["ijk", "jik"])
+    def test_k_innermost_attains_write_lower_bound(self, order):
+        m, n, l, b = 16, 24, 8, 4
+        hier = self.run(m, n, l, b, order)
+        # writes to slow == output size, exactly
+        assert hier.writes_to_slow == m * l
+        exp = matmul_expected_counts(m, n, l, b)
+        assert hier.loads == exp.loads
+        assert hier.stores == exp.stores
+        assert hier.writes_to_fast == exp.writes_to_fast
+
+    @pytest.mark.parametrize("order", ["ikj", "kij", "jki", "kji"])
+    def test_k_not_innermost_is_not_wa(self, order):
+        m, n, l, b = 16, 24, 8, 4
+        hier = self.run(m, n, l, b, order)
+        # C round-trips per inner iteration: stores ~ mnl/b >> ml.
+        assert hier.writes_to_slow >= m * n * l // b
+        assert hier.writes_to_slow > 2 * m * l
+
+    @pytest.mark.parametrize("order", LOOP_ORDERS)
+    def test_all_orders_are_ca(self, order):
+        """Every order's total traffic is O(mnl/b) — CA regardless."""
+        m = n = l = 16
+        b = 4
+        hier = self.run(m, n, l, b, order)
+        assert hier.loads_plus_stores <= 4 * m * n * l // b + 2 * m * l
+
+    def test_theorem1_on_measured_counts(self):
+        hier = self.run(16, 16, 16, 4, "ijk")
+        assert 2 * hier.writes_to_fast >= hier.loads_plus_stores
+
+    def test_naive_write_minimal_but_not_ca(self):
+        m = n = l = 16
+        hier = TwoLevel(64)
+        naive_matmul(rand(m, n, 1), rand(n, l, 2), hier=hier)
+        assert hier.writes_to_slow == m * l  # write-minimal
+        # ... but reads are Θ(mnl), far above the CA bound Θ(mnl/sqrt(M)).
+        assert hier.reads_from_slow == 2 * m * n * l
+
+    def test_message_counts(self):
+        m, n, l, b = 8, 8, 8, 4
+        hier = self.run(m, n, l, b, "ijk")
+        nb = (m // b) * (l // b)
+        nk = n // b
+        # messages: C loads nb + C stores nb + A loads nb*nk + B loads nb*nk
+        assert hier.messages_on_channel(1) == 2 * nb + 2 * nb * nk
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mb=st.integers(min_value=1, max_value=4),
+    nb=st.integers(min_value=1, max_value=4),
+    lb=st.integers(min_value=1, max_value=4),
+    b=st.sampled_from([2, 3, 4]),
+)
+def test_property_wa_writes_equal_output_size(mb, nb, lb, b):
+    """For any shape, WA order writes exactly the output to slow memory."""
+    m, n, l = mb * b, nb * b, lb * b
+    hier = TwoLevel(3 * b * b)
+    A = rand(m, n, 11)
+    B = rand(n, l, 12)
+    C = blocked_matmul(A, B, b=b, hier=hier, loop_order="ijk")
+    assert hier.writes_to_slow == m * l
+    np.testing.assert_allclose(C, A @ B, rtol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.sampled_from(LOOP_ORDERS),
+    b=st.sampled_from([2, 4]),
+    nb=st.integers(min_value=1, max_value=3),
+)
+def test_property_theorem1_all_orders(order, b, nb):
+    """Theorem 1 holds for every loop order and size."""
+    n = nb * b
+    hier = TwoLevel(3 * b * b)
+    blocked_matmul(rand(n, n, 1), rand(n, n, 2), b=b, hier=hier,
+                   loop_order=order)
+    assert 2 * hier.writes_to_fast >= hier.loads_plus_stores

@@ -1,0 +1,154 @@
+"""Tests for the blocked direct N-body kernels (Algorithm 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    gravity_phi2,
+    nbody2,
+    nbody_expected_counts,
+    nbody_k,
+    triple_phi3,
+)
+from repro.machine import TwoLevel
+
+
+def particles(N, d=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((N, d))
+
+
+def direct_forces(P, phi2=gravity_phi2):
+    """O(N²) oracle using the same force law on singleton blocks."""
+    N = P.shape[0]
+    F = np.zeros_like(P)
+    for i in range(N):
+        F[i] = phi2(P[i : i + 1], P).sum(axis=0)
+    return F
+
+
+class TestForceLaws:
+    def test_gravity_antisymmetric(self):
+        P = particles(6, seed=1)
+        f12 = gravity_phi2(P[:3], P[3:])
+        f21 = gravity_phi2(P[3:], P[:3])
+        # Net momentum exchange cancels: sum of forces is antisymmetric.
+        np.testing.assert_allclose(f12.sum(axis=0), -f21.sum(axis=0),
+                                   rtol=1e-10)
+
+    def test_gravity_self_interaction_zero(self):
+        P = particles(4, seed=2)
+        F = gravity_phi2(P, P)
+        # Diagonal (self) terms contribute nothing: finite forces.
+        assert np.all(np.isfinite(F))
+
+    def test_triple_zero_on_repeats(self):
+        P = particles(3, seed=3)
+        # Triple with two identical bodies contributes zero.
+        f = triple_phi3(P[:1], P[:1], P[1:2])
+        np.testing.assert_allclose(f, 0.0)
+
+
+class TestNbody2:
+    def test_matches_direct(self):
+        P = particles(16, seed=4)
+        F = nbody2(P, b=4)
+        np.testing.assert_allclose(F, direct_forces(P), rtol=1e-10)
+
+    def test_two_arrays(self):
+        P1, P2 = particles(8, seed=5), particles(12, seed=6)
+        F = nbody2(P1, P2, b=4)
+        ref = np.zeros_like(P1)
+        for i in range(8):
+            ref[i] = gravity_phi2(P1[i : i + 1], P2).sum(axis=0)
+        np.testing.assert_allclose(F, ref, rtol=1e-10)
+
+    def test_symmetry_variant_matches(self):
+        P = particles(16, seed=7)
+        F_sym = nbody2(P, b=4, use_symmetry=True)
+        F_ref = nbody2(P, b=4)
+        np.testing.assert_allclose(F_sym, F_ref, rtol=1e-10)
+
+    def test_blocked_is_wa(self):
+        N, b = 32, 8
+        hier = TwoLevel(3 * b)
+        nbody2(particles(N, seed=8), b=b, hier=hier)
+        assert hier.writes_to_slow == N
+        exp = nbody_expected_counts(N, b)
+        assert hier.writes_to_fast == exp["writes_to_fast"]
+
+    def test_symmetry_variant_not_wa(self):
+        N, b = 32, 8
+        hier = TwoLevel(4 * b)
+        nbody2(particles(N, seed=9), b=b, hier=hier, use_symmetry=True)
+        # Partner F(j) round-trips: Θ(N²/b) writes >> N.
+        assert hier.writes_to_slow > 2 * N
+
+    def test_symmetry_saves_reads(self):
+        """The point of symmetry: ~half the interactions, fewer loads."""
+        N, b = 32, 8
+        h_sym, h_std = TwoLevel(4 * b), TwoLevel(4 * b)
+        nbody2(particles(N, seed=10), b=b, hier=h_sym, use_symmetry=True)
+        nbody2(particles(N, seed=10), b=b, hier=h_std)
+        # Standard streams P twice per block row; symmetric visits each
+        # unordered pair once (but pays in writes).
+        assert h_sym.loads < h_std.loads + 2 * N
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nbody2(particles(10), b=4)  # N not multiple of b
+        with pytest.raises(ValueError):
+            nbody2(particles(8), particles(8), b=4, use_symmetry=True)
+        hier = TwoLevel(4)
+        with pytest.raises(ValueError):
+            nbody2(particles(8), b=4, hier=hier)  # blocks don't fit
+
+
+class TestNbodyK:
+    def test_k2_matches_nbody2(self):
+        P = particles(12, seed=11)
+        np.testing.assert_allclose(
+            nbody_k(P, b=4, k=2), nbody2(P, b=4), rtol=1e-10
+        )
+
+    def test_k3_matches_direct_triple_sum(self):
+        P = particles(6, d=2, seed=12)
+        F = nbody_k(P, b=2, k=3)
+        ref = np.zeros_like(P)
+        for i in range(6):
+            for j in range(6):
+                for m in range(6):
+                    ref[i] += triple_phi3(
+                        P[i : i + 1], P[j : j + 1], P[m : m + 1]
+                    )[0]
+        np.testing.assert_allclose(F, ref, rtol=1e-9, atol=1e-12)
+
+    def test_k3_is_wa(self):
+        N, b = 12, 4
+        hier = TwoLevel(4 * b)  # k+1 = 4 blocks
+        nbody_k(particles(N, d=2, seed=13), b=b, k=3, hier=hier)
+        assert hier.writes_to_slow == N
+        exp = nbody_expected_counts(N, b, k=3)
+        assert hier.writes_to_fast == exp["writes_to_fast"]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            nbody_k(particles(8), b=4, k=1)
+        with pytest.raises(ValueError):
+            nbody_k(particles(8), b=4, k=5)  # no default force law
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nblocks=st.integers(min_value=1, max_value=4),
+    b=st.sampled_from([2, 4]),
+    d=st.sampled_from([1, 2, 3]),
+)
+def test_property_nbody_writes_equal_output(nblocks, b, d):
+    N = nblocks * b
+    hier = TwoLevel(3 * b)
+    P = particles(N, d=d, seed=77)
+    F = nbody2(P, b=b, hier=hier)
+    assert hier.writes_to_slow == N
+    np.testing.assert_allclose(F, direct_forces(P), rtol=1e-9)

@@ -1,0 +1,125 @@
+"""Tests for blocked Householder QR (the Section-4.3 conjecture for QR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qr import apply_q, blocked_qr, qr_expected_counts
+from repro.machine import TwoLevel
+
+
+def reconstruct(packed, Ts, m, n):
+    R = np.triu(packed[:n, :])
+    return apply_q(packed, Ts, np.vstack([R, np.zeros((m - n, n))]))
+
+
+def rand(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("variant", ["left-looking", "right-looking"])
+    @pytest.mark.parametrize("m,n,b", [(8, 8, 4), (16, 8, 4), (24, 12, 4),
+                                       (12, 12, 12), (16, 16, 2)])
+    def test_reconstruction(self, variant, m, n, b):
+        A = rand(m, n, seed=m * n + b)
+        packed, Ts = blocked_qr(A.copy(), b=b, variant=variant)
+        np.testing.assert_allclose(reconstruct(packed, Ts, m, n), A,
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_r_matches_numpy_up_to_signs(self):
+        m, n, b = 16, 8, 4
+        A = rand(m, n, 5)
+        packed, _ = blocked_qr(A.copy(), b=b)
+        R = np.triu(packed[:n, :])
+        R_np = np.linalg.qr(A, mode="r")
+        np.testing.assert_allclose(np.abs(R), np.abs(R_np), rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_orthogonality_of_q(self):
+        m, n, b = 16, 16, 4
+        A = rand(m, n, 6)
+        packed, Ts = blocked_qr(A.copy(), b=b)
+        Q = apply_q(packed, Ts, np.eye(m))
+        np.testing.assert_allclose(Q.T @ Q, np.eye(m), rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_column_with_zero_tail(self):
+        """A column already upper triangular (H = I branch)."""
+        A = np.triu(rand(8, 8, 7)) + np.eye(8)
+        packed, Ts = blocked_qr(A.copy(), b=4)
+        np.testing.assert_allclose(reconstruct(packed, Ts, 8, 8), A,
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocked_qr(rand(8, 16), b=4)  # wide matrix
+        with pytest.raises(ValueError):
+            blocked_qr(rand(9, 6), b=3, variant="sideways")
+        with pytest.raises(ValueError):
+            blocked_qr(rand(10, 6), b=4)  # m not multiple of b
+
+
+class TestTraffic:
+    M_N_B = (32, 16, 4)
+
+    def mem(self):
+        m, n, b = self.M_N_B
+        return m * b + 2 * b * b
+
+    def test_left_looking_is_wa(self):
+        m, n, b = self.M_N_B
+        h = TwoLevel(self.mem())
+        blocked_qr(rand(m, n, 8), b=b, hier=h)
+        exp = qr_expected_counts(m, n, b)
+        assert h.writes_to_slow == exp["writes_to_slow"] == m * n
+
+    def test_right_looking_not_wa(self):
+        m, n, b = self.M_N_B
+        hl, hr = TwoLevel(self.mem()), TwoLevel(self.mem())
+        blocked_qr(rand(m, n, 9), b=b, hier=hl)
+        blocked_qr(rand(m, n, 9), b=b, hier=hr, variant="right-looking")
+        assert hr.writes_to_slow > 2 * hl.writes_to_slow
+
+    def test_panel_must_fit(self):
+        m, n, b = self.M_N_B
+        h = TwoLevel(m * b // 2)
+        with pytest.raises(ValueError):
+            blocked_qr(rand(m, n, 10), b=b, hier=h)
+
+    def test_theorem1(self):
+        m, n, b = self.M_N_B
+        for variant in ("left-looking", "right-looking"):
+            h = TwoLevel(self.mem())
+            blocked_qr(rand(m, n, 11), b=b, hier=h, variant=variant)
+            assert 2 * h.writes_to_fast >= h.loads_plus_stores
+
+    def test_rl_write_growth_with_columns(self):
+        """More trailing columns → proportionally more RL writes."""
+        m, b = 32, 4
+        writes = []
+        for n in (8, 16):
+            h = TwoLevel(m * b + 2 * b * b)
+            blocked_qr(rand(m, n, n), b=b, hier=h,
+                       variant="right-looking")
+            writes.append(h.writes_to_slow)
+        assert writes[1] > 2.5 * writes[0]  # superlinear in n
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    mb=st.integers(min_value=2, max_value=6),
+    nb=st.integers(min_value=1, max_value=4),
+    b=st.sampled_from([2, 4]),
+)
+def test_property_qr_wa_writes(mb, nb, b):
+    if nb > mb:
+        nb = mb
+    m, n = mb * b, nb * b
+    h = TwoLevel(m * b + 2 * b * b)
+    A = rand(m, n, 99)
+    packed, Ts = blocked_qr(A.copy(), b=b, hier=h)
+    assert h.writes_to_slow == m * n
+    np.testing.assert_allclose(reconstruct(packed, Ts, m, n), A,
+                               rtol=1e-8, atol=1e-8)

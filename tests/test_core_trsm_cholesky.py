@@ -1,0 +1,182 @@
+"""Tests for blocked TRSM (Algorithm 2) and Cholesky (Algorithm 3)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    blocked_cholesky,
+    blocked_trsm,
+    cholesky_expected_counts,
+    trsm_expected_counts,
+)
+from repro.machine import TwoLevel
+
+
+def upper_triangular(n, seed=0):
+    rng = np.random.default_rng(seed)
+    T = np.triu(rng.standard_normal((n, n)))
+    # Well-conditioned diagonal.
+    T[np.diag_indices(n)] = 2.0 + rng.random(n)
+    return T
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    G = rng.standard_normal((n, n))
+    return G @ G.T + n * np.eye(n)
+
+
+class TestTRSMNumerics:
+    @pytest.mark.parametrize("variant", ["left-looking", "right-looking"])
+    def test_solution_correct(self, variant):
+        n, m, b = 12, 8, 4
+        T = upper_triangular(n, 1)
+        B = np.random.default_rng(2).standard_normal((n, m))
+        X = blocked_trsm(T, B.copy(), b=b, variant=variant)
+        np.testing.assert_allclose(T @ X, B, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("variant", ["left-looking", "right-looking"])
+    def test_matches_scipy(self, variant):
+        n, b = 8, 2
+        T = upper_triangular(n, 3)
+        B = np.random.default_rng(4).standard_normal((n, n))
+        X = blocked_trsm(T, B.copy(), b=b, variant=variant)
+        ref = scipy.linalg.solve_triangular(T, B, lower=False)
+        np.testing.assert_allclose(X, ref, rtol=1e-9, atol=1e-9)
+
+    def test_single_block(self):
+        T = upper_triangular(4, 5)
+        B = np.random.default_rng(6).standard_normal((4, 4))
+        X = blocked_trsm(T, B.copy(), b=4)
+        np.testing.assert_allclose(T @ X, B, rtol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocked_trsm(np.eye(4), np.zeros((5, 4)), b=2)
+        with pytest.raises(ValueError):
+            blocked_trsm(np.eye(4), np.zeros((4, 4)), b=3)
+        with pytest.raises(ValueError):
+            blocked_trsm(np.eye(4), np.zeros((4, 4)), b=2, variant="x")
+
+
+class TestTRSMTraffic:
+    def test_left_looking_is_wa(self):
+        n, m, b = 16, 8, 4
+        hier = TwoLevel(3 * b * b)
+        T = upper_triangular(n, 7)
+        B = np.random.default_rng(8).standard_normal((n, m))
+        blocked_trsm(T, B, b=b, hier=hier)
+        assert hier.writes_to_slow == n * m  # output only
+        exp = trsm_expected_counts(n, m, b)
+        assert hier.writes_to_slow == exp["writes_to_slow"]
+        assert hier.loads == exp["loads"]
+
+    def test_right_looking_not_wa(self):
+        n, m, b = 16, 8, 4
+        hier = TwoLevel(3 * b * b)
+        T = upper_triangular(n, 9)
+        B = np.random.default_rng(10).standard_normal((n, m))
+        blocked_trsm(T, B, b=b, hier=hier, variant="right-looking")
+        # Scatter updates force Θ(n²m/b) writes: strictly above output size.
+        assert hier.writes_to_slow > 2 * n * m
+
+    def test_theorem1(self):
+        n, m, b = 16, 8, 4
+        for variant in ("left-looking", "right-looking"):
+            hier = TwoLevel(3 * b * b)
+            blocked_trsm(upper_triangular(n, 11),
+                         np.random.default_rng(12).standard_normal((n, m)),
+                         b=b, hier=hier, variant=variant)
+            assert 2 * hier.writes_to_fast >= hier.loads_plus_stores
+
+
+class TestCholeskyNumerics:
+    @pytest.mark.parametrize("variant", ["left-looking", "right-looking"])
+    def test_factor_correct(self, variant):
+        n, b = 12, 4
+        A = spd(n, 13)
+        L = np.tril(blocked_cholesky(A.copy(), b=b, variant=variant))
+        np.testing.assert_allclose(L @ L.T, A, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("variant", ["left-looking", "right-looking"])
+    def test_matches_scipy(self, variant):
+        n, b = 8, 2
+        A = spd(n, 14)
+        L = np.tril(blocked_cholesky(A.copy(), b=b, variant=variant))
+        ref = scipy.linalg.cholesky(A, lower=True)
+        np.testing.assert_allclose(L, ref, rtol=1e-9, atol=1e-9)
+
+    def test_single_block(self):
+        A = spd(4, 15)
+        L = np.tril(blocked_cholesky(A.copy(), b=4))
+        np.testing.assert_allclose(L @ L.T, A, rtol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocked_cholesky(np.zeros((4, 6)), b=2)
+        with pytest.raises(ValueError):
+            blocked_cholesky(spd(4), b=3)
+        with pytest.raises(ValueError):
+            blocked_cholesky(spd(4), b=2, variant="sideways")
+
+
+class TestCholeskyTraffic:
+    def test_left_looking_is_wa(self):
+        n, b = 24, 4
+        hier = TwoLevel(3 * b * b)
+        blocked_cholesky(spd(n, 16), b=b, hier=hier)
+        exp = cholesky_expected_counts(n, b)
+        assert hier.writes_to_slow == exp["writes_to_slow"]
+        # ~ n^2/2 + nb/2: far below a full-matrix round-trip count.
+        assert hier.writes_to_slow <= n * n
+
+    def test_right_looking_not_wa(self):
+        n, b = 24, 4
+        h_left = TwoLevel(3 * b * b)
+        h_right = TwoLevel(3 * b * b)
+        blocked_cholesky(spd(n, 17), b=b, hier=h_left)
+        blocked_cholesky(spd(n, 17), b=b, hier=h_right,
+                         variant="right-looking")
+        # Schur-complement updates round-trip trailing blocks.
+        assert h_right.writes_to_slow > 2 * h_left.writes_to_slow
+
+    def test_growth_rates(self):
+        """Left-looking slow-writes grow ~n², right-looking ~n³/b."""
+        b = 4
+        w_left, w_right = [], []
+        for n in (16, 32):
+            hl, hr = TwoLevel(3 * b * b), TwoLevel(3 * b * b)
+            blocked_cholesky(spd(n, 18), b=b, hier=hl)
+            blocked_cholesky(spd(n, 18), b=b, hier=hr,
+                             variant="right-looking")
+            w_left.append(hl.writes_to_slow)
+            w_right.append(hr.writes_to_slow)
+        assert w_left[1] / w_left[0] < 5          # ~4x for n^2
+        assert w_right[1] / w_right[0] > 5        # ~8x for n^3
+
+
+@settings(max_examples=10, deadline=None)
+@given(nb=st.integers(min_value=1, max_value=5), b=st.sampled_from([2, 4]))
+def test_property_trsm_wa_writes(nb, b):
+    n = nb * b
+    hier = TwoLevel(3 * b * b)
+    T = upper_triangular(n, 42)
+    B = np.random.default_rng(43).standard_normal((n, b))
+    X = blocked_trsm(T, B.copy(), b=b, hier=hier)
+    assert hier.writes_to_slow == n * b
+    np.testing.assert_allclose(T @ X, B, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(nb=st.integers(min_value=1, max_value=5), b=st.sampled_from([2, 4]))
+def test_property_cholesky_wa_writes(nb, b):
+    n = nb * b
+    hier = TwoLevel(3 * b * b)
+    A = spd(n, 44)
+    L = np.tril(blocked_cholesky(A.copy(), b=b, hier=hier))
+    exp = cholesky_expected_counts(n, b)
+    assert hier.writes_to_slow == exp["writes_to_slow"]
+    np.testing.assert_allclose(L @ L.T, A, rtol=1e-8, atol=1e-8)

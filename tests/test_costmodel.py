@@ -1,0 +1,222 @@
+"""Tests for the analytic cost models (Tables 1 and 2, LU formulas)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    HwParams,
+    dom_beta_cost_model21,
+    dom_beta_cost_model22,
+    ll_lunp_beta_cost,
+    rl_lunp_beta_cost,
+    table1_rows,
+    table2_rows,
+)
+from repro.distributed.costmodel import (
+    cost_25dmml2,
+    cost_25dmml3,
+    cost_25dmml3_ool2,
+    cost_2dmml2,
+    cost_summal3_ool2,
+    replication_break_even,
+)
+
+
+def hw(**kw):
+    p = HwParams(**kw)
+    p.validate()
+    return p
+
+
+class TestHwParams:
+    def test_defaults_valid(self):
+        hw()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HwParams(beta_nw=-1).validate()
+        with pytest.raises(ValueError):
+            HwParams(M1=2**20, M2=2**10).validate()
+
+
+class TestModel21:
+    # √P must dominate c^1.5·log c for replication overheads (gather,
+    # broadcast) to be lower-order — the paper's c2 < c3 ≪ P regime.
+    N, P = 1 << 14, 4096
+
+    def test_25d_beats_2d(self):
+        """Replication strictly reduces total cost with default hardware."""
+        h = hw()
+        c2 = 4
+        assert (cost_25dmml2(self.N, self.P, c2, h)["total"]
+                < cost_2dmml2(self.N, self.P, h)["total"])
+
+    def test_dom_ratio_formula(self):
+        """The closed-form ratio equals √(c3/c2)·βNW/(βNW+1.5β23+β32)."""
+        h = hw(beta_nw=1.0, beta_23=2.0, beta_32=1.0)
+        r = dom_beta_cost_model21(self.N, self.P, c2=1, c3=4, hw=h)
+        expected = math.sqrt(4) * 1.0 / (1.0 + 3.0 + 1.0)
+        assert abs(r["ratio"] - expected) < 1e-12
+
+    def test_nvm_helps_when_writes_cheap(self):
+        """Cheap NVM writes + large c3 ⇒ 2.5DMML3 predicted faster."""
+        h = hw(beta_23=0.05, beta_32=0.05)
+        r = dom_beta_cost_model21(self.N, self.P, c2=1, c3=4, hw=h)
+        assert r["winner"] == "2.5DMML3"
+
+    def test_nvm_hurts_when_writes_expensive(self):
+        h = hw(beta_23=50.0)
+        r = dom_beta_cost_model21(self.N, self.P, c2=1, c3=4, hw=h)
+        assert r["winner"] == "2.5DMML2"
+
+    def test_break_even_replication(self):
+        """c3/c2 must exceed ((βNW+1.5β23+β32)/βNW)² for NVM to pay off."""
+        h = hw(beta_23=1.0, beta_32=1.0, beta_nw=1.0)
+        be = replication_break_even(h, c2=1)
+        assert abs(be - (1 + 1.5 + 1) ** 2) < 1e-12
+        # Just above break-even wins, just below loses (P large enough to
+        # make c3 <= P^(1/3) feasible).
+        P = 10**6
+        r_hi = dom_beta_cost_model21(self.N, P, c2=1,
+                                     c3=int(be) + 1, hw=h)
+        r_lo = dom_beta_cost_model21(self.N, P, c2=1,
+                                     c3=max(2, int(be) - 2), hw=h)
+        assert r_hi["winner"] == "2.5DMML3"
+        assert r_lo["winner"] == "2.5DMML2"
+
+    def test_c_range_validation(self):
+        h = hw()
+        with pytest.raises(ValueError):
+            cost_25dmml2(self.N, self.P, 100, h)
+        with pytest.raises(ValueError):
+            cost_25dmml3(self.N, self.P, 4, 2, h)  # c3 <= c2
+
+
+class TestModel22:
+    N, P, C3 = 1 << 15, 512, 4
+
+    def test_dom_formulas_equations_2_and_3(self):
+        h = hw(beta_nw=1.0, beta_23=1.0, beta_32=1.0, M2=2**20)
+        d = dom_beta_cost_model22(self.N, self.P, self.C3, h)
+        n, P, c3, M2 = self.N, self.P, self.C3, 2**20
+        exp25 = (n**2 / math.sqrt(P * c3) * 2
+                 + n**3 / (P * math.sqrt(M2)))
+        expsu = (n**3 / (P * math.sqrt(M2)) * 2 + n**2 / P)
+        assert abs(d["dom_2.5DMML3ooL2"] - exp25) / exp25 < 1e-12
+        assert abs(d["dom_SUMMAL3ooL2"] - expsu) / expsu < 1e-12
+
+    def test_expensive_nvm_writes_favor_summa(self):
+        """When β23 dominates, minimizing NVM writes wins."""
+        h = hw(beta_23=10_000.0, M2=2**16)
+        d = dom_beta_cost_model22(self.N, self.P, self.C3, h)
+        assert d["winner"] == "SUMMAL3ooL2"
+
+    def test_expensive_network_favors_25d(self):
+        h = hw(beta_nw=10_000.0, beta_23=1.0, beta_32=1.0, M2=2**16)
+        d = dom_beta_cost_model22(self.N, self.P, self.C3, h)
+        assert d["winner"] == "2.5DMML3ooL2"
+
+    def test_full_cost_totals_positive(self):
+        h = hw()
+        assert cost_25dmml3_ool2(self.N, self.P, self.C3, h)["total"] > 0
+        assert cost_summal3_ool2(self.N, self.P, h)["total"] > 0
+
+
+class TestTables:
+    def test_table1_structure(self):
+        h = hw()
+        rows = table1_rows(1 << 14, 64, c2=2, c3=4, hw=h)
+        assert len(rows) == 15
+        movements = {r["movement"] for r in rows}
+        assert movements == {"L2->L1", "L1->L2", "Interprocessor",
+                             "L3->L2", "L2->L3"}
+        # 2DMML2 has NA for every NVM row.
+        for r in rows:
+            if r["movement"] in ("L3->L2", "L2->L3"):
+                assert r["2DMML2"] is None
+                assert r["2.5DMML2"] is None
+                assert r["2.5DMML3"] is not None
+
+    def test_table1_l2l1_identical_across_algorithms(self):
+        """First two rows: identical for all three algorithms (paper's
+        'L2 → L1 costs' observation)."""
+        rows = table1_rows(1 << 14, 64, c2=2, c3=4, hw=hw())
+        for r in rows[:2]:
+            assert r["2DMML2"] == r["2.5DMML2"] == r["2.5DMML3"]
+
+    def test_table1_interprocessor_beta_improves_with_c(self):
+        """βNW words: 2DMML2 > 2.5DMML2 > 2.5DMML3 leading terms
+        (requires √P ≫ 2·c3·(1+log c3) so second terms stay lower-order)."""
+        rows = table1_rows(1 << 14, 1 << 20, c2=4, c3=16, hw=hw())
+        beta_nw = [r for r in rows if r["param"] == "βNW"][0]
+        assert beta_nw["2DMML2"] > beta_nw["2.5DMML2"] > beta_nw["2.5DMML3"]
+
+    # Model 2.2 regime: data must not fit in DRAM — n²/P ≫ M2.
+    HW22 = dict(M1=2**8, M2=2**14)
+
+    def test_table2_structure(self):
+        rows = table2_rows(1 << 15, 512, c3=4, hw=hw(**self.HW22))
+        assert len(rows) == 10
+        # L2→L3 (NVM write) words: SUMMA attains n²/P; 2.5D pays √(P/c3)×.
+        b23 = [r for r in rows if r["param"] == "β23"][0]
+        assert b23["SUMMAL3ooL2"] < b23["2.5DMML3ooL2"]
+        # Interprocessor words: 2.5D wins.
+        bnw = [r for r in rows if r["param"] == "βNW"][0]
+        assert bnw["2.5DMML3ooL2"] < bnw["SUMMAL3ooL2"]
+
+    def test_table2_l3_write_tension_matches_theorem4(self):
+        """No column attains both bounds (Theorem 4)."""
+        n, P, c3 = 1 << 15, 512, 4
+        rows = table2_rows(n, P, c3, hw=hw(**self.HW22))
+        b23 = [r for r in rows if r["param"] == "β23"][0]
+        bnw = [r for r in rows if r["param"] == "βNW"][0]
+        w1 = n * n / P
+        w2 = n * n / math.sqrt(P * c3)
+        # SUMMA: attains W1 on NVM writes but misses W2 on network.
+        assert b23["SUMMAL3ooL2"] <= 1.01 * w1
+        assert bnw["SUMMAL3ooL2"] > 3 * w2
+        # 2.5D: attains W2 on network but misses W1 on NVM writes.
+        assert bnw["2.5DMML3ooL2"] < 3 * w2
+        assert b23["2.5DMML3ooL2"] > 3 * w1
+
+
+class TestLUFormulas:
+    N, P = 1 << 14, 256
+
+    def test_ll_minimizes_nvm_writes(self):
+        h = hw()
+        ll = ll_lunp_beta_cost(self.N, self.P, h)
+        rl = rl_lunp_beta_cost(self.N, self.P, h)
+        assert ll["beta_23_words"] < rl["beta_23_words"]
+        assert rl["beta_nw_words"] < ll["beta_nw_words"]
+
+    def test_ll_nvm_writes_are_output_sized(self):
+        ll = ll_lunp_beta_cost(self.N, self.P, hw())
+        assert ll["beta_23_words"] == 2 * self.N**2 / self.P
+
+    def test_winner_depends_on_beta23(self):
+        cheap = hw(beta_23=0.1)
+        dear = hw(beta_23=10_000.0, M2=2**18)
+        ll_c = ll_lunp_beta_cost(self.N, self.P, cheap)["total"]
+        rl_c = rl_lunp_beta_cost(self.N, self.P, cheap)["total"]
+        ll_d = ll_lunp_beta_cost(self.N, self.P, dear)["total"]
+        rl_d = rl_lunp_beta_cost(self.N, self.P, dear)["total"]
+        assert rl_c < ll_c      # cheap NVM writes: RL's low network wins
+        assert ll_d < rl_d      # expensive NVM writes: LL wins
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    b23=st.floats(min_value=0.01, max_value=1000),
+    b32=st.floats(min_value=0.01, max_value=1000),
+    c3=st.integers(min_value=2, max_value=8),
+)
+def test_property_model21_ratio_monotone_in_c3(b23, b32, c3):
+    """More replication never hurts the 2.5DMML3 side of the ratio."""
+    h = HwParams(beta_23=b23, beta_32=b32)
+    lo = dom_beta_cost_model21(1 << 14, 10**6, c2=1, c3=c3, hw=h)
+    hi = dom_beta_cost_model21(1 << 14, 10**6, c2=1, c3=c3 + 1, hw=h)
+    assert hi["ratio"] >= lo["ratio"]

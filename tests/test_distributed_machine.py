@@ -1,0 +1,136 @@
+"""Tests for the simulated distributed machine and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistMachine
+from repro.distributed.grid import Grid2D, square_grid_side
+
+
+class TestStores:
+    def test_put_get(self):
+        m = DistMachine(2)
+        m.put(0, "x", np.ones(4))
+        np.testing.assert_array_equal(m.get(0, "x"), np.ones(4))
+        assert m.has(0, "x")
+        assert not m.has(1, "x")
+
+    def test_missing_key(self):
+        m = DistMachine(1)
+        with pytest.raises(KeyError):
+            m.get(0, "nope")
+
+    def test_rank_bounds(self):
+        m = DistMachine(2)
+        with pytest.raises(ValueError):
+            m.put(2, "x", np.ones(1))
+
+    def test_put_charges_nothing(self):
+        m = DistMachine(1)
+        m.put(0, "x", np.ones(100))
+        assert m.counters[0].nw_words == 0
+        assert m.counters[0].nvm_writes == 0
+
+
+class TestNVM:
+    def test_store_and_load_counts(self):
+        m = DistMachine(1)
+        m.put(0, "x", np.ones(64))
+        m.store_nvm(0, "x")
+        assert m.counters[0].l2_to_l3 == 64
+        m.load_nvm(0, "x")
+        assert m.counters[0].l3_to_l2 == 64
+
+    def test_charges_without_movement(self):
+        m = DistMachine(1)
+        m.charge_nvm_write(0, 100, msgs=2)
+        m.charge_nvm_read(0, 50)
+        c = m.counters[0]
+        assert c.l2_to_l3 == 100 and c.l2_to_l3_msgs == 2
+        assert c.l3_to_l2 == 50
+
+
+class TestNetwork:
+    def test_send_counts_both_ends(self):
+        m = DistMachine(2)
+        m.put(0, "x", np.ones(10))
+        m.send(0, 1, "x")
+        assert m.counters[0].nw_sent == 10
+        assert m.counters[1].nw_recv == 10
+        np.testing.assert_array_equal(m.get(1, "x"), np.ones(10))
+
+    def test_send_to_self_rejected(self):
+        m = DistMachine(2)
+        m.put(0, "x", np.ones(1))
+        with pytest.raises(ValueError):
+            m.send(0, 0, "x")
+
+    def test_bcast_delivers_to_all(self):
+        m = DistMachine(8)
+        m.put(0, "x", np.arange(5.0))
+        m.bcast(0, list(range(8)), "x")
+        for r in range(8):
+            np.testing.assert_array_equal(m.get(r, "x"), np.arange(5.0))
+        # Binomial tree: total words = 7 sends of 5 words.
+        assert m.total_over_ranks("nw_recv") == 35
+        # Along the critical path the root sends ceil(log2(8)) messages.
+        assert m.counters[0].nw_msgs_sent <= 3
+
+    def test_bcast_root_must_be_member(self):
+        m = DistMachine(4)
+        m.put(0, "x", np.ones(1))
+        with pytest.raises(ValueError):
+            m.bcast(0, [1, 2], "x")
+
+    def test_reduce_sums(self):
+        m = DistMachine(4)
+        for r in range(4):
+            m.put(r, "y", np.full(3, float(r)))
+        out = m.reduce(0, [0, 1, 2, 3], "y")
+        np.testing.assert_array_equal(out, np.full(3, 6.0))
+        np.testing.assert_array_equal(m.get(0, "y"), np.full(3, 6.0))
+
+    def test_reduce_single_rank(self):
+        m = DistMachine(1)
+        m.put(0, "y", np.ones(3))
+        out = m.reduce(0, [0], "y")
+        np.testing.assert_array_equal(out, np.ones(3))
+        assert m.counters[0].nw_words == 0
+
+    def test_summary_and_aggregates(self):
+        m = DistMachine(2)
+        m.put(0, "x", np.ones(10))
+        m.send(0, 1, "x")
+        assert m.max_over_ranks("nw_sent") == 10
+        assert m.total_over_ranks("nw_sent") == 10
+        s = m.summary()
+        assert s["nw_sent"]["total"] == 10
+
+
+class TestGrid:
+    def test_square_grid_side(self):
+        assert square_grid_side(16) == 4
+        with pytest.raises(ValueError):
+            square_grid_side(10)
+
+    def test_rank_coords_roundtrip(self):
+        g = Grid2D(16)
+        for r in range(4):
+            for c in range(4):
+                assert g.coords(g.rank(r, c)) == (r, c)
+
+    def test_rows_cols(self):
+        g = Grid2D(4)
+        assert g.row_ranks(0) == [0, 1]
+        assert g.col_ranks(1) == [1, 3]
+
+    def test_block_and_assemble(self):
+        g = Grid2D(4)
+        X = np.arange(16.0).reshape(4, 4)
+        blocks = {(r, c): g.block(X, r, c) for r in range(2) for c in range(2)}
+        np.testing.assert_array_equal(g.assemble(blocks, 4), X)
+
+    def test_block_divisibility(self):
+        g = Grid2D(4)
+        with pytest.raises(ValueError):
+            g.block(np.zeros((5, 5)), 0, 0)

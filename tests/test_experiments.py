@@ -1,0 +1,144 @@
+"""Integration tests over the experiment harnesses (small configs).
+
+The benchmarks assert the paper's shapes at benchmark scale; these tests
+check the harnesses' structure, determinism, and formatting at the
+smallest viable scale so the whole table/figure pipeline is exercised in
+the unit suite too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig2Config,
+    format_fig2,
+    format_fig5,
+    format_lu,
+    format_sec3,
+    format_sec4,
+    format_sec5,
+    format_sec6,
+    format_sec8,
+    format_table1,
+    format_table2,
+    run_fig2,
+    run_fig5,
+    run_lu,
+    run_sec3,
+    run_sec4,
+    run_sec5,
+    run_sec6,
+    run_sec8,
+    run_table1,
+    run_table2,
+)
+
+
+def tiny_cfg():
+    return Fig2Config(n_outer=32, middles=(4, 16, 64), line_size=4,
+                      b2=8, base=4)
+
+
+class TestFig2:
+    def test_structure(self):
+        res = run_fig2(tiny_cfg())
+        assert res[0]["scheme"] == "co"
+        assert res[1]["scheme"] == "mkl-like"
+        assert all(r["scheme"] == "wa2" for r in res[2:])
+        assert "ideal_misses" in res[0]
+        for rows in res:
+            assert len(rows["VICTIMS.M"]) == 3
+
+    def test_write_floor_constant(self):
+        res = run_fig2(tiny_cfg())
+        floor = 32 * 32 // 4
+        for rows in res:
+            assert all(lb == floor for lb in rows["write_lb"])
+
+    def test_determinism(self):
+        a = run_fig2(tiny_cfg())
+        b = run_fig2(tiny_cfg())
+        assert a[0]["VICTIMS.M"] == b[0]["VICTIMS.M"]
+
+    def test_format_contains_counters(self):
+        s = format_fig2(run_fig2(tiny_cfg()))
+        for name in ("L3_VICTIMS.M", "L3_VICTIMS.E", "LLC_S_FILLS.E",
+                     "Write L.B."):
+            assert name in s
+
+    def test_b3_sizes_monotone(self):
+        cfg = Fig2Config(n_outer=128)
+        sizes = cfg.b3_sizes()
+        assert sizes == sorted(sizes)
+        assert all(b % cfg.base == 0 for b in sizes)
+
+
+class TestFig5:
+    def test_columns(self):
+        res = run_fig5(tiny_cfg())
+        assert set(res) == {"multilevel-wa", "two-level-ab"}
+        s = format_fig5(res)
+        assert "multilevel-wa" in s and "two-level-ab" in s
+
+
+class TestTables:
+    def test_table1_validation_block(self):
+        r = run_table1(n=1 << 12, P=1 << 12, c2=2, c3=4)
+        assert r["validation"]["numerically_correct"]
+        s = format_table1(r)
+        assert "2.5DMML3" in s and "NA" in s
+
+    def test_table1_no_validation(self):
+        r = run_table1(n=1 << 12, P=1 << 12, c2=2, c3=4,
+                       validate_sim=False)
+        assert "validation" not in r
+
+    def test_table2_validation_block(self):
+        r = run_table2()
+        v = r["validation"]
+        assert v["summa_correct"] and v["mm25d_correct"]
+        assert v["summa_nvm_writes_per_rank"] == v["w1_floor"]
+        s = format_table2(r)
+        assert "SUMMAL3ooL2" in s and "Theorem-4" in s
+
+
+class TestSectionHarnesses:
+    def test_sec3_rows(self):
+        rows = run_sec3(fft_sizes=(64,), strassen_sizes=(4,),
+                        matmul_sizes=(4,))
+        assert len(rows) == 3
+        assert "FFT" in format_sec3(rows)
+
+    def test_sec4_complete_and_consistent(self):
+        rows = run_sec4(n=16, b=4)
+        kernels = {r["kernel"] for r in rows}
+        assert kernels == {"matmul (Alg.1)", "TRSM (Alg.2)",
+                           "Cholesky (Alg.3)", "(N,2)-body (Alg.4)",
+                           "(N,3)-body"}
+        assert all(r["theorem1"] for r in rows)
+        assert "VIOLATED" not in format_sec4(rows)
+
+    def test_sec5_monotone_in_m(self):
+        rows = run_sec5(n=16, memories=(12, 48))
+        assert rows[0]["co_stores"] > rows[1]["co_stores"]
+        assert "CO matmul" in format_sec5(rows)
+
+    def test_sec6_rows(self):
+        rows = run_sec6(n=32, middle=32, b3=8, b2=4, base=4,
+                        policies=("lru",), schemes=("wa2",))
+        assert len(rows) == 3  # three capacities
+        assert all(r["policy"] == "lru" for r in rows)
+        format_sec6(rows)
+
+    def test_sec8_rows(self):
+        res = run_sec8(mesh=64, s_values=(2,), block=16)
+        methods = [r["method"] for r in res["rows"]]
+        assert methods == ["CG", "CA-CG", "CA-CG streaming"]
+        assert all(r["converged"] for r in res["rows"])
+        assert "Θ(s)" in format_sec8(res)
+
+    def test_lu_harness(self):
+        res = run_lu(n=16, b=4, P=4)
+        assert res["ll_correct"] and res["rl_correct"]
+        s = format_lu(res)
+        assert "LL-LUNP" in s and "RL-LUNP" in s

@@ -1,0 +1,112 @@
+"""Tests for GMRES and s-step CA-GMRES (the §8 Arnoldi extension)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krylov import spd_stencil_system
+from repro.krylov.basis import ChebyshevBasis
+from repro.krylov.gmres import ca_gmres, gmres
+
+
+def nonsym_system(mesh=64, skew=0.3, seed=0):
+    """SPD stencil plus a skew term: a well-conditioned nonsymmetric A."""
+    A0, b = spd_stencil_system(mesh, d=1, b=1, seed=seed)
+    n = A0.shape[0]
+    S = sp.diags([skew] * (n - 1), 1) - sp.diags([skew] * (n - 1), -1)
+    return (A0 + S).tocsr(), b
+
+
+class TestGMRES:
+    def test_solves(self):
+        A, b = nonsym_system()
+        res = gmres(A, b, restart=8, tol=1e-9)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, rtol=1e-6, atol=1e-7)
+
+    def test_residuals_decrease(self):
+        A, b = nonsym_system()
+        res = gmres(A, b, restart=4, tol=1e-9)
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_max_cycles(self):
+        A, b = nonsym_system()
+        res = gmres(A, b, restart=2, tol=1e-16, max_cycles=2)
+        assert res.cycles == 2 and not res.converged
+
+    def test_validation(self):
+        A, b = nonsym_system()
+        with pytest.raises(ValueError):
+            gmres(A, b, restart=0)
+        with pytest.raises(ValueError):
+            gmres(A, np.ones(5), restart=2)
+
+
+class TestCAGMRES:
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    @pytest.mark.parametrize("streaming", [False, True])
+    def test_equals_restarted_gmres(self, s, streaming):
+        A, b = nonsym_system()
+        ref = gmres(A, b, restart=s, tol=1e-9, max_cycles=300)
+        res = ca_gmres(A, b, s=s, tol=1e-9, max_cycles=300, block=16,
+                       streaming=streaming)
+        assert res.converged
+        assert res.cycles == ref.cycles
+        np.testing.assert_allclose(res.x, ref.x, rtol=1e-7, atol=1e-9)
+
+    def test_streaming_reduces_writes(self):
+        A, b = nonsym_system()
+        s = 4
+        ref = gmres(A, b, restart=s, tol=1e-9, max_cycles=300)
+        plain = ca_gmres(A, b, s=s, tol=1e-9, max_cycles=300, block=16)
+        stream = ca_gmres(A, b, s=s, tol=1e-9, max_cycles=300, block=16,
+                          streaming=True)
+        assert stream.writes_per_step < plain.writes_per_step
+        assert stream.writes_per_step < 0.5 * ref.writes_per_step
+
+    def test_streaming_write_rate_falls_with_s(self):
+        A, b = nonsym_system(mesh=128)
+        rates = []
+        for s in (2, 4, 8):
+            res = ca_gmres(A, b, s=s, tol=1e-8, max_cycles=400, block=32,
+                           streaming=True)
+            assert res.converged
+            rates.append(res.writes_per_step)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_streaming_flop_premium_bounded(self):
+        A, b = nonsym_system()
+        plain = ca_gmres(A, b, s=4, tol=1e-9, max_cycles=300, block=16)
+        stream = ca_gmres(A, b, s=4, tol=1e-9, max_cycles=300, block=16,
+                          streaming=True)
+        assert stream.traffic.flops <= 2.1 * plain.traffic.flops
+
+    def test_chebyshev_basis(self):
+        A, b = nonsym_system()
+        hi = float(np.abs(A).sum(axis=1).max())
+        res = ca_gmres(A, b, s=4, tol=1e-9, max_cycles=300, block=16,
+                       basis=ChebyshevBasis(0.1, hi), streaming=True)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, rtol=1e-6, atol=1e-7)
+
+    def test_dense_rejected(self):
+        A, b = nonsym_system()
+        with pytest.raises(ValueError):
+            ca_gmres(A.toarray(), b, s=2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mesh=st.integers(min_value=24, max_value=64),
+    s=st.integers(min_value=1, max_value=4),
+)
+def test_property_ca_gmres_equals_gmres(mesh, s):
+    A, b = nonsym_system(mesh=mesh, seed=mesh)
+    ref = gmres(A, b, restart=s, tol=1e-8, max_cycles=400)
+    res = ca_gmres(A, b, s=s, tol=1e-8, max_cycles=400,
+                   block=max(8, mesh // 4))
+    assert res.converged == ref.converged
+    if ref.converged:
+        np.testing.assert_allclose(res.x, ref.x, rtol=1e-5, atol=1e-7)

@@ -1,0 +1,294 @@
+"""Tests for stencils, bases, CG, matrix powers, and CA-CG (Section 8)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krylov import (
+    ChebyshevBasis,
+    MonomialBasis,
+    NewtonBasis,
+    cacg,
+    cg,
+    matrix_powers,
+    matrix_powers_blocked,
+    matrix_powers_streaming,
+    spd_stencil_system,
+    stencil_matrix,
+)
+from repro.krylov.matrix_powers import matrix_bandwidth
+from repro.krylov.stencil import stencil_bandwidth
+
+
+class TestStencil:
+    def test_1d_tridiagonal(self):
+        S = stencil_matrix(5, d=1, b=1)
+        dense = S.toarray()
+        expected = np.zeros((5, 5))
+        for i in range(5):
+            for j in range(5):
+                if abs(i - j) == 1:
+                    expected[i, j] = 1
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_2d_9point(self):
+        S = stencil_matrix(4, d=2, b=1)
+        # Interior point has 8 neighbours in a 3x3 stencil.
+        degrees = np.asarray(S.sum(axis=1)).ravel()
+        assert degrees.max() == 8
+        assert degrees.min() == 3  # corner
+
+    def test_periodic_uniform_degree(self):
+        S = stencil_matrix(5, d=2, b=1, periodic=True)
+        degrees = np.asarray(S.sum(axis=1)).ravel()
+        assert (degrees == 8).all()
+
+    def test_wider_stencil(self):
+        S = stencil_matrix(7, d=1, b=2)
+        degrees = np.asarray(S.sum(axis=1)).ravel()
+        assert degrees.max() == 4  # 2 each side
+
+    def test_symmetry(self):
+        S = stencil_matrix(6, d=2, b=1)
+        assert (S != S.T).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil_matrix(2, d=1, b=3)  # mesh <= b
+
+    def test_spd_system(self):
+        A, rhs = spd_stencil_system(8, d=2, b=1)
+        dense = A.toarray()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_bandwidth_formula(self):
+        S = stencil_matrix(6, d=2, b=1)
+        assert matrix_bandwidth(S) <= stencil_bandwidth(6, 2, 1)
+
+
+class TestBases:
+    def test_monomial_vectors(self):
+        A = sp.diags([2.0] * 4).tocsr()
+        y = np.ones(4)
+        K = MonomialBasis().vectors(A, y, 3)
+        np.testing.assert_allclose(K[:, 3], 8 * y)
+
+    def test_newton_shifts(self):
+        A = sp.diags([3.0] * 4).tocsr()
+        y = np.ones(4)
+        K = NewtonBasis([1.0, 2.0]).vectors(A, y, 2)
+        np.testing.assert_allclose(K[:, 1], (3 - 1) * y)
+        np.testing.assert_allclose(K[:, 2], (3 - 2) * (3 - 1) * y)
+
+    @pytest.mark.parametrize("basis", [
+        MonomialBasis(), NewtonBasis([0.5, 1.5]), ChebyshevBasis(0.5, 3.5),
+    ])
+    def test_hessenberg_identity(self, basis):
+        """A·K_m = K_{m+1}·H for every basis — the paper's defining
+        relation."""
+        A, _ = spd_stencil_system(16, d=1, b=1)
+        y = np.random.default_rng(0).standard_normal(16)
+        m = 4
+        K = basis.vectors(A, y, m)
+        H = basis.hessenberg(m)
+        np.testing.assert_allclose(A @ K[:, :m], K @ H, rtol=1e-10,
+                                   atol=1e-10)
+
+    def test_chebyshev_validation(self):
+        with pytest.raises(ValueError):
+            ChebyshevBasis(2.0, 2.0)
+
+    def test_chebyshev_conditioning_beats_monomial(self):
+        """Chebyshev basis vectors stay far better conditioned — why it is
+        the practical choice for larger s."""
+        A, _ = spd_stencil_system(64, d=1, b=1)
+        lo, hi = 0.5, float(np.abs(A).sum(axis=1).max())
+        y = np.random.default_rng(1).standard_normal(64)
+        s = 8
+        Km = MonomialBasis().vectors(A, y, s)
+        Kc = ChebyshevBasis(lo, hi).vectors(A, y, s)
+        assert np.linalg.cond(Kc) < np.linalg.cond(Km)
+
+
+class TestCG:
+    def test_solves_system(self):
+        A, b = spd_stencil_system(32, d=1, b=1)
+        res = cg(A, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, rtol=1e-7, atol=1e-7)
+
+    def test_residuals_monotone_overall(self):
+        A, b = spd_stencil_system(16, d=2, b=1)
+        res = cg(A, b, tol=1e-10)
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_writes_per_iteration_is_4n(self):
+        A, b = spd_stencil_system(128, d=1, b=1)
+        res = cg(A, b, tol=1e-12, maxiter=50)
+        n = 128
+        # 4n per iteration plus 3n setup.
+        expected = (4 * n * res.iterations + 3 * n) / res.iterations
+        assert abs(res.writes_per_iteration - expected) < 1e-9
+
+    def test_maxiter_respected(self):
+        A, b = spd_stencil_system(64, d=2, b=1)
+        res = cg(A, b, tol=1e-16, maxiter=3)
+        assert res.iterations == 3
+        assert not res.converged
+
+    def test_validation(self):
+        A, b = spd_stencil_system(8, d=1, b=1)
+        with pytest.raises(ValueError):
+            cg(A, b, tol=-1)
+        with pytest.raises(ValueError):
+            cg(A, np.ones(5))
+
+
+class TestMatrixPowers:
+    def setup_method(self):
+        self.A, _ = spd_stencil_system(96, d=1, b=1)
+        self.y = np.random.default_rng(2).standard_normal(96)
+
+    def test_naive_correct(self):
+        K, _ = matrix_powers(self.A, self.y, 3)
+        np.testing.assert_allclose(K[:, 1], self.A @ self.y)
+        np.testing.assert_allclose(K[:, 3],
+                                   self.A @ (self.A @ (self.A @ self.y)))
+
+    @pytest.mark.parametrize("block", [8, 16, 96])
+    def test_blocked_matches_naive(self, block):
+        s = 4
+        Kn, _ = matrix_powers(self.A, self.y, s)
+        Kb, _ = matrix_powers_blocked(self.A, self.y, s, block=block)
+        np.testing.assert_allclose(Kb, Kn, rtol=1e-12, atol=1e-12)
+
+    def test_blocked_reduces_reads(self):
+        """The CA property: Θ(s)-fold fewer matrix reads when the block
+        dominates the halo."""
+        s = 4
+        _, tn = matrix_powers(self.A, self.y, s)
+        _, tb = matrix_powers_blocked(self.A, self.y, s, block=48)
+        assert tb.reads < tn.reads / 2
+
+    def test_blocked_still_writes_basis(self):
+        """CA but not WA: the basis is still written (s·n words)."""
+        s = 4
+        _, tb = matrix_powers_blocked(self.A, self.y, s, block=48)
+        assert tb.writes == s * 96
+
+    def test_streaming_writes_only_consumer_output(self):
+        s = 4
+        seen = []
+
+        def consumer(r0, r1, blk):
+            seen.append((r0, r1))
+            return 0
+
+        t = matrix_powers_streaming(self.A, self.y, s, consumer, block=16)
+        assert t.writes == 0
+        assert seen == [(i, i + 16) for i in range(0, 96, 16)]
+
+    def test_streaming_blocks_match_naive(self):
+        s = 3
+        Kn, _ = matrix_powers(self.A, self.y, s)
+        got = np.empty_like(Kn)
+
+        def consumer(r0, r1, blk):
+            got[r0:r1] = blk
+            return 0
+
+        matrix_powers_streaming(self.A, self.y, s, consumer, block=10)
+        np.testing.assert_allclose(got, Kn, rtol=1e-12, atol=1e-12)
+
+    def test_consumer_write_reporting(self):
+        def consumer(r0, r1, blk):
+            return r1 - r0
+
+        t = matrix_powers_streaming(self.A, self.y, 2, consumer, block=32)
+        assert t.writes == 96
+
+    def test_negative_consumer_report_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_powers_streaming(self.A, self.y, 2,
+                                    lambda a, b, c: -1, block=32)
+
+
+class TestCACG:
+    def setup_method(self):
+        self.A, self.b = spd_stencil_system(128, d=1, b=1)
+        self.ref = cg(self.A, self.b, tol=1e-10)
+
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    @pytest.mark.parametrize("streaming", [False, True])
+    def test_matches_cg(self, s, streaming):
+        res = cacg(self.A, self.b, s=s, tol=1e-10, streaming=streaming,
+                   block=32)
+        assert res.converged
+        np.testing.assert_allclose(res.x, self.ref.x, rtol=1e-6, atol=1e-8)
+
+    def test_inner_steps_track_cg_iterations(self):
+        """s-step structure: outer·s inner steps ≈ CG iterations."""
+        res = cacg(self.A, self.b, s=4, tol=1e-10, block=32)
+        assert abs(res.inner_steps - self.ref.iterations) <= 4
+
+    def test_streaming_reduces_writes_theta_s(self):
+        """The paper's Section-8 claim: W12 drops by Θ(s)."""
+        rates = []
+        for s in (2, 4, 8):
+            res = cacg(self.A, self.b, s=s, tol=1e-10, streaming=True,
+                       block=32)
+            rates.append(res.writes_per_step)
+        assert rates[0] > rates[1] > rates[2]
+        # Doubling s should cut the rate by ~2 (allow generous slack for
+        # the O(n) per-outer overhead).
+        assert rates[0] / rates[2] > 2.0
+
+    def test_streaming_at_most_doubles_reads_and_flops(self):
+        """The cost side of the claim: ≤ 2× reads and flops."""
+        plain = cacg(self.A, self.b, s=4, tol=1e-10, block=32)
+        stream = cacg(self.A, self.b, s=4, tol=1e-10, streaming=True,
+                      block=32)
+        assert stream.traffic.flops <= 2.05 * plain.traffic.flops
+        assert stream.traffic.reads <= 2.05 * plain.traffic.reads
+
+    def test_streaming_beats_cg_writes(self):
+        stream = cacg(self.A, self.b, s=8, tol=1e-10, streaming=True,
+                      block=32)
+        assert stream.writes_per_step < 0.5 * self.ref.writes_per_iteration
+
+    def test_chebyshev_basis_works(self):
+        hi = float(np.abs(self.A).sum(axis=1).max())
+        res = cacg(self.A, self.b, s=6, tol=1e-10, streaming=True,
+                   block=32, basis=ChebyshevBasis(0.1, hi))
+        assert res.converged
+        np.testing.assert_allclose(res.x, self.ref.x, rtol=1e-6, atol=1e-8)
+
+    def test_2d_mesh(self):
+        A, b = spd_stencil_system(12, d=2, b=1)
+        ref = cg(A, b, tol=1e-10)
+        res = cacg(A, b, s=3, tol=1e-10, streaming=True, block=36)
+        assert res.converged
+        np.testing.assert_allclose(res.x, ref.x, rtol=1e-6, atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cacg(self.A, self.b, s=0)
+        with pytest.raises(ValueError):
+            cacg(self.A.toarray(), self.b, s=2)  # dense rejected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    mesh=st.integers(min_value=16, max_value=64),
+    s=st.integers(min_value=1, max_value=4),
+)
+def test_property_cacg_equals_cg(mesh, s):
+    """For any mesh size and s, CA-CG converges to the CG solution."""
+    A, b = spd_stencil_system(mesh, d=1, b=1, seed=mesh)
+    ref = cg(A, b, tol=1e-10)
+    res = cacg(A, b, s=s, tol=1e-10, block=max(8, mesh // 4))
+    assert res.converged
+    np.testing.assert_allclose(res.x, ref.x, rtol=1e-5, atol=1e-7)

@@ -1,0 +1,193 @@
+"""Unit tests for the explicit memory hierarchy and counters."""
+
+import math
+
+import pytest
+
+from repro.machine import MemoryHierarchy, TwoLevel
+from repro.machine.counters import ChannelCounters, LevelCounters, ResidencyClass
+from repro.machine.counters import ResidencyLog
+from repro.machine.hierarchy import CapacityError, WriteBuffer
+
+
+class TestLevelCounters:
+    def test_add_and_total(self):
+        a = LevelCounters(3, 4)
+        b = LevelCounters(1, 2)
+        a.add(b)
+        assert (a.reads, a.writes, a.total) == (4, 6, 10)
+
+    def test_copy_is_independent(self):
+        a = LevelCounters(1, 1)
+        b = a.copy()
+        b.reads += 5
+        assert a.reads == 1
+
+
+class TestChannelCounters:
+    def test_directions(self):
+        c = ChannelCounters()
+        c.record_down(10, 2)
+        c.record_up(3)
+        assert c.words == 13
+        assert c.msgs == 3
+        assert c.words_down == 10 and c.words_up == 3
+
+    def test_add(self):
+        a = ChannelCounters(1, 1, 1, 1)
+        a.add(ChannelCounters(2, 2, 2, 2))
+        assert (a.words_down, a.msgs_down, a.words_up, a.msgs_up) == (3, 3, 3, 3)
+
+
+class TestResidency:
+    def test_classification_flags(self):
+        assert ResidencyClass.R1D1.begins_with_load
+        assert ResidencyClass.R1D1.ends_with_store
+        assert not ResidencyClass.R2D2.begins_with_load
+        assert not ResidencyClass.R2D2.ends_with_store
+
+    def test_log_implied_traffic(self):
+        log = ResidencyLog()
+        log.record(ResidencyClass.R1D1, 2)
+        log.record(ResidencyClass.R2D2, 3)
+        assert log.total == 5
+        assert log.loads_implied == 2
+        assert log.stores_implied == 2
+
+
+class TestMemoryHierarchy:
+    def test_load_counts_read_slow_write_fast(self):
+        h = MemoryHierarchy([100, 1000])
+        h.load(1, 10)
+        assert h.reads_at(2) == 10
+        assert h.writes_at(1) == 10
+        assert h.loads_on_channel(1) == 10
+        assert h.messages_on_channel(1) == 1
+
+    def test_store_counts_read_fast_write_slow(self):
+        h = MemoryHierarchy([100, 1000])
+        h.store(1, 7)
+        assert h.reads_at(1) == 7
+        assert h.writes_at(2) == 7
+        assert h.stores_on_channel(1) == 7
+
+    def test_backing_store_is_level_r_plus_1(self):
+        h = MemoryHierarchy([100])
+        h.store(1, 5)
+        assert h.writes_at(2) == 5  # backing store
+
+    def test_create_counts_only_fast_write(self):
+        h = MemoryHierarchy([100, 1000])
+        h.create(1, 4)
+        assert h.writes_at(1) == 4
+        assert h.traffic_on_channel(1) == 0
+
+    def test_sizes_must_increase(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([100, 100])
+        with pytest.raises(ValueError):
+            MemoryHierarchy([100, 50])
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+    def test_inf_top_level_allowed(self):
+        h = MemoryHierarchy([10, math.inf])
+        h.load(2, 5)
+        assert h.writes_at(2) == 5
+
+    def test_level_bounds_checked(self):
+        h = MemoryHierarchy([10, 100])
+        with pytest.raises(ValueError):
+            h.load(0, 1)
+        with pytest.raises(ValueError):
+            h.load(3, 1)
+
+    def test_capacity_enforced(self):
+        h = MemoryHierarchy([10, 100])
+        h.alloc(1, 8)
+        with pytest.raises(CapacityError):
+            h.alloc(1, 3)
+        h.free(1, 8)
+        h.alloc(1, 10)
+
+    def test_resident_context_manager(self):
+        h = MemoryHierarchy([10, 100])
+        with h.resident(1, 10):
+            assert h.occupancy[1] == 10
+            with pytest.raises(CapacityError):
+                h.alloc(1, 1)
+        assert h.occupancy[1] == 0
+
+    def test_over_free_raises(self):
+        h = MemoryHierarchy([10, 100])
+        with pytest.raises(CapacityError):
+            h.free(1, 1)
+
+    def test_occupancy_tracking_optional(self):
+        h = MemoryHierarchy([10], track_occupancy=False)
+        h.alloc(1, 1000)  # no error
+
+    def test_reset(self):
+        h = MemoryHierarchy([10, 100])
+        h.load(1, 5)
+        h.alloc(1, 3)
+        h.reset()
+        assert h.writes_at(1) == 0
+        assert h.occupancy[1] == 0
+
+    def test_summary_structure(self):
+        h = MemoryHierarchy([10, 100])
+        h.load(1, 5)
+        s = h.summary()
+        assert s["levels"]["L1"]["writes"] == 5
+        assert s["channels"]["L2<->L1"]["loads"] == 5
+
+
+class TestTwoLevel:
+    def test_paper_vocabulary(self):
+        t = TwoLevel(64)
+        t.load_fast(10)
+        t.store_slow(4)
+        t.create_fast(2)
+        assert t.loads == 10
+        assert t.stores == 4
+        assert t.loads_plus_stores == 14
+        assert t.writes_to_fast == 12  # 10 loaded + 2 created
+        assert t.writes_to_slow == 4
+        assert t.reads_from_slow == 10
+        assert t.M == 64
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TwoLevel(0)
+
+    def test_theorem1_shape_on_simple_program(self):
+        # Any program's writes to fast >= (loads+stores)/2 by Theorem 1.
+        t = TwoLevel(1024)
+        t.load_fast(100)
+        t.store_slow(100)
+        assert 2 * t.writes_to_fast >= t.loads_plus_stores
+
+
+class TestWriteBuffer:
+    def test_word_count_is_capacity_independent(self):
+        small = WriteBuffer(4)
+        big = WriteBuffer(1000)
+        for _ in range(10):
+            small.push(7)
+            big.push(7)
+        assert small.words_written == big.words_written == 70
+        assert small.drain_events > big.drain_events
+
+    def test_flush(self):
+        wb = WriteBuffer(100)
+        wb.push(5)
+        wb.flush()
+        assert wb.pending == 0
+        assert wb.drain_events == 1
+        wb.flush()  # empty flush is a no-op
+        assert wb.drain_events == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)

@@ -1,0 +1,168 @@
+"""Tests for trace buffers and traced array address translation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import AddressSpace, TraceBuffer, TracedMatrix, TracedVector
+from repro.machine.arrays import matrix_trio
+
+
+class TestTraceBuffer:
+    def test_touch_words_covers_lines(self):
+        tb = TraceBuffer(line_size=8)
+        tb.touch_words(0, 8)  # exactly one line
+        tb.touch_words(7, 2)  # straddles lines 0 and 1
+        lines, writes = tb.finalize()
+        assert lines.tolist() == [0, 0, 1]
+        assert not writes.any()
+
+    def test_write_flag_propagates(self):
+        tb = TraceBuffer(line_size=4)
+        tb.touch_words(0, 4, write=True)
+        tb.touch_words(4, 4, write=False)
+        lines, writes = tb.finalize()
+        assert writes.tolist() == [True, False]
+
+    def test_empty_touches_ignored(self):
+        tb = TraceBuffer()
+        tb.touch_words(0, 0)
+        tb.touch_lines(np.empty(0, dtype=np.int64))
+        assert len(tb) == 0
+        lines, writes = tb.finalize()
+        assert len(lines) == 0 and len(writes) == 0
+
+    def test_extend(self):
+        a = TraceBuffer(line_size=4)
+        a.touch_words(0, 4)
+        b = TraceBuffer(line_size=4)
+        b.touch_words(4, 4, write=True)
+        a.extend(b)
+        lines, writes = a.finalize()
+        assert lines.tolist() == [0, 1]
+        assert writes.tolist() == [False, True]
+
+    def test_extend_line_size_mismatch(self):
+        a = TraceBuffer(line_size=4)
+        b = TraceBuffer(line_size=8)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+    def test_event_counts(self):
+        tb = TraceBuffer(line_size=1)
+        tb.touch_words(0, 3)
+        tb.touch_words(0, 2, write=True)
+        assert tb.n_read_events == 3
+        assert tb.n_write_events == 2
+        assert tb.n_unique_lines == 3
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(line_size=0)
+
+
+class TestAddressSpace:
+    def test_alloc_line_aligned_and_disjoint(self):
+        sp = AddressSpace(line_size=8)
+        a = sp.alloc("a", 10)
+        b = sp.alloc("b", 5)
+        assert a == 0
+        assert b % 8 == 0
+        assert b >= 10
+
+    def test_duplicate_name_rejected(self):
+        sp = AddressSpace()
+        sp.alloc("a", 1)
+        with pytest.raises(ValueError):
+            sp.alloc("a", 1)
+
+
+class TestTracedMatrix:
+    def test_addr_row_major(self):
+        sp = AddressSpace(line_size=8)
+        m = TracedMatrix(sp, "M", 4, 10)
+        assert m.addr(0, 0) == m.base
+        assert m.addr(1, 0) == m.base + 10
+        assert m.addr(2, 3) == m.base + 23
+
+    def test_addr_bounds(self):
+        sp = AddressSpace()
+        m = TracedMatrix(sp, "M", 2, 2)
+        with pytest.raises(IndexError):
+            m.addr(2, 0)
+
+    def test_tile_lines_full_rows(self):
+        sp = AddressSpace(line_size=4)
+        m = TracedMatrix(sp, "M", 2, 8)  # each row = 2 lines
+        lines = m.tile_lines(0, 2, 0, 8)
+        assert lines.tolist() == [0, 1, 2, 3]
+
+    def test_tile_lines_subtile_shares_lines(self):
+        sp = AddressSpace(line_size=8)
+        m = TracedMatrix(sp, "M", 2, 8)
+        # Columns 2..6 of each row still live in that row's single line.
+        lines = m.tile_lines(0, 2, 2, 6)
+        assert lines.tolist() == [0, 1]
+
+    def test_empty_tile(self):
+        sp = AddressSpace()
+        m = TracedMatrix(sp, "M", 4, 4)
+        assert len(m.tile_lines(1, 1, 0, 4)) == 0
+
+    def test_tile_bounds_checked(self):
+        sp = AddressSpace()
+        m = TracedMatrix(sp, "M", 4, 4)
+        with pytest.raises(IndexError):
+            m.tile_lines(0, 5, 0, 4)
+
+    def test_n_lines(self):
+        sp = AddressSpace(line_size=8)
+        m = TracedMatrix(sp, "M", 4, 4)  # 16 words = 2 lines
+        assert m.n_lines == 2
+        assert len(np.unique(m.whole_lines())) == 2
+
+
+class TestTracedVector:
+    def test_segments(self):
+        sp = AddressSpace(line_size=4)
+        v = TracedVector(sp, "v", 10)
+        assert v.segment_lines(0, 4).tolist() == [0]
+        assert v.segment_lines(3, 6).tolist() == [0, 1]
+        assert len(v.segment_lines(5, 5)) == 0
+
+    def test_bounds(self):
+        sp = AddressSpace()
+        v = TracedVector(sp, "v", 10)
+        with pytest.raises(IndexError):
+            v.segment_lines(0, 11)
+
+    def test_n_lines(self):
+        sp = AddressSpace(line_size=8)
+        v = TracedVector(sp, "v", 9)
+        assert v.n_lines == 2
+
+
+class TestMatrixTrio:
+    def test_layout_order_and_sizes(self):
+        C, A, B, sp = matrix_trio(None, 4, 6, 8)
+        assert C.base < A.base < B.base
+        assert (C.nrows, C.ncols) == (4, 8)
+        assert (A.nrows, A.ncols) == (4, 6)
+        assert (B.nrows, B.ncols) == (6, 8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nrows=st.integers(min_value=1, max_value=20),
+    ncols=st.integers(min_value=1, max_value=20),
+    line=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_whole_matrix_lines_cover_every_element(nrows, ncols, line):
+    """Every element's address falls in some line of whole_lines()."""
+    sp = AddressSpace(line_size=line)
+    m = TracedMatrix(sp, "M", nrows, ncols)
+    covered = set(m.whole_lines().tolist())
+    for i in range(nrows):
+        for j in range(ncols):
+            assert m.addr(i, j) // line in covered

@@ -1,0 +1,108 @@
+"""Tests for the multi-level cache hierarchy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import matmul_trace
+from repro.machine import CacheHierarchySim, CacheSim
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheHierarchySim([8, 8], line_size=1)
+        with pytest.raises(ValueError):
+            CacheHierarchySim([8, 16], line_size=1,
+                              policies=["lru"])
+        with pytest.raises(ValueError):
+            CacheHierarchySim([8, 16], line_size=1,
+                              policies=["lru", "belady"])
+        with pytest.raises(ValueError):
+            CacheHierarchySim([])
+
+    def test_l1_hit_does_not_touch_l2(self):
+        h = CacheHierarchySim([4, 16], line_size=1)
+        h.run_lines(np.array([0, 0, 0]), np.zeros(3, dtype=bool))
+        assert h.stats(0).hits == 2
+        assert h.stats(1).accesses == 1  # only the initial fill
+
+    def test_l1_miss_fills_from_l2(self):
+        h = CacheHierarchySim([1, 16], line_size=1)
+        h.run_lines(np.array([0, 1, 0]), np.zeros(3, dtype=bool))
+        # L1 thrashes; L2 absorbs the refills.
+        assert h.stats(0).misses == 3
+        assert h.stats(1).accesses == 3
+        assert h.stats(1).hits == 1  # the refill of line 0
+
+    def test_dirty_victim_propagates_as_write(self):
+        h = CacheHierarchySim([1, 16], line_size=1)
+        # Write line 0, then touch line 1: L1 evicts 0 dirty -> L2 write.
+        h.run_lines(np.array([0, 1]), np.array([True, False]))
+        h.flush()
+        # Backing memory eventually receives exactly line 0's data.
+        assert h.backing_writes == 1
+
+    def test_single_level_matches_cachesim(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 30, size=2000)
+        writes = rng.random(2000) < 0.3
+        hier = CacheHierarchySim([16], line_size=1)
+        hier.run_lines(lines, writes)
+        hier.flush()
+        flat = CacheSim(16, line_size=1)
+        flat.run_lines(lines, writes)
+        flat.flush()
+        assert hier.stats(0).misses == flat.stats.misses
+        assert hier.backing_writes == flat.stats.writebacks
+
+    def test_backing_reads_equal_last_level_misses(self):
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, 50, size=3000)
+        writes = rng.random(3000) < 0.3
+        h = CacheHierarchySim([4, 32], line_size=1)
+        h.run_lines(lines, writes)
+        assert h.backing_reads == h.stats(1).misses
+
+    def test_stats_level_bounds(self):
+        h = CacheHierarchySim([4, 8], line_size=1)
+        with pytest.raises(ValueError):
+            h.stats(2)
+
+
+class TestWAUnderHierarchy:
+    """The Figure-5 story measured at two boundaries simultaneously."""
+
+    N, MID = 48, 96
+    B3, B2, BASE, LINE = 12, 6, 3, 3
+
+    def run(self, scheme):
+        buf = matmul_trace(self.N, self.MID, self.N, scheme=scheme,
+                           b3=self.B3, b2=self.B2, base=self.BASE,
+                           line_size=self.LINE)
+        # L2 holds ~5 inner blocks, L3 ~5 outer blocks.
+        h = CacheHierarchySim(
+            [5 * self.B2**2 + self.LINE * 5, 5 * self.B3**2 + self.LINE * 5],
+            line_size=self.LINE,
+        )
+        lines, writes = buf.finalize()
+        h.run_lines(lines, writes)
+        h.flush()
+        return h
+
+    def floor(self):
+        return self.N * self.N // self.LINE
+
+    def test_multilevel_wa_floors_backing_writes(self):
+        h = self.run("wa-multilevel")
+        assert h.backing_writes == self.floor()
+
+    def test_backing_writes_below_l2_writebacks(self):
+        """WA at both levels: writes shrink as you descend — the defining
+        multi-level WA signature (Section 2.1)."""
+        h = self.run("wa-multilevel")
+        l2_wb = h.stats(0).victims_m + h.stats(0).flush_writebacks
+        assert h.backing_writes <= l2_wb
+
+    def test_co_backing_writes_exceed_floor(self):
+        h = self.run("co")
+        assert h.backing_writes > 2 * self.floor()

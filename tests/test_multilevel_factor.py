@@ -1,0 +1,129 @@
+"""Tests for multi-level WA TRSM and Cholesky (Sections 4.2–4.3)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cholesky_multilevel, trsm_multilevel
+from repro.machine import MemoryHierarchy
+
+
+def upper(n, seed=0):
+    rng = np.random.default_rng(seed)
+    T = np.triu(rng.standard_normal((n, n)))
+    T[np.diag_indices(n)] = n + rng.random(n)
+    return T
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    G = rng.standard_normal((n, n))
+    return G @ G.T + n * np.eye(n)
+
+
+def make_hier(block_sizes):
+    return MemoryHierarchy([3 * b * b for b in reversed(block_sizes)])
+
+
+class TestTRSMMultilevel:
+    @pytest.mark.parametrize("bs", [[8, 4], [8, 2], [8, 4, 2], [4, 2]])
+    def test_numerics(self, bs):
+        n, m = 16, 8
+        T = upper(n, 1)
+        B = np.random.default_rng(2).standard_normal((n, m))
+        X = trsm_multilevel(T, B.copy(), block_sizes=bs)
+        np.testing.assert_allclose(T @ X, B, rtol=1e-9, atol=1e-9)
+
+    def test_matches_scipy(self):
+        n = 16
+        T = upper(n, 3)
+        B = np.random.default_rng(4).standard_normal((n, n))
+        X = trsm_multilevel(T, B.copy(), block_sizes=[8, 4])
+        ref = scipy.linalg.solve_triangular(T, B, lower=False)
+        np.testing.assert_allclose(X, ref, rtol=1e-8, atol=1e-8)
+
+    def test_backing_writes_equal_output(self):
+        n, m = 16, 8
+        bs = [8, 4]
+        hier = make_hier(bs)
+        trsm_multilevel(upper(n, 5),
+                        np.random.default_rng(6).standard_normal((n, m)),
+                        block_sizes=bs, hier=hier)
+        assert hier.writes_at(hier.r + 1) == n * m
+
+    def test_writes_decrease_toward_slow_memory(self):
+        n, m = 32, 16
+        bs = [16, 8, 4]
+        hier = make_hier(bs)
+        trsm_multilevel(upper(n, 7),
+                        np.random.default_rng(8).standard_normal((n, m)),
+                        block_sizes=bs, hier=hier)
+        assert (hier.writes_at(1) > hier.writes_at(2)
+                > hier.writes_at(3) > hier.writes_at(4))
+        assert hier.writes_at(4) == n * m
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trsm_multilevel(upper(10), np.zeros((10, 4)), block_sizes=[4])
+        with pytest.raises(ValueError):
+            trsm_multilevel(upper(8), np.zeros((8, 8)), block_sizes=[8, 3])
+
+
+class TestCholeskyMultilevel:
+    @pytest.mark.parametrize("bs", [[8, 4], [8, 2], [8, 4, 2], [16, 8]])
+    def test_numerics(self, bs):
+        n = 16
+        A = spd(n, 9)
+        L = np.tril(cholesky_multilevel(A.copy(), block_sizes=bs))
+        np.testing.assert_allclose(L @ L.T, A, rtol=1e-9, atol=1e-9)
+
+    def test_matches_scipy(self):
+        n = 16
+        A = spd(n, 10)
+        L = np.tril(cholesky_multilevel(A.copy(), block_sizes=[8, 4]))
+        ref = scipy.linalg.cholesky(A, lower=True)
+        np.testing.assert_allclose(L, ref, rtol=1e-8, atol=1e-8)
+
+    def test_backing_writes_equal_output(self):
+        n = 16
+        bs = [8, 4]
+        hier = make_hier(bs)
+        cholesky_multilevel(spd(n, 11), block_sizes=bs, hier=hier)
+        # Lower triangle in full diagonal blocks: n(n + b_top)/2.
+        assert hier.writes_at(hier.r + 1) == n * (n + bs[0]) // 2
+
+    def test_writes_decrease_toward_slow_memory(self):
+        n = 32
+        bs = [16, 8, 4]
+        hier = make_hier(bs)
+        cholesky_multilevel(spd(n, 12), block_sizes=bs, hier=hier)
+        assert (hier.writes_at(1) > hier.writes_at(2)
+                > hier.writes_at(3) > hier.writes_at(4))
+
+    def test_theorem1_at_every_level_boundary(self):
+        """Theorem 1 applied per level: writes into L_s ≥ half of the
+        channel traffic between L_s and L_{s+1}."""
+        n = 16
+        bs = [8, 4]
+        hier = make_hier(bs)
+        cholesky_multilevel(spd(n, 13), block_sizes=bs, hier=hier)
+        for s in range(1, hier.r + 1):
+            assert 2 * hier.writes_at(s) >= hier.traffic_on_channel(s)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nb=st.integers(min_value=1, max_value=3),
+    bs=st.sampled_from([(8, 4), (8, 2)]),
+)
+def test_property_multilevel_factor_output_writes(nb, bs):
+    b_top = bs[0]
+    n = nb * b_top
+    hier = make_hier(list(bs))
+    A = spd(n, nb)
+    L = np.tril(cholesky_multilevel(A.copy(), block_sizes=list(bs),
+                                    hier=hier))
+    np.testing.assert_allclose(L @ L.T, A, rtol=1e-8, atol=1e-8)
+    assert hier.writes_at(hier.r + 1) == n * (n + b_top) // 2

@@ -1,0 +1,100 @@
+"""Tests for the Section-9 sorting conjecture demonstration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sorting import (
+    external_merge_sort,
+    selection_sort_wa,
+    sorting_traffic_lb,
+)
+from repro.machine import TwoLevel
+
+
+def data(n, seed=0):
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", [external_merge_sort, selection_sort_wa])
+    @pytest.mark.parametrize("n", [0, 1, 5, 64, 257])
+    def test_sorts(self, fn, n):
+        x = data(n, seed=n)
+        np.testing.assert_array_equal(fn(x, M=16), np.sort(x))
+
+    @pytest.mark.parametrize("fn", [external_merge_sort, selection_sort_wa])
+    def test_duplicates(self, fn):
+        x = np.array([3.0, 1.0, 3.0, 1.0, 2.0, 2.0, 3.0, 0.0])
+        np.testing.assert_array_equal(fn(x, M=4), np.sort(x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            external_merge_sort(data(8), M=2)
+        with pytest.raises(ValueError):
+            selection_sort_wa(data(8), M=0)
+
+
+class TestTrafficTradeoff:
+    N, M = 1024, 32
+
+    def run_both(self):
+        x = data(self.N, 1)
+        hm = TwoLevel(self.M)
+        external_merge_sort(x, M=self.M, hier=hm)
+        hs = TwoLevel(self.M)
+        selection_sort_wa(x, M=self.M, hier=hs)
+        return hm, hs
+
+    def test_merge_sort_writes_are_theta_of_traffic(self):
+        hm, _ = self.run_both()
+        frac = hm.writes_to_slow / hm.loads_plus_stores
+        assert 0.4 < frac < 0.6  # every pass writes what it reads
+
+    def test_selection_sort_writes_exactly_n(self):
+        _, hs = self.run_both()
+        assert hs.writes_to_slow == self.N
+
+    def test_selection_sort_reads_quadratic(self):
+        _, hs = self.run_both()
+        scans = -(-2 * self.N // self.M)
+        assert hs.reads_from_slow == scans * self.N  # Θ(n²/M)
+
+    def test_the_conjectured_frontier(self):
+        """Fewer writes ⇔ asymptotically more reads (Section 9)."""
+        hm, hs = self.run_both()
+        assert hs.writes_to_slow < hm.writes_to_slow / 2
+        assert hs.reads_from_slow > 2 * hm.reads_from_slow
+
+    def test_merge_sort_near_aggarwal_vitter(self):
+        hm, _ = self.run_both()
+        lb = sorting_traffic_lb(self.N, self.M)
+        assert hm.loads_plus_stores >= lb / 4  # constant-free bound
+        # ... and within a small factor of it (it is CA).
+        assert hm.loads_plus_stores <= 20 * lb
+
+    def test_lb_validation(self):
+        with pytest.raises(ValueError):
+            sorting_traffic_lb(1, 16)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    M=st.sampled_from([4, 16, 64]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_both_sorts_agree(n, M, seed):
+    x = data(n, seed)
+    expected = np.sort(x)
+    np.testing.assert_array_equal(external_merge_sort(x, M=M), expected)
+    np.testing.assert_array_equal(selection_sort_wa(x, M=M), expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.sampled_from([128, 256, 512]))
+def test_property_selection_sort_write_floor(n):
+    h = TwoLevel(32)
+    selection_sort_wa(data(n, n), M=32, hier=h)
+    assert h.writes_to_slow == n

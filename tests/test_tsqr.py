@@ -1,0 +1,99 @@
+"""Tests for TSQR and the streaming basis-R interleaving (Section 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krylov import spd_stencil_system
+from repro.krylov.matrix_powers import matrix_powers
+from repro.krylov.tsqr import streaming_basis_r, tsqr, tsqr_q_explicit
+
+
+def tall(m, n, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+class TestTSQR:
+    @pytest.mark.parametrize("m,n,block", [(32, 4, 8), (64, 6, 16),
+                                           (40, 4, 16), (8, 8, 8)])
+    def test_factorization(self, m, n, block):
+        A = tall(m, n, seed=m + n)
+        qtree, R, _ = tsqr(A, block=block)
+        Q = tsqr_q_explicit(qtree, m, block)
+        np.testing.assert_allclose(Q @ R, A, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(n), rtol=1e-10,
+                                   atol=1e-10)
+
+    def test_r_matches_numpy_up_to_signs(self):
+        A = tall(48, 4, 3)
+        _, R, _ = tsqr(A, block=12)
+        R_np = np.linalg.qr(A, mode="r")
+        np.testing.assert_allclose(np.abs(R), np.abs(R_np), rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_odd_block_count(self):
+        A = tall(40, 4, 5)  # 3 blocks of 16: odd tail at the tree
+        qtree, R, _ = tsqr(A, block=16)
+        Q = tsqr_q_explicit(qtree, 40, 16)
+        np.testing.assert_allclose(Q @ R, A, rtol=1e-9, atol=1e-9)
+
+    def test_traffic_reads_input_once(self):
+        m, n, block = 64, 4, 16
+        _, _, t = tsqr(tall(m, n, 6), block=block)
+        # Leaves read the input once; tree reads only R factors.
+        assert t.reads >= m * n
+        assert t.reads <= m * n + 10 * n * n * (m // block)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tsqr(tall(8, 16), block=16)  # wide
+        with pytest.raises(ValueError):
+            tsqr(tall(32, 8), block=4)  # block < n
+
+
+class TestStreamingBasisR:
+    def test_r_matches_stored_basis_qr(self):
+        A, _ = spd_stencil_system(96, d=1, b=1)
+        y = np.random.default_rng(7).standard_normal(96)
+        s = 3
+        R, _ = streaming_basis_r(A, y, s, block=24)
+        K, _ = matrix_powers(A, y, s)
+        R_ref = np.linalg.qr(K, mode="r")
+        np.testing.assert_allclose(np.abs(R), np.abs(R_ref), rtol=1e-8,
+                                   atol=1e-10)
+
+    def test_writes_are_only_r(self):
+        """The §8 interleaving: zero basis writes, only the (s+1)² R."""
+        A, _ = spd_stencil_system(128, d=1, b=1)
+        y = np.random.default_rng(8).standard_normal(128)
+        s = 4
+        R, t = streaming_basis_r(A, y, s, block=32)
+        assert t.writes == (s + 1) ** 2
+        # Against the stored alternative: basis writes alone are s·n.
+        assert t.writes < s * 128
+
+    def test_gram_information_preserved(self):
+        """RᵀR = KᵀK: the streaming R carries exactly the Gram matrix an
+        s-step method needs."""
+        A, _ = spd_stencil_system(64, d=1, b=1)
+        y = np.random.default_rng(9).standard_normal(64)
+        s = 3
+        R, _ = streaming_basis_r(A, y, s, block=16)
+        K, _ = matrix_powers(A, y, s)
+        np.testing.assert_allclose(R.T @ R, K.T @ K, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    mblocks=st.integers(min_value=1, max_value=6),
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_property_tsqr_reconstruction(mblocks, n, seed):
+    block = max(n, 8)
+    m = mblocks * block
+    A = tall(m, n, seed)
+    qtree, R, _ = tsqr(A, block=block)
+    Q = tsqr_q_explicit(qtree, m, block)
+    np.testing.assert_allclose(Q @ R, A, rtol=1e-8, atol=1e-8)
