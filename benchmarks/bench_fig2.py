@@ -1,12 +1,17 @@
 """Regenerates Figure 2 (scaled): cache counters of matmul orders.
 
+Runs through the ``repro.lab`` sweep engine (one scenario point per
+variant x middle-dimension, cache disabled so the timing is honest) and
+reassembles the engine's records into the serial harness's row structure.
 Shape assertions encode the paper's panel-by-panel story:
 2a (CO) and 2b (MKL) victims.M grow with the middle dimension; 2c–2f
 (two-level WA) stay near the write floor, degrading gracefully as the
 blocking approaches the 3-blocks-exactly limit.
 """
 
-from repro.experiments import Fig2Config, format_fig2, run_fig2
+from repro.experiments import Fig2Config, format_fig2
+from repro.lab.executor import execute
+from repro.lab.scenarios import fig2_rows, fig2_scenario
 
 
 def small_cfg():
@@ -19,9 +24,15 @@ def small_cfg():
     )
 
 
+def run_via_lab(cfg):
+    scenario = fig2_scenario(cfg=cfg)
+    report = execute(scenario.points(), jobs=1, cache=None)
+    return fig2_rows(scenario, report.results)
+
+
 def test_fig2(benchmark):
     cfg = small_cfg()
-    results = benchmark.pedantic(run_fig2, args=(cfg,),
+    results = benchmark.pedantic(run_via_lab, args=(cfg,),
                                  rounds=1, iterations=1)
     print("\n" + format_fig2(results))
 

@@ -24,6 +24,13 @@ Subpackages
     write counting.
 ``repro.experiments``
     One harness per table/figure of the paper.
+``repro.lab``
+    The scenario-sweep engine: string-keyed registries of kernels, machine
+    models (including NVM-style asymmetric read/write costs) and policies;
+    declarative parameter grids with named presets per paper figure; a
+    ``multiprocessing`` executor; and a content-addressed on-disk result
+    cache keyed by scenario point + code fingerprint, so repeated sweeps
+    skip already-simulated points.  CLI: ``python -m repro.lab``.
 """
 
 from repro.machine import CacheSim, MemoryHierarchy, TwoLevel

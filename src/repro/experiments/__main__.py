@@ -5,10 +5,16 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig2 [--quick]
     python -m repro.experiments table1
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --jobs 4
 
 ``--quick`` shrinks the Figure-2/5 geometry so everything finishes in
 seconds (the structure is identical; only scale changes).
+
+Since the ``repro.lab`` subsystem landed, this front-end is a thin client
+of the sweep engine: experiments fan out over ``--jobs`` worker processes
+and completed harnesses are served from the persistent result cache
+(disable with ``--no-cache``).  The printed tables are unchanged; the
+cache accounting line goes to stderr.
 """
 
 from __future__ import annotations
@@ -16,57 +22,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import (
-    Fig2Config,
-    format_fig2,
-    format_fig5,
-    format_lu,
-    format_sec3,
-    format_sec4,
-    format_sec5,
-    format_sec6,
-    format_sec7_model1,
-    format_sec8,
-    format_table1,
-    format_table2,
-    run_fig2,
-    run_fig5,
-    run_lu,
-    run_sec3,
-    run_sec4,
-    run_sec5,
-    run_sec6,
-    run_sec7_model1,
-    run_sec8,
-    run_table1,
-    run_table2,
-)
-
-
-def _fig_cfg(quick: bool) -> Fig2Config:
-    if quick:
-        return Fig2Config(n_outer=48, middles=(4, 16, 64), line_size=4,
-                          b2=8, base=4)
-    return Fig2Config(n_outer=96, middles=(8, 32, 128, 256), line_size=4,
-                      b2=8, base=4)
+from repro.lab.cache import ResultCache
+from repro.lab.executor import execute
+from repro.lab.registry import EXPERIMENTS
+from repro.lab.scenarios import experiments_scenario
 
 
 def main(argv=None) -> int:
-    experiments = {
-        "fig2": lambda q: format_fig2(run_fig2(_fig_cfg(q))),
-        "fig5": lambda q: format_fig5(run_fig5(_fig_cfg(q))),
-        "table1": lambda q: format_table1(run_table1()),
-        "table2": lambda q: format_table2(run_table2()),
-        "sec3": lambda q: format_sec3(run_sec3()),
-        "sec4": lambda q: format_sec4(run_sec4()),
-        "sec5": lambda q: format_sec5(run_sec5()),
-        "sec6": lambda q: format_sec6(
-            run_sec6(n=32 if q else 64, middle=32 if q else 128)),
-        "sec7": lambda q: format_sec7_model1(run_sec7_model1()),
-        "sec8": lambda q: format_sec8(
-            run_sec8(mesh=128 if q else 256, block=32 if q else 64)),
-        "lu": lambda q: format_lu(run_lu()),
-    }
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate tables/figures of 'Write-Avoiding "
@@ -74,23 +36,29 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(experiments) + ["all", "list"],
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
         help="which experiment to run ('list' to enumerate)",
     )
     parser.add_argument("--quick", action="store_true",
                         help="smaller geometry, seconds instead of minutes")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the repro.lab result "
+                             "cache")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name in sorted(experiments):
+        for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    names = sorted(experiments) if args.experiment == "all" \
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    for name in names:
-        print(f"==== {name} " + "=" * max(0, 64 - len(name)))
-        print(experiments[name](args.quick))
-        print()
+    scenario = experiments_scenario(quick=args.quick, names=names)
+    cache = None if args.no_cache else ResultCache()
+    report = execute(scenario.points(), jobs=args.jobs, cache=cache)
+    print(scenario.render(report.results))
+    print(report.cache_line(cache), file=sys.stderr)
     return 0
 
 

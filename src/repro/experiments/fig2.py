@@ -19,7 +19,8 @@ from repro.core.traces import matmul_trace
 from repro.machine.cache import CacheSim
 from repro.util import format_table, require
 
-__all__ = ["Fig2Config", "run_fig2", "format_fig2"]
+__all__ = ["Fig2Config", "run_fig2", "format_fig2", "fig2_variants",
+           "fig2_ideal_misses"]
 
 
 @dataclass
@@ -89,24 +90,33 @@ def _variant_rows(cfg: Fig2Config, scheme: str, b3: int) -> Dict:
     return rows
 
 
-def run_fig2(cfg: Optional[Fig2Config] = None) -> List[Dict]:
-    """All six Figure-2 panels: CO (2a), MKL-like (2b), and two-level WA
-    at the four blocking sizes (2c–2f)."""
-    cfg = cfg or Fig2Config()
+def fig2_variants(cfg: Fig2Config) -> List[tuple]:
+    """The six panels as ``(scheme, b3)`` pairs, in the paper's order:
+    CO (2a), MKL-like (2b), then two-level WA per blocking size (2c–2f).
+    Shared with the ``repro.lab`` fig2 scenario so the decomposed sweep
+    stays in lock-step with this serial harness."""
     b3s = cfg.b3_sizes()
-    out = [
-        _variant_rows(cfg, "co", b3s[-1]),
-        _variant_rows(cfg, "mkl-like", b3s[-1]),
-    ]
-    for b3 in b3s:
-        out.append(_variant_rows(cfg, "wa2", b3))
-    # The paper's "Misses on Ideal Cache" reference line for panel (a).
+    return [("co", b3s[-1]), ("mkl-like", b3s[-1])] \
+        + [("wa2", b3) for b3 in b3s]
+
+
+def fig2_ideal_misses(cfg: Fig2Config) -> List[float]:
+    """The paper's "Misses on Ideal Cache" reference line for panel (a)."""
     wb = 8  # bytes per word in the formula
-    out[0]["ideal_misses"] = [
+    return [
         ideal_cache_misses(cfg.n_outer, m, cfg.n_outer,
                            cfg.cache() * wb, cfg.line_size * wb)
         for m in cfg.middles
     ]
+
+
+def run_fig2(cfg: Optional[Fig2Config] = None) -> List[Dict]:
+    """All six Figure-2 panels: CO (2a), MKL-like (2b), and two-level WA
+    at the four blocking sizes (2c–2f)."""
+    cfg = cfg or Fig2Config()
+    out = [_variant_rows(cfg, scheme, b3)
+           for scheme, b3 in fig2_variants(cfg)]
+    out[0]["ideal_misses"] = fig2_ideal_misses(cfg)
     return out
 
 

@@ -1,0 +1,70 @@
+"""repro.lab — parallel scenario-sweep engine with persistent result caching.
+
+The paper's evidence is sweep-shaped: every table and figure is a grid of
+(kernel x machine geometry x replacement policy x problem size) runs.  This
+subpackage turns those grids into first-class objects:
+
+* :mod:`repro.lab.registry` — every kernel, machine model and replacement
+  policy under a string key (:data:`KERNELS`, :data:`MACHINES`,
+  :data:`POLICIES`, :data:`EXPERIMENTS`), including NVM-style machines
+  with asymmetric read/write costs;
+* :mod:`repro.lab.scenarios` — declarative :class:`Scenario` grids with
+  cartesian expansion and presets for the paper's figures (``fig2``,
+  ``fig5``, ``sec6``) plus new sweeps (``nvm-matmul``);
+* :mod:`repro.lab.executor` — :func:`execute` fans points out over
+  ``multiprocessing`` workers;
+* :mod:`repro.lab.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store keyed by point payload + code fingerprint, so repeated
+  sweeps skip already-simulated points across processes and sessions;
+* :mod:`repro.lab.results` — :class:`ResultSet` flat records with
+  CSV/JSON export, aggregation and sweep-vs-sweep comparison;
+* :mod:`repro.lab.cli` — ``python -m repro.lab {list,run,sweep,report}``.
+
+Quickstart::
+
+    from repro.lab import ResultCache, execute, get_scenario
+
+    scenario = get_scenario("fig2", quick=True)
+    report = execute(scenario.points(), jobs=4, cache=ResultCache())
+    print(scenario.render(report.results))   # == the serial harness output
+    print(report.cache_line(None))
+"""
+
+from repro.lab.cache import ResultCache, code_fingerprint, default_cache_root
+from repro.lab.executor import (
+    MissingResultsError,
+    PointResult,
+    SweepReport,
+    execute,
+)
+from repro.lab.registry import (
+    EXPERIMENTS,
+    KERNELS,
+    MACHINES,
+    POLICIES,
+    MachineSpec,
+    resolve_machine,
+)
+from repro.lab.results import ResultSet
+from repro.lab.scenarios import SCENARIOS, Scenario, ScenarioPoint, get_scenario
+
+__all__ = [
+    "ResultCache",
+    "code_fingerprint",
+    "default_cache_root",
+    "MissingResultsError",
+    "PointResult",
+    "SweepReport",
+    "execute",
+    "EXPERIMENTS",
+    "KERNELS",
+    "MACHINES",
+    "POLICIES",
+    "MachineSpec",
+    "resolve_machine",
+    "ResultSet",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioPoint",
+    "get_scenario",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk result cache for scenario points.
+
+Every record is keyed by the SHA-256 of the point's canonical JSON payload
+**plus a code-version fingerprint** (a hash over every ``.py`` file of the
+installed ``repro`` package), so a repeated sweep is served from disk while
+any source change — a kernel tweak, a policy fix — transparently invalidates
+everything it could have affected.
+
+Records are single JSON files sharded by key prefix under the cache root
+(``$REPRO_LAB_CACHE`` or ``~/.cache/repro-lab``).  Writes are atomic
+(tempfile + ``os.replace``) so concurrent sweeps can share a cache; reads
+treat any unreadable or non-JSON file as a miss.  A cache that cannot
+create its root degrades to a no-op rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+import repro
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_root",
+           "point_key"]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the repro package sources (the cache's code-version axis)."""
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+    return h.hexdigest()[:16]
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get("REPRO_LAB_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-lab"
+
+
+def point_key(payload: Mapping[str, Any], code_version: str) -> str:
+    """Deterministic content address of one scenario point."""
+    blob = json.dumps({"point": payload, "code": code_version},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Persistent point-record store with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on demand).  Defaults to
+        ``$REPRO_LAB_CACHE`` or ``~/.cache/repro-lab``.
+    code_version:
+        Override the automatic source fingerprint (tests use this to model
+        "the code changed").
+    """
+
+    def __init__(self,
+                 root: Optional[Union[str, Path]] = None,
+                 code_version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.code_version = code_version or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disabled = False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.disabled = True
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, payload: Mapping[str, Any]) -> str:
+        return point_key(payload, self.code_version)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, payload: Mapping[str, Any]) -> Optional[Dict]:
+        """Return the cached record for *payload*, or ``None`` on a miss."""
+        if self.disabled:
+            self.misses += 1
+            return None
+        path = self._path(self.key_for(payload))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            record = doc["record"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, payload: Mapping[str, Any], record: Mapping) -> bool:
+        """Store *record*; returns False (and stores nothing) if the record
+        is not JSON-serializable or the filesystem refuses."""
+        if self.disabled:
+            return False
+        key = self.key_for(payload)
+        doc = {"key": key, "code_version": self.code_version,
+               "point": dict(payload), "record": dict(record)}
+        try:
+            blob = json.dumps(doc, sort_keys=True)
+        except (TypeError, ValueError):
+            return False
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if self.disabled or not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def entries(self) -> Iterator[Dict]:
+        """Yield every stored document (any code version)."""
+        if self.disabled or not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    yield json.load(fh)
+            except (OSError, ValueError):
+                continue
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if self.disabled or not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def describe(self) -> str:
+        state = "disabled" if self.disabled else str(self.root)
+        return (f"cache at {state}: {len(self)} records, "
+                f"code version {self.code_version}")

@@ -1,0 +1,208 @@
+"""``python -m repro.lab`` / ``repro-lab`` — the sweep engine's CLI.
+
+Subcommands::
+
+    repro-lab list                     # scenarios, kernels, machines, policies
+    repro-lab run fig2 --quick --jobs 4
+    repro-lab run nvm-matmul --csv out.csv
+    repro-lab sweep --kernel matmul-cache --machine nvm-pcm \\
+        --set n=32 --set middle=64 --set b3=8 --set b2=4 --set base=4 \\
+        --grid scheme=co,wa2 --grid machine.write_slow=2,30 --jobs 2
+    repro-lab report fig2 --quick      # re-render from cache, compute nothing
+
+Every ``run``/``sweep`` prints a final accounting line reporting how many
+points were served from the persistent result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lab.cache import ResultCache
+from repro.lab.executor import MissingResultsError, execute
+from repro.lab.registry import KERNELS, MACHINES, POLICIES, resolve_machine
+from repro.lab.results import ResultSet
+from repro.lab.scenarios import SCENARIOS, Scenario, get_scenario
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str) -> Any:
+    """CLI literal -> python value: int, float, bool, or str."""
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_kv(items: Optional[Sequence[str]], *, grid: bool) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for item in items or ():
+        if "=" not in item:
+            raise SystemExit(f"expected key=value, got {item!r}")
+        key, _, raw = item.partition("=")
+        if grid:
+            out[key] = [_parse_value(v) for v in raw.split(",")]
+        else:
+            out[key] = _parse_value(raw)
+    return out
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _finish(scenario: Scenario, report, cache, args) -> int:
+    print(scenario.render(report.results))
+    rs = ResultSet.from_report(report)
+    if getattr(args, "csv", None):
+        rs.to_csv(args.csv)
+        print(f"[repro.lab] wrote {len(rs)} rows to {args.csv}")
+    if getattr(args, "json", None):
+        rs.to_json(args.json)
+        print(f"[repro.lab] wrote {len(rs)} rows to {args.json}")
+    print(report.cache_line(cache))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("scenarios:")
+    for name in sorted(SCENARIOS):
+        print(f"  {name:<14} {SCENARIOS[name](False).description}")
+    print("kernels:")
+    for name in sorted(KERNELS):
+        doc = (KERNELS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<18} {doc}")
+    print("machines:")
+    for name, spec in sorted(MACHINES.items()):
+        geom = (f"levels={list(spec.levels)}" if spec.levels
+                else f"{spec.cache_words}w")
+        print(f"  {name:<14} policy={spec.policy:<13} {geom:<22} "
+              f"read_slow={spec.read_slow} write_slow={spec.write_slow}")
+    print("policies:")
+    print("  " + "  ".join(sorted(POLICIES)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario, quick=args.quick)
+    cache = _make_cache(args)
+    report = execute(scenario.points(), jobs=args.jobs, cache=cache)
+    return _finish(scenario, report, cache, args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    machine = resolve_machine(args.machine)
+    scenario = Scenario(
+        name="adhoc",
+        kernel=args.kernel,
+        machine=machine,
+        description="ad-hoc CLI sweep",
+        fixed=_parse_kv(args.set, grid=False),
+        grid=_parse_kv(args.grid, grid=True),
+    )
+    cache = _make_cache(args)
+    report = execute(scenario.points(), jobs=args.jobs, cache=cache)
+    return _finish(scenario, report, cache, args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario, quick=args.quick)
+    cache = ResultCache(args.cache_dir)
+    try:
+        report = execute(scenario.points(), cache=cache, require_cached=True)
+    except MissingResultsError as exc:
+        print(f"[repro.lab] {exc}", file=sys.stderr)
+        return 1
+    return _finish(scenario, report, cache, args)
+
+
+def _add_cache_args(p: argparse.ArgumentParser, *,
+                    allow_disable: bool = True) -> None:
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-cache directory (default: $REPRO_LAB_CACHE "
+                        "or ~/.cache/repro-lab)")
+    if allow_disable:
+        p.add_argument("--no-cache", action="store_true",
+                       help="compute everything, read/write no cache")
+
+
+def _add_export_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--csv", default=None, metavar="FILE",
+                   help="also export flat records as CSV")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also export flat records as JSON")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lab",
+        description="Parallel scenario-sweep engine with persistent "
+                    "result caching for the Write-Avoiding Algorithms "
+                    "reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate scenarios, kernels, "
+                                         "machines and policies")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a named scenario preset")
+    p_run.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_run.add_argument("--quick", action="store_true",
+                       help="smaller geometry, seconds instead of minutes")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for uncached points")
+    _add_cache_args(p_run)
+    _add_export_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="ad-hoc cartesian sweep over a "
+                                           "registered kernel")
+    p_sweep.add_argument("--kernel", default="matmul-cache",
+                         choices=sorted(KERNELS))
+    p_sweep.add_argument("--machine", default="sim-l3",
+                         help=f"machine preset ({', '.join(sorted(MACHINES))})")
+    p_sweep.add_argument("--set", action="append", metavar="KEY=VALUE",
+                         help="fixed kernel parameter (repeatable)")
+    p_sweep.add_argument("--grid", action="append", metavar="KEY=V1,V2,..",
+                         help="swept axis; 'machine.<field>=..' overrides "
+                              "the machine spec (repeatable)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N")
+    _add_cache_args(p_sweep)
+    _add_export_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_rep = sub.add_parser("report", help="re-render a scenario purely from "
+                                          "cached results")
+    p_rep.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_rep.add_argument("--quick", action="store_true")
+    _add_cache_args(p_rep, allow_disable=False)
+    _add_export_args(p_rep)
+    p_rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Registry lookups (unknown machine/kernel/scenario, bad grid
+        # values) surface as ValueError; report them CLI-style.
+        print(f"repro-lab: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

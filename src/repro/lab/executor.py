@@ -1,0 +1,137 @@
+"""Parallel scenario-point executor with cache-aware scheduling.
+
+The executor resolves cache hits first (cheap, in-process), then fans only
+the remaining points out over a ``multiprocessing`` pool — so a warm sweep
+costs one JSON read per point regardless of ``jobs``, and a cold sweep
+scales with cores.  All cache I/O happens in the parent process; workers
+are pure functions from point payloads to records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lab.cache import ResultCache
+from repro.lab.scenarios import ScenarioPoint
+
+__all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError"]
+
+
+class MissingResultsError(RuntimeError):
+    """Raised by ``require_cached`` runs when points are absent from cache."""
+
+    def __init__(self, missing: int, total: int):
+        super().__init__(
+            f"{missing} of {total} points are not in the result cache; "
+            f"run the sweep first (repro-lab run ...)"
+        )
+        self.missing = missing
+        self.total = total
+
+
+@dataclass
+class PointResult:
+    """One executed (or cache-served) scenario point."""
+
+    point: ScenarioPoint
+    record: Dict[str, Any]
+    cached: bool
+
+
+@dataclass
+class SweepReport:
+    """Results in point order plus cache/timing accounting."""
+
+    results: List[PointResult]
+    hits: int = 0
+    misses: int = 0
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 1.0
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [r.record for r in self.results]
+
+    def cache_line(self, cache: Optional[ResultCache]) -> str:
+        """The one-line cache summary the CLIs print."""
+        if cache is None or cache.disabled:
+            return (f"[repro.lab] cache disabled; computed "
+                    f"{self.total} points in {self.elapsed:.2f}s "
+                    f"(jobs={self.jobs})")
+        return (f"[repro.lab] {self.hits}/{self.total} points "
+                f"({self.hit_rate:.0%}) served from cache at {cache.root}; "
+                f"computed {self.misses} in {self.elapsed:.2f}s "
+                f"(jobs={self.jobs})")
+
+
+def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker: rebuild the point and run its kernel."""
+    return ScenarioPoint.from_payload(payload).run()
+
+
+def execute(
+    points: Sequence[ScenarioPoint],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    require_cached: bool = False,
+) -> SweepReport:
+    """Run every point, serving repeats from *cache* when provided.
+
+    Parameters
+    ----------
+    points:
+        Concrete scenario points (e.g. from :meth:`Scenario.points`).
+    jobs:
+        Worker processes for the uncached remainder; ``1`` runs in-process
+        (bit-identical to the workers — kernels are deterministic pure
+        functions of the payload).
+    cache:
+        A :class:`ResultCache`; hits skip simulation entirely.
+    require_cached:
+        Report-only mode: raise :class:`MissingResultsError` instead of
+        computing anything.
+    """
+    t0 = time.perf_counter()
+    points = list(points)
+    results: List[Optional[PointResult]] = [None] * len(points)
+    pending: List[int] = []
+    for i, pt in enumerate(points):
+        record = cache.get(pt.payload()) if cache is not None else None
+        if record is not None:
+            results[i] = PointResult(pt, record, cached=True)
+        else:
+            pending.append(i)
+
+    if pending and require_cached:
+        raise MissingResultsError(len(pending), len(points))
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            payloads = [points[i].payload() for i in pending]
+            with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+                records = pool.map(_run_payload, payloads)
+        else:
+            records = [points[i].run() for i in pending]
+        for i, record in zip(pending, records):
+            if cache is not None:
+                cache.put(points[i].payload(), record)
+            results[i] = PointResult(points[i], record, cached=False)
+
+    return SweepReport(
+        results=[r for r in results if r is not None],
+        hits=len(points) - len(pending),
+        misses=len(pending),
+        elapsed=time.perf_counter() - t0,
+        jobs=jobs,
+    )

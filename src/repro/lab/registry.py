@@ -1,0 +1,318 @@
+"""String-keyed registries: kernels, machine models, policies, experiments.
+
+Everything the sweep engine can run is resolvable by name here, so a
+scenario file (or a CLI invocation) is pure data:
+
+* :data:`MACHINES` — named :class:`MachineSpec` presets, including
+  NVM-style machines with asymmetric read/write energy costs (the
+  Section-7 hardware the paper provisions for);
+* :data:`KERNELS` — functions ``f(machine, params) -> record`` producing
+  one flat, JSON-serializable record per scenario point;
+* :data:`POLICIES` — re-exported replacement-policy classes
+  (:mod:`repro.machine.policies`);
+* :data:`EXPERIMENTS` — the legacy per-table/figure harnesses of
+  :mod:`repro.experiments`, each wrapped as ``f(quick) -> formatted str``
+  so whole experiments can also be fanned out and cached as single points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.experiments import (
+    Fig2Config,
+    format_fig2,
+    format_fig5,
+    format_lu,
+    format_sec3,
+    format_sec4,
+    format_sec5,
+    format_sec6,
+    format_sec7_model1,
+    format_sec8,
+    format_table1,
+    format_table2,
+    run_fig2,
+    run_fig5,
+    run_lu,
+    run_sec3,
+    run_sec4,
+    run_sec5,
+    run_sec6,
+    run_sec7_model1,
+    run_sec8,
+    run_table1,
+    run_table2,
+)
+from repro.core.traces import matmul_trace
+from repro.machine.cache import CacheSim
+from repro.machine.energy import EnergyModel
+from repro.machine.multicache import CacheHierarchySim
+from repro.machine.policies import POLICIES
+from repro.util import require
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "KERNELS",
+    "POLICIES",
+    "EXPERIMENTS",
+    "fig2_config",
+    "resolve_machine",
+]
+
+
+# --------------------------------------------------------------------- #
+# machine models
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative machine geometry + cost model for one scenario point.
+
+    A spec describes either a single simulated cache level
+    (``cache_words``) or, when ``levels`` is set, a
+    :class:`~repro.machine.multicache.CacheHierarchySim` chain.  The four
+    energy fields model the boundary below the simulated level(s);
+    asymmetric ``read_slow``/``write_slow`` are the NVM machines of the
+    paper's Section 7.
+    """
+
+    name: str = "custom"
+    cache_words: int = 3 * 24 * 24 + 4
+    line_size: int = 4
+    associativity: Optional[int] = None
+    policy: str = "lru"
+    seed: Optional[int] = None
+    levels: Optional[Tuple[int, ...]] = None
+    read_fast: float = 1.0
+    write_fast: float = 1.0
+    read_slow: float = 2.0
+    write_slow: float = 2.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        if d["levels"] is not None:
+            d["levels"] = list(d["levels"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "MachineSpec":
+        d = dict(d)
+        if d.get("levels") is not None:
+            d["levels"] = tuple(d["levels"])
+        return cls(**d)
+
+    def override(self, **changes: Any) -> "MachineSpec":
+        try:
+            return replace(self, **changes)
+        except TypeError:
+            fields = sorted(self.as_dict())
+            bad = sorted(set(changes) - set(fields))
+            raise ValueError(
+                f"unknown machine field(s) {bad}; available: {fields}"
+            ) from None
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(
+            read_fast=self.read_fast,
+            write_fast=self.write_fast,
+            read_slow=self.read_slow,
+            write_slow=self.write_slow,
+        )
+
+    def make(self) -> Union[CacheSim, CacheHierarchySim]:
+        """Instantiate the simulator this spec describes."""
+        if self.levels is not None:
+            return CacheHierarchySim(
+                self.levels,
+                line_size=self.line_size,
+                policies=[self.policy] * len(self.levels),
+                seed=self.seed,
+            )
+        return CacheSim(
+            self.cache_words,
+            line_size=self.line_size,
+            policy=self.policy,
+            associativity=self.associativity,
+            seed=self.seed,
+        )
+
+
+#: Named machine presets.  Scenario grids may override any field with
+#: ``machine.<field>`` grid keys (see :class:`repro.lab.scenarios.Scenario`).
+MACHINES: Dict[str, MachineSpec] = {
+    # The default simulated L3 of the Figure-2/5/sec-6 experiments.
+    "sim-l3": MachineSpec(name="sim-l3", policy="lru"),
+    # Nehalem-ish: the 3-bit clock approximation the paper measures.
+    "clock-l3": MachineSpec(name="clock-l3", policy="clock"),
+    # NVM tiers with asymmetric read/write word-energy (Section 7):
+    # a 2015 PCM prototype (writes ~30x DRAM reads), a fast NVM part,
+    # and battery-backed DRAM (symmetric) as the control.
+    "nvm-pcm": MachineSpec(name="nvm-pcm", read_slow=4.0, write_slow=30.0),
+    "nvm-fast": MachineSpec(name="nvm-fast", read_slow=2.0, write_slow=4.0),
+    "battery-dram": MachineSpec(name="battery-dram",
+                                read_slow=2.0, write_slow=2.0),
+    # A small three-level hierarchy for multi-level WA studies.
+    "three-level": MachineSpec(name="three-level",
+                               levels=(256, 1024, 4096), line_size=4),
+}
+
+
+def resolve_machine(machine: Union[str, MachineSpec, Mapping[str, Any]],
+                    ) -> MachineSpec:
+    """Accept a preset name, a spec, or a plain dict; return a spec."""
+    if isinstance(machine, MachineSpec):
+        return machine
+    if isinstance(machine, str):
+        try:
+            return MACHINES[machine]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine {machine!r}; available: {sorted(MACHINES)}"
+            ) from None
+    return MachineSpec.from_dict(machine)
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+def _require_params(params: Mapping, names: Tuple[str, ...],
+                    kernel: str) -> None:
+    missing = sorted(set(names) - set(params))
+    require(not missing,
+            f"kernel {kernel!r} is missing required parameter(s) {missing} "
+            f"(pass them via --set or the scenario's fixed/grid)")
+
+
+def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
+    """One matmul instruction order through one simulated cache level.
+
+    Required params: ``n`` (outer dims), ``middle``, ``scheme``; optional
+    ``l`` (second outer dim, default ``n``), ``b3``, ``b2``, ``base``,
+    ``c_touch_hint`` and ``cache_blocks`` (capacity in units of b3-blocks,
+    as Section 6 counts it — overrides ``machine.cache_words``).
+    """
+    _require_params(params, ("n", "middle", "scheme"), "matmul-cache")
+    n = params["n"]
+    middle = params["middle"]
+    l = params.get("l", n)
+    b3 = params.get("b3", 64)
+    if params.get("cache_blocks") is not None:
+        cap = params["cache_blocks"] * b3 * b3 + machine.line_size
+        machine = machine.override(cache_words=cap)
+    buf = matmul_trace(
+        n, middle, l,
+        scheme=params["scheme"],
+        b3=b3,
+        b2=params.get("b2", 16),
+        base=params.get("base", 8),
+        line_size=machine.line_size,
+        c_touch_hint=params.get("c_touch_hint", False),
+    )
+    sim = machine.make()
+    lines, writes = buf.finalize()
+    sim.run_lines(lines, writes)
+    sim.flush()
+    st = sim.stats
+    return {
+        "accesses": st.accesses,
+        "hits": st.hits,
+        "misses": st.misses,
+        "fills": st.fills,
+        "victims_m": st.victims_m,
+        "victims_e": st.victims_e,
+        "flush_writebacks": st.flush_writebacks,
+        "writebacks": st.writebacks,
+        "write_lb": n * l // machine.line_size,
+        "energy": machine.energy_model().cache_boundary(
+            st, machine.line_size),
+    }
+
+
+def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
+    """One matmul order through a multi-level cache hierarchy.
+
+    Reports per-boundary fills/write-backs and the backing-store traffic,
+    costed with the machine's (possibly asymmetric) slow-side energies.
+    """
+    require(machine.levels is not None,
+            "matmul-hierarchy needs a machine with `levels`")
+    _require_params(params, ("n", "middle", "scheme"), "matmul-hierarchy")
+    n = params["n"]
+    middle = params["middle"]
+    l = params.get("l", n)
+    buf = matmul_trace(
+        n, middle, l,
+        scheme=params["scheme"],
+        b3=params.get("b3", 16),
+        b2=params.get("b2", 8),
+        base=params.get("base", 4),
+        line_size=machine.line_size,
+    )
+    hier = machine.make()
+    lines, writes = buf.finalize()
+    hier.run_lines(lines, writes)
+    hier.flush()
+    rec: Dict[str, Any] = {}
+    for i in range(len(machine.levels)):
+        st = hier.stats(i)
+        rec[f"L{i + 1}_fills"] = st.fills
+        rec[f"L{i + 1}_writebacks"] = st.writebacks
+    rec["backing_reads"] = hier.backing_reads
+    rec["backing_writes"] = hier.backing_writes
+    rec["write_lb"] = n * l // machine.line_size
+    rec["energy"] = machine.line_size * (
+        hier.backing_reads * machine.read_slow
+        + hier.backing_writes * machine.write_slow
+    )
+    return rec
+
+
+def kernel_experiment(machine: MachineSpec, params: Mapping) -> Dict:
+    """A whole legacy table/figure harness as a single scenario point."""
+    name = params["name"]
+    quick = bool(params.get("quick", False))
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return {"name": name, "quick": quick, "formatted": fn(quick)}
+
+
+KERNELS: Dict[str, Callable[[MachineSpec, Mapping], Dict]] = {
+    "matmul-cache": kernel_matmul_cache,
+    "matmul-hierarchy": kernel_matmul_hierarchy,
+    "experiment": kernel_experiment,
+}
+
+
+# --------------------------------------------------------------------- #
+# legacy experiment harnesses (one formatted table/figure per key)
+# --------------------------------------------------------------------- #
+def fig2_config(quick: bool) -> Fig2Config:
+    """The geometry ``python -m repro.experiments`` has always used."""
+    if quick:
+        return Fig2Config(n_outer=48, middles=(4, 16, 64), line_size=4,
+                          b2=8, base=4)
+    return Fig2Config(n_outer=96, middles=(8, 32, 128, 256), line_size=4,
+                      b2=8, base=4)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig2": lambda q: format_fig2(run_fig2(fig2_config(q))),
+    "fig5": lambda q: format_fig5(run_fig5(fig2_config(q))),
+    "table1": lambda q: format_table1(run_table1()),
+    "table2": lambda q: format_table2(run_table2()),
+    "sec3": lambda q: format_sec3(run_sec3()),
+    "sec4": lambda q: format_sec4(run_sec4()),
+    "sec5": lambda q: format_sec5(run_sec5()),
+    "sec6": lambda q: format_sec6(
+        run_sec6(n=32 if q else 64, middle=32 if q else 128)),
+    "sec7": lambda q: format_sec7_model1(run_sec7_model1()),
+    "sec8": lambda q: format_sec8(
+        run_sec8(mesh=128 if q else 256, block=32 if q else 64)),
+    "lu": lambda q: format_lu(run_lu()),
+}

@@ -1,0 +1,137 @@
+"""Flat result records: export, aggregation, and sweep-vs-sweep compare.
+
+A :class:`ResultSet` is a list of flat dict rows (one per scenario point)
+with a stable, first-seen column order — the shape the csl-experiments
+GEMM workflow exports for model fitting, and the shape spreadsheet/pandas
+users expect.  It deliberately has no numpy/pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.util import format_table, require
+
+__all__ = ["ResultSet"]
+
+_AGGREGATORS: Dict[str, Callable[[List[float]], float]] = {
+    "sum": sum,
+    "mean": lambda xs: sum(xs) / len(xs),
+    "min": min,
+    "max": max,
+    "count": len,
+}
+
+
+class ResultSet:
+    """An ordered list of flat records with spreadsheet-style helpers."""
+
+    def __init__(self, rows: Sequence[Dict[str, Any]]):
+        self.rows: List[Dict[str, Any]] = [dict(r) for r in rows]
+
+    @classmethod
+    def from_report(cls, report: Any) -> "ResultSet":
+        """Flatten a :class:`~repro.lab.executor.SweepReport`: kernel +
+        machine identity + params + record fields, one row per point."""
+        rows = []
+        for res in report.results:
+            spec = res.point.machine.as_dict()
+            row: Dict[str, Any] = {"kernel": res.point.kernel,
+                                   "machine": spec.pop("name")}
+            row.update(spec)  # every remaining machine field, swept or not
+            row.update(res.point.params)
+            row.update(res.record)
+            row["cached"] = res.cached
+            rows.append(row)
+        return cls(rows)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    @property
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        cols = self.columns
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=cols, restval="")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        text = json.dumps(self.rows, indent=2, default=str)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def format(self, title: Optional[str] = None) -> str:
+        cols = self.columns
+        body = [[row.get(c, "") for c in cols] for row in self.rows]
+        return format_table(cols, body, title=title)
+
+    # ------------------------------------------------------------------ #
+    # aggregation / comparison
+    # ------------------------------------------------------------------ #
+    def group_by(self, *keys: str) -> Dict[Tuple, "ResultSet"]:
+        groups: Dict[Tuple, List[Dict]] = {}
+        for row in self.rows:
+            groups.setdefault(tuple(row.get(k) for k in keys),
+                              []).append(row)
+        return {k: ResultSet(v) for k, v in groups.items()}
+
+    def aggregate(self, keys: Sequence[str], value: str,
+                  how: str = "mean") -> "ResultSet":
+        """Collapse rows sharing *keys* to one row with ``how(value)``."""
+        require(how in _AGGREGATORS,
+                f"unknown aggregator {how!r}; choose from "
+                f"{sorted(_AGGREGATORS)}")
+        fn = _AGGREGATORS[how]
+        out = []
+        for gkey, group in self.group_by(*keys).items():
+            values = [row[value] for row in group.rows if value in row]
+            require(len(values) > 0, f"no values for column {value!r}")
+            row = dict(zip(keys, gkey))
+            row[f"{how}_{value}"] = fn(values)
+            row["n"] = len(values)
+            out.append(row)
+        return ResultSet(out)
+
+    def compare(self, other: "ResultSet", on: Sequence[str],
+                value: str) -> "ResultSet":
+        """Join two sweeps on *on* and report ``value`` side by side with
+        the b/a ratio — the predicted-vs-measured idiom."""
+        index = {tuple(row.get(k) for k in on): row for row in other.rows}
+        out = []
+        for row in self.rows:
+            key = tuple(row.get(k) for k in on)
+            if key not in index:
+                continue
+            a, b = row.get(value), index[key].get(value)
+            merged = dict(zip(on, key))
+            merged[f"{value}_a"] = a
+            merged[f"{value}_b"] = b
+            merged["ratio"] = (b / a) if a else float("inf")
+            out.append(merged)
+        return ResultSet(out)

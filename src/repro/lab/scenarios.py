@@ -1,0 +1,397 @@
+"""Declarative scenario specs, cartesian expansion, and named presets.
+
+A :class:`Scenario` is a parameter grid over a kernel and a machine; its
+:meth:`~Scenario.points` expand to concrete :class:`ScenarioPoint`\\ s, the
+unit the executor runs and the result cache keys.  Presets in
+:data:`SCENARIOS` reproduce each decomposable paper figure point-by-point
+(so sweeps parallelize and cache at the finest grain) and add new
+NVM-style machine sweeps that the serial harnesses never covered.
+
+Report helpers (:func:`fig2_rows`, :func:`fig5_rows`, :func:`sec6_rows`)
+reassemble point records into exactly the row structures the serial
+harnesses in :mod:`repro.experiments` return, so the formatted output of
+``python -m repro.lab run fig2`` is byte-identical to
+``python -m repro.experiments fig2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments import Fig2Config, format_fig2, format_fig5, format_sec6
+from repro.experiments.fig2 import fig2_ideal_misses, fig2_variants
+from repro.lab.registry import (
+    EXPERIMENTS,
+    KERNELS,
+    MACHINES,
+    MachineSpec,
+    fig2_config,
+    resolve_machine,
+)
+from repro.util import format_table, require
+
+__all__ = [
+    "Scenario",
+    "ScenarioPoint",
+    "SCENARIOS",
+    "get_scenario",
+    "fig2_scenario",
+    "fig5_scenario",
+    "sec6_scenario",
+    "nvm_matmul_scenario",
+    "experiments_scenario",
+    "fig2_rows",
+    "fig5_rows",
+    "sec6_rows",
+]
+
+
+# --------------------------------------------------------------------- #
+# points and scenarios
+# --------------------------------------------------------------------- #
+@dataclass
+class ScenarioPoint:
+    """One concrete (kernel, machine, params) simulation."""
+
+    kernel: str
+    machine: MachineSpec
+    params: Dict[str, Any]
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-serializable identity of this point (also the cache key
+        material, together with the code version)."""
+        return {
+            "kernel": self.kernel,
+            "machine": self.machine.as_dict(),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ScenarioPoint":
+        return cls(
+            kernel=payload["kernel"],
+            machine=MachineSpec.from_dict(payload["machine"]),
+            params=dict(payload["params"]),
+        )
+
+    def run(self) -> Dict[str, Any]:
+        try:
+            fn = KERNELS[self.kernel]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available: {sorted(KERNELS)}"
+            ) from None
+        return fn(self.machine, self.params)
+
+
+@dataclass
+class Scenario:
+    """A named sweep: fixed params + a cartesian grid over a kernel.
+
+    ``grid`` maps parameter names to value lists; keys are expanded in
+    insertion order with the **last key varying fastest** (standard
+    odometer order).  A key of the form ``machine.<field>`` overrides that
+    field of the machine spec instead of becoming a kernel parameter.
+    Presets with non-cartesian structure supply ``explicit`` points.
+    """
+
+    name: str
+    kernel: str
+    machine: MachineSpec
+    description: str = ""
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    explicit: Optional[List[ScenarioPoint]] = None
+    #: assembles (scenario, results) into a human-readable report.
+    report: Optional[Callable[["Scenario", List[Any]], str]] = None
+    #: free-form context the report assembler needs (e.g. the middles axis).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def points(self) -> List[ScenarioPoint]:
+        if self.explicit is not None:
+            return list(self.explicit)
+        keys = list(self.grid)
+        pts: List[ScenarioPoint] = []
+        for values in itertools.product(*(self.grid[k] for k in keys)):
+            params = dict(self.fixed)
+            spec = self.machine
+            overrides: Dict[str, Any] = {}
+            for key, val in zip(keys, values):
+                if key.startswith("machine."):
+                    overrides[key[len("machine."):]] = val
+                else:
+                    params[key] = val
+            if overrides:
+                spec = spec.override(**overrides)
+            pts.append(ScenarioPoint(self.kernel, spec, params))
+        return pts
+
+    def render(self, results: List[Any]) -> str:
+        if self.report is not None:
+            return self.report(self, results)
+        return _default_report(self, results)
+
+
+def _default_report(scenario: Scenario, results: List[Any]) -> str:
+    """Flat table over the union of param and record columns, plus any
+    machine fields that vary across the sweep (swept ``machine.<field>``
+    axes must stay visible in the output)."""
+    specs = [res.point.machine.as_dict() for res in results]
+    varying = [k for k in (specs[0] if specs else {})
+               if any(s[k] != specs[0][k] for s in specs)]
+    cols: List[str] = []
+    rows = []
+    for res, spec in zip(results, specs):
+        flat = {**{f"machine.{k}": spec[k] for k in varying},
+                **res.point.params, **res.record}
+        for k in flat:
+            if k not in cols:
+                cols.append(k)
+        rows.append(flat)
+    body = [[row.get(c, "") for c in cols] for row in rows]
+    return format_table(cols, body, title=f"scenario {scenario.name}")
+
+
+# --------------------------------------------------------------------- #
+# report assemblers (records -> legacy harness row structures)
+# --------------------------------------------------------------------- #
+def _counter_rows(chunk: List[Any], middles: Sequence[int]) -> Dict:
+    p0 = chunk[0].point.params
+    return {
+        "scheme": p0["scheme"],
+        "b3": p0["b3"],
+        "middles": list(middles),
+        "VICTIMS.M": [r.record["writebacks"] for r in chunk],
+        "VICTIMS.E": [r.record["victims_e"] for r in chunk],
+        "FILLS.E": [r.record["fills"] for r in chunk],
+        "write_lb": [r.record["write_lb"] for r in chunk],
+    }
+
+
+def _chunks(items: List[Any], size: int) -> List[List[Any]]:
+    require(len(items) % size == 0, "result list does not tile the grid")
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def fig2_rows(scenario: Scenario, results: List[Any]) -> List[Dict]:
+    """Reassemble point records into ``run_fig2``'s output structure."""
+    cfg: Fig2Config = scenario.meta["cfg"]
+    rows = [_counter_rows(c, cfg.middles)
+            for c in _chunks(results, len(cfg.middles))]
+    rows[0]["ideal_misses"] = fig2_ideal_misses(cfg)
+    return rows
+
+
+def fig5_rows(scenario: Scenario, results: List[Any]) -> Dict[str, List[Dict]]:
+    """Reassemble point records into ``run_fig5``'s output structure."""
+    cfg: Fig2Config = scenario.meta["cfg"]
+    out: Dict[str, List[Dict]] = {"multilevel-wa": [], "two-level-ab": []}
+    col_of = {"wa-multilevel": "multilevel-wa", "ab-multilevel": "two-level-ab"}
+    for chunk in _chunks(results, len(cfg.middles)):
+        row = _counter_rows(chunk, cfg.middles)
+        out[col_of[row["scheme"]]].append(row)
+    return out
+
+
+def sec6_rows(scenario: Scenario, results: List[Any]) -> List[Dict]:
+    """Reassemble point records into ``run_sec6``'s output structure."""
+    floor = scenario.meta["floor"]
+    rows = []
+    for res in results:
+        rows.append({
+            "scheme": res.point.params["scheme"],
+            "capacity_blocks": res.point.params["cache_blocks"],
+            "policy": res.point.machine.policy,
+            "writebacks": res.record["writebacks"],
+            "floor": floor,
+            "ratio": res.record["writebacks"] / floor,
+            "fills": res.record["fills"],
+        })
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# presets
+# --------------------------------------------------------------------- #
+def fig2_scenario(quick: bool = False,
+                  cfg: Optional[Fig2Config] = None) -> Scenario:
+    """Figure 2 decomposed into one point per (variant, middle)."""
+    cfg = cfg or fig2_config(quick)
+    machine = MachineSpec(name="fig2-l3", cache_words=cfg.cache(),
+                          line_size=cfg.line_size, policy=cfg.policy)
+    points = [
+        ScenarioPoint("matmul-cache", machine,
+                      {"n": cfg.n_outer, "middle": m, "scheme": scheme,
+                       "b3": b3, "b2": cfg.b2, "base": cfg.base})
+        for scheme, b3 in fig2_variants(cfg)
+        for m in cfg.middles
+    ]
+    return Scenario(
+        name="fig2",
+        kernel="matmul-cache",
+        machine=machine,
+        description="Figure 2: L3 counters of six matmul orders vs the "
+                    "middle dimension",
+        explicit=points,
+        report=lambda sc, res: format_fig2(fig2_rows(sc, res)),
+        meta={"cfg": cfg},
+    )
+
+
+def fig5_scenario(quick: bool = False,
+                  cfg: Optional[Fig2Config] = None) -> Scenario:
+    """Figure 5 decomposed into one point per (column, blocking, middle)."""
+    cfg = cfg or fig2_config(quick)
+    machine = MachineSpec(name="fig5-l3", cache_words=cfg.cache(),
+                          line_size=cfg.line_size, policy=cfg.policy)
+    points = [
+        ScenarioPoint("matmul-cache", machine,
+                      {"n": cfg.n_outer, "middle": m, "scheme": scheme,
+                       "b3": b3, "b2": cfg.b2, "base": cfg.base})
+        for b3 in cfg.b3_sizes()
+        for scheme in ("wa-multilevel", "ab-multilevel")
+        for m in cfg.middles
+    ]
+    return Scenario(
+        name="fig5",
+        kernel="matmul-cache",
+        machine=machine,
+        description="Figure 5: multi-level WA vs slab order under LRU",
+        explicit=points,
+        report=lambda sc, res: format_fig5(fig5_rows(sc, res)),
+        meta={"cfg": cfg},
+    )
+
+
+def sec6_scenario(
+    quick: bool = False,
+    *,
+    n: Optional[int] = None,
+    middle: Optional[int] = None,
+    b3: int = 16,
+    b2: int = 8,
+    base: int = 4,
+    line: int = 4,
+    policies: Sequence[str] = ("lru", "clock", "segmented-lru", "belady"),
+    schemes: Sequence[str] = ("wa2", "ab-multilevel", "wa-multilevel"),
+) -> Scenario:
+    """Section 6 policy study as a scheme x capacity x policy grid."""
+    n = n if n is not None else (32 if quick else 64)
+    middle = middle if middle is not None else (32 if quick else 128)
+    machine = MachineSpec(name="sec6-l3", line_size=line, policy="lru")
+    return Scenario(
+        name="sec6",
+        kernel="matmul-cache",
+        machine=machine,
+        description="Section 6: write-backs vs output floor across "
+                    "replacement policies and capacities",
+        fixed={"n": n, "middle": middle, "b3": b3, "b2": b2, "base": base},
+        grid={
+            "scheme": list(schemes),
+            "cache_blocks": [3, 4, 5],
+            "machine.policy": list(policies),
+        },
+        report=lambda sc, res: format_sec6(sec6_rows(sc, res)),
+        meta={"floor": n * n // line},
+    )
+
+
+def nvm_matmul_scenario(quick: bool = False) -> Scenario:
+    """NEW: matmul orders on NVM-style machines with asymmetric costs.
+
+    Sweeps the slow-side write energy from symmetric (battery-backed DRAM)
+    to PCM-like 30x, on a cache sized so that only ~3 blocks fit — the
+    regime where instruction order decides the write bill.
+    """
+    n = 32 if quick else 64
+    b3 = max(4, n // 4)
+    machine = MACHINES["nvm-pcm"].override(
+        name="nvm-sweep", cache_words=3 * b3 * b3 + 4, line_size=4)
+    return Scenario(
+        name="nvm-matmul",
+        kernel="matmul-cache",
+        machine=machine,
+        description="NVM provisioning: slow-memory energy of matmul orders "
+                    "as the write/read cost asymmetry grows",
+        fixed={"n": n, "middle": 2 * n, "b3": b3, "b2": max(4, b3 // 2),
+               "base": 4},
+        grid={
+            "scheme": ["co", "mkl-like", "wa2", "ab-multilevel"],
+            "machine.write_slow": [2.0, 8.0, 30.0],
+        },
+        report=_nvm_report,
+    )
+
+
+def _nvm_report(scenario: Scenario, results: List[Any]) -> str:
+    headers = ["scheme", "write_slow", "writebacks", "fills", "energy",
+               "energy/floor-energy"]
+    body = []
+    for res in results:
+        m = res.point.machine
+        floor_energy = m.line_size * (
+            res.record["fills"] * m.read_slow
+            + res.record["write_lb"] * m.write_slow
+        )
+        body.append([
+            res.point.params["scheme"],
+            m.write_slow,
+            res.record["writebacks"],
+            res.record["fills"],
+            res.record["energy"],
+            round(res.record["energy"] / floor_energy, 3),
+        ])
+    return format_table(
+        headers, body,
+        title="NVM sweep — slow-boundary energy by instruction order and "
+              "write-cost asymmetry (floor = same fills, write-floor "
+              "write-backs)")
+
+
+def experiments_scenario(quick: bool = False,
+                         names: Optional[Sequence[str]] = None) -> Scenario:
+    """Every legacy table/figure harness as one cacheable point each."""
+    names = list(names) if names is not None else sorted(EXPERIMENTS)
+    for name in names:
+        require(name in EXPERIMENTS, f"unknown experiment {name!r}")
+    machine = MachineSpec(name="paper")
+    points = [
+        ScenarioPoint("experiment", machine, {"name": name, "quick": quick})
+        for name in names
+    ]
+    return Scenario(
+        name="experiments",
+        kernel="experiment",
+        machine=machine,
+        description="All paper tables/figures, one point per harness",
+        explicit=points,
+        report=lambda sc, res: "\n".join(
+            f"==== {r.record['name']} "
+            + "=" * max(0, 64 - len(r.record["name"]))
+            + f"\n{r.record['formatted']}\n"
+            for r in res
+        ),
+    )
+
+
+#: Named presets: factory(quick) -> Scenario.
+SCENARIOS: Dict[str, Callable[[bool], Scenario]] = {
+    "fig2": fig2_scenario,
+    "fig5": fig5_scenario,
+    "sec6": sec6_scenario,
+    "nvm-matmul": nvm_matmul_scenario,
+    "experiments": experiments_scenario,
+}
+
+
+def get_scenario(name: str, quick: bool = False) -> Scenario:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(quick)

@@ -84,7 +84,11 @@ class CacheSim:
     associativity:
         Lines per set; ``None`` (default) means fully associative.
     rng:
-        Only used by the random policy.
+        Only used by the random policy; overrides ``seed``.
+    seed:
+        Seed for the random policy's generator, so randomized sweeps are
+        reproducible point-by-point.  ``None`` keeps the historical
+        behaviour (every set gets its own generator seeded 0).
 
     Notes
     -----
@@ -102,6 +106,7 @@ class CacheSim:
         policy: str = "lru",
         associativity: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ):
         check_positive_int(capacity_words, "capacity_words")
         check_positive_int(line_size, "line_size")
@@ -123,6 +128,9 @@ class CacheSim:
             )
         self.associativity = associativity
         self.num_sets = self.capacity_lines // associativity
+        self.seed = seed
+        if rng is None and seed is not None:
+            rng = np.random.default_rng(seed)
         kwargs = {"rng": rng} if policy == "random" else {}
         self._sets: list[ReplacementPolicy] = [
             make_policy(policy, associativity, **kwargs)

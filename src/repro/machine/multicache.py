@@ -43,6 +43,10 @@ class CacheHierarchySim:
         One policy name per level (default ``"lru"`` everywhere).
         Offline ("belady") policies are not supported here — miss streams
         are produced level by level, online.
+    seed:
+        Master seed for randomized policies; each level draws an
+        independent generator from one :class:`numpy.random.SeedSequence`
+        so whole-hierarchy runs are reproducible.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class CacheHierarchySim:
         *,
         line_size: int = 8,
         policies: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
     ):
         require(len(capacities) >= 1, "need at least one level")
         prev = 0
@@ -63,9 +68,15 @@ class CacheHierarchySim:
                 "one policy per level required")
         require(all(p != "belady" for p in policies),
                 "offline policies are not supported in the hierarchy")
+        self.seed = seed
+        if seed is None:
+            rngs: List[Optional[np.random.Generator]] = [None] * len(capacities)
+        else:
+            rngs = [np.random.default_rng(child) for child in
+                    np.random.SeedSequence(seed).spawn(len(capacities))]
         self.levels: List[CacheSim] = [
-            CacheSim(c, line_size=line_size, policy=p)
-            for c, p in zip(capacities, policies)
+            CacheSim(c, line_size=line_size, policy=p, rng=r)
+            for c, p, r in zip(capacities, policies, rngs)
         ]
         self.line_size = line_size
         #: dirty lines written out of the last level (to backing memory).

@@ -51,10 +51,17 @@ class TestExamples:
         out = run_example("sorting_frontier.py")
         assert "AV bound" in out
 
+    def test_lab_sweep(self):
+        out = run_example("lab_sweep.py")
+        assert "NVM sweep" in out
+        assert "12/12 points (100%) served from cache" in out
+        assert "cheapest order overall" in out
+
     def test_every_example_is_covered(self):
         """Adding an example without a smoke test here should fail."""
         scripts = {p.name for p in EXAMPLES.glob("*.py")}
         covered = {"quickstart.py", "nvm_provisioning.py",
                    "krylov_poisson.py", "cache_policy_study.py",
-                   "nbody_simulation.py", "sorting_frontier.py"}
+                   "nbody_simulation.py", "sorting_frontier.py",
+                   "lab_sweep.py"}
         assert scripts == covered

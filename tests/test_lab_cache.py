@@ -1,0 +1,97 @@
+"""The content-addressed result cache: hits, misses, and invalidation."""
+
+import json
+
+import pytest
+
+from repro.lab.cache import ResultCache, code_fingerprint, point_key
+from repro.lab.registry import MachineSpec
+from repro.lab.scenarios import ScenarioPoint
+
+
+@pytest.fixture
+def point():
+    return ScenarioPoint("matmul-cache", MachineSpec(),
+                         {"n": 8, "middle": 8, "scheme": "co"})
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, point):
+        assert point_key(point.payload(), "v1") == \
+            point_key(point.payload(), "v1")
+
+    def test_key_changes_with_params(self, point):
+        other = ScenarioPoint(point.kernel, point.machine,
+                              {**point.params, "middle": 16})
+        assert point_key(point.payload(), "v1") != \
+            point_key(other.payload(), "v1")
+
+    def test_key_changes_with_machine(self, point):
+        other = ScenarioPoint(point.kernel,
+                              point.machine.override(policy="clock"),
+                              point.params)
+        assert point_key(point.payload(), "v1") != \
+            point_key(other.payload(), "v1")
+
+    def test_key_changes_with_code_version(self, point):
+        assert point_key(point.payload(), "v1") != \
+            point_key(point.payload(), "v2")
+
+    def test_code_fingerprint_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        assert cache.get(point.payload()) is None
+        assert cache.put(point.payload(), {"writebacks": 42})
+        assert cache.get(point.payload()) == {"writebacks": 42}
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_miss_on_code_change(self, tmp_path, point):
+        old = ResultCache(tmp_path, code_version="v1")
+        old.put(point.payload(), {"writebacks": 42})
+        new = ResultCache(tmp_path, code_version="v2")
+        assert new.get(point.payload()) is None  # invalidated
+        new.put(point.payload(), {"writebacks": 43})
+        # Both versions coexist; the old one is still served to old code.
+        assert ResultCache(tmp_path, code_version="v1").get(
+            point.payload()) == {"writebacks": 42}
+        assert ResultCache(tmp_path, code_version="v2").get(
+            point.payload()) == {"writebacks": 43}
+
+    def test_non_serializable_record_is_not_stored(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(point.payload(), {"bad": object()})
+        assert len(cache) == 0
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        path = cache._path(cache.key_for(point.payload()))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(point.payload()) is None
+
+    def test_clear_and_entries(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        docs = list(cache.entries())
+        assert len(docs) == 1
+        assert docs[0]["record"] == {"x": 1}
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path, point):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")  # a file where the dir should go
+        cache = ResultCache(blocker / "sub")
+        assert cache.disabled
+        assert cache.get(point.payload()) is None
+        assert not cache.put(point.payload(), {"x": 1})
+        assert len(cache) == 0
+
+    def test_describe(self, tmp_path):
+        assert "0 records" in ResultCache(tmp_path).describe()

@@ -1,0 +1,141 @@
+"""CLI tests for ``python -m repro.lab`` and the rewired experiments CLI.
+
+Includes the subsystem's acceptance criterion: the engine's ``run fig2``
+reproduces the serial harness's counters exactly, and a second invocation
+is served (entirely) from the persistent result cache.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_fig2,
+    run_fig2,
+    run_fig5,
+    run_sec6,
+)
+from repro.experiments.__main__ import main as experiments_main
+from repro.lab.cli import main as lab_main
+from repro.lab.executor import execute
+from repro.lab.registry import fig2_config
+from repro.lab.scenarios import (
+    fig2_rows,
+    fig5_rows,
+    get_scenario,
+    sec6_rows,
+)
+
+
+class TestSerialParity:
+    """Every decomposed scenario reassembles to exactly what the serial
+    harness returns — structure, ordering, and counters."""
+
+    def test_fig2(self):
+        sc = get_scenario("fig2", quick=True)
+        report = execute(sc.points(), jobs=2)
+        assert fig2_rows(sc, report.results) == run_fig2(fig2_config(True))
+
+    def test_fig5(self):
+        sc = get_scenario("fig5", quick=True)
+        report = execute(sc.points())
+        assert fig5_rows(sc, report.results) == run_fig5(fig2_config(True))
+
+    def test_sec6(self):
+        sc = get_scenario("sec6", quick=True)
+        report = execute(sc.points())
+        assert sec6_rows(sc, report.results) == run_sec6(n=32, middle=32)
+
+
+class TestLabList:
+    def test_list_enumerates_registries(self, capsys):
+        assert lab_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("scenarios:", "kernels:", "machines:", "policies:"):
+            assert section in out
+        for name in ("fig2", "nvm-matmul", "matmul-cache", "nvm-pcm",
+                     "belady", "lru"):
+            assert name in out
+
+
+class TestLabRun:
+    def test_fig2_matches_serial_harness_and_caches(self, capsys, tmp_path):
+        """Acceptance: same counters as the serial path; 2nd run >=90% cached."""
+        argv = ["run", "fig2", "--quick", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert lab_main(argv) == 0
+        first = capsys.readouterr().out
+        expected = format_fig2(run_fig2(fig2_config(True)))
+        assert expected in first
+        assert "0/18" in first  # cold cache
+
+        assert lab_main(argv) == 0
+        second = capsys.readouterr().out
+        assert expected in second
+        assert "18/18" in second and "100%" in second  # >= 90% from cache
+
+    def test_nvm_scenario_runs_and_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "nvm.csv"
+        assert lab_main(["run", "nvm-matmul", "--quick", "--no-cache",
+                         "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "NVM sweep" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "write_slow" in header and "energy" in header
+
+    def test_report_needs_a_warm_cache(self, capsys, tmp_path):
+        argv = ["--quick", "--cache-dir", str(tmp_path)]
+        assert lab_main(["report", "fig2"] + argv) == 1
+        assert "not in the result cache" in capsys.readouterr().err
+        assert lab_main(["run", "fig2"] + argv) == 0
+        capsys.readouterr()
+        assert lab_main(["report", "fig2"] + argv) == 0
+        assert "Figure 2 panel" in capsys.readouterr().out
+
+    def test_sweep_grid_over_machine_fields(self, capsys, tmp_path):
+        assert lab_main([
+            "sweep", "--kernel", "matmul-cache", "--machine", "nvm-pcm",
+            "--set", "n=16", "--set", "middle=16", "--set", "b3=8",
+            "--set", "b2=4", "--set", "base=4",
+            "--grid", "scheme=co,wa2",
+            "--grid", "machine.write_slow=2,30",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario adhoc" in out
+        assert out.count("co") >= 2  # 2 write costs x scheme co
+
+
+class TestExperimentsCLIRewired:
+    def test_single_experiment_output_unchanged(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_CACHE", str(tmp_path))
+        assert experiments_main(["sec5"]) == 0
+        cap = capsys.readouterr()
+        assert "Theorem 3" in cap.out
+        assert "[repro.lab]" in cap.err  # accounting goes to stderr
+
+    def test_second_invocation_served_from_cache(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_CACHE", str(tmp_path))
+        assert experiments_main(["sec5"]) == 0
+        first = capsys.readouterr()
+        assert experiments_main(["sec5"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "1/1 points (100%)" in second.err
+
+    def test_no_cache_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_CACHE", str(tmp_path))
+        assert experiments_main(["sec5", "--no-cache"]) == 0
+        assert experiments_main(["sec5", "--no-cache"]) == 0
+        assert "cache disabled" in capsys.readouterr().err
+
+    def test_jobs_flag_parallelizes_all(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_CACHE", str(tmp_path))
+        assert experiments_main(["list"]) == 0
+        names = capsys.readouterr().out.split()
+        # Run two harnesses in two workers; output is printed in order.
+        assert experiments_main(["sec5", "--jobs", "2"]) == 0
+        assert "sec5" in capsys.readouterr().out
+        assert len(names) == 11

@@ -1,0 +1,111 @@
+"""Executor semantics: parallel == serial, cache-aware scheduling, and the
+results layer over the produced records."""
+
+import json
+
+import pytest
+
+from repro.lab.cache import ResultCache
+from repro.lab.executor import MissingResultsError, execute
+from repro.lab.results import ResultSet
+from repro.lab.scenarios import get_scenario, sec6_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    # 2 schemes x 2 capacities x 2 policies = 8 cheap points.
+    return sec6_scenario(n=16, middle=16, b3=8, b2=4,
+                         policies=("lru", "fifo"),
+                         schemes=("wa2", "co"))
+
+
+class TestExecute:
+    def test_parallel_equals_serial(self, tiny_scenario):
+        pts = tiny_scenario.points()
+        serial = execute(pts, jobs=1)
+        parallel = execute(pts, jobs=2)
+        assert serial.records() == parallel.records()
+        assert serial.total == parallel.total == len(pts)
+
+    def test_results_keep_point_order(self, tiny_scenario):
+        pts = tiny_scenario.points()
+        report = execute(pts, jobs=2)
+        assert [r.point.params for r in report.results] == \
+            [p.params for p in pts]
+
+    def test_records_are_json_serializable(self, tiny_scenario):
+        report = execute(tiny_scenario.points(), jobs=1)
+        json.dumps(report.records())
+
+    def test_second_run_is_fully_cached(self, tiny_scenario, tmp_path):
+        pts = tiny_scenario.points()
+        cold = execute(pts, jobs=1, cache=ResultCache(tmp_path))
+        assert cold.hits == 0 and cold.misses == len(pts)
+        warm = execute(pts, jobs=2, cache=ResultCache(tmp_path))
+        assert warm.hits == len(pts) and warm.misses == 0
+        assert warm.hit_rate == 1.0
+        assert warm.records() == cold.records()
+
+    def test_partial_cache_computes_only_the_gap(self, tiny_scenario,
+                                                 tmp_path):
+        pts = tiny_scenario.points()
+        cache = ResultCache(tmp_path)
+        execute(pts[:3], cache=cache)
+        report = execute(pts, cache=ResultCache(tmp_path))
+        assert report.hits == 3 and report.misses == len(pts) - 3
+
+    def test_require_cached_raises_when_cold(self, tiny_scenario, tmp_path):
+        with pytest.raises(MissingResultsError):
+            execute(tiny_scenario.points(), cache=ResultCache(tmp_path),
+                    require_cached=True)
+
+    def test_cache_line_mentions_hit_count(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute(tiny_scenario.points(), cache=cache)
+        report = execute(tiny_scenario.points(), cache=cache)
+        line = report.cache_line(cache)
+        assert f"{report.total}/{report.total}" in line
+        assert "100%" in line
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def rs(self, tiny_scenario):
+        return ResultSet.from_report(execute(tiny_scenario.points()))
+
+    def test_flat_rows_carry_params_and_counters(self, rs):
+        row = rs.rows[0]
+        for col in ("kernel", "policy", "scheme", "cache_blocks",
+                    "writebacks", "fills", "cached"):
+            assert col in row
+
+    def test_csv_export(self, rs, tmp_path):
+        text = rs.to_csv(tmp_path / "out.csv")
+        lines = text.strip().splitlines()
+        assert len(lines) == len(rs) + 1
+        assert "writebacks" in lines[0]
+        assert (tmp_path / "out.csv").exists()
+
+    def test_json_export(self, rs):
+        assert len(json.loads(rs.to_json())) == len(rs)
+
+    def test_group_and_aggregate(self, rs):
+        groups = rs.group_by("scheme")
+        assert set(groups) == {("wa2",), ("co",)}
+        agg = rs.aggregate(["scheme"], "writebacks", how="mean")
+        assert len(agg) == 2
+        assert all("mean_writebacks" in row for row in agg)
+
+    def test_aggregate_rejects_unknown_how(self, rs):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            rs.aggregate(["scheme"], "writebacks", how="median")
+
+    def test_compare_ratio(self, rs):
+        cmp = rs.compare(rs, on=["scheme", "cache_blocks", "policy"],
+                         value="writebacks")
+        assert len(cmp) == len(rs)
+        assert all(row["ratio"] == 1.0 for row in cmp)
+
+    def test_format_renders_table(self, rs):
+        out = rs.format(title="tiny")
+        assert "tiny" in out and "writebacks" in out
