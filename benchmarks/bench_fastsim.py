@@ -1,0 +1,166 @@
+"""Benchmarks for the fastsim engine: per-capacity replay vs single-pass.
+
+Three levels of comparison, mirroring how the stack is wired:
+
+* **end-to-end** — a sec6-shaped capacity sweep through the lab executor,
+  per-capacity replay (the pre-fastsim engine: one trace generation and
+  one per-access loop per point) against the multi-capacity batch path
+  (one trace generation, one stack-distance pass).  This is the paper's
+  actual workload shape and the acceptance number for the subsystem.
+* **kernel-only** — the per-access dict loop replayed K times against
+  one :func:`simulate_lru_sweep` call on a pre-built trace.
+* **single capacity** — the honest footnote: one stack-distance pass
+  costs more than one tuned dict replay, which is why ``CacheSim`` keeps
+  the per-access loop for K=1 and the batched kernel pays from K>=2.
+
+Full-size runs refresh ``BENCH_fastsim.json`` at the repo root (the
+committed perf snapshot).  ``REPRO_BENCH_QUICK=1`` shrinks the geometry
+for CI and leaves the snapshot untouched.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.traces import matmul_trace
+from repro.lab.executor import execute
+from repro.lab.registry import MachineSpec
+from repro.lab.scenarios import ScenarioPoint
+from repro.lab.tracestore import set_active_store
+from repro.machine.cache import CacheSim
+from repro.machine.fastsim import simulate_lru, simulate_lru_sweep
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N, MIDDLE = (32, 64) if QUICK else (64, 128)
+B3, B2, BASE, LINE = 16, 8, 4, 4
+BLOCKS = list(range(2, 10))  # 8 capacities, straddling the 5-block cliff
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_fastsim.json"
+
+
+def _params(blocks):
+    return {"n": N, "middle": MIDDLE, "scheme": "wa2", "b3": B3, "b2": B2,
+            "base": BASE, "cache_blocks": blocks}
+
+
+def sweep_points():
+    machine = MachineSpec(name="bench-l3", line_size=LINE, policy="lru")
+    return [ScenarioPoint("matmul-cache", machine, _params(b))
+            for b in BLOCKS]
+
+
+def built_trace():
+    buf = matmul_trace(N, MIDDLE, N, scheme="wa2", b3=B3, b2=B2, base=BASE,
+                       line_size=LINE)
+    return buf.finalize()
+
+
+def capacities_lines():
+    return [(blocks * B3 * B3 + LINE) // LINE for blocks in BLOCKS]
+
+
+def record_snapshot(**numbers):
+    if QUICK:
+        return  # never clobber the committed full-size numbers
+    doc = {}
+    if SNAPSHOT.exists():
+        try:
+            doc = json.loads(SNAPSHOT.read_text())
+        except ValueError:
+            doc = {}
+    doc.setdefault("config", {}).update({
+        "n": N, "middle": MIDDLE, "b3": B3, "b2": B2, "base": BASE,
+        "line_size": LINE, "scheme": "wa2", "cache_blocks": BLOCKS,
+        "capacities_lines": capacities_lines(), "quick": QUICK,
+    })
+    doc.update(numbers)
+    SNAPSHOT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def test_multi_capacity_sweep_end_to_end(benchmark):
+    """The acceptance number: K-capacity sweep, replay-per-point vs one
+    batched pass, both cold (no result cache, no trace store)."""
+    set_active_store(None)
+    points = sweep_points()
+    per_capacity = execute(points, cache=None, multi_capacity=False)
+    multi = benchmark.pedantic(
+        lambda: execute(points, cache=None, multi_capacity=True),
+        rounds=1, iterations=1)
+    assert multi.records() == per_capacity.records()  # bit-identical
+    speedup = per_capacity.elapsed / multi.elapsed
+    print(f"\n[bench_fastsim] {len(BLOCKS)}-capacity sweep "
+          f"(n={N}, middle={MIDDLE}): per-capacity replay "
+          f"{per_capacity.elapsed:.3f}s, multi-capacity "
+          f"{multi.elapsed:.3f}s -> {speedup:.1f}x")
+    record_snapshot(end_to_end={
+        "points": len(points),
+        "per_capacity_replay_s": round(per_capacity.elapsed, 4),
+        "multi_capacity_s": round(multi.elapsed, 4),
+        "speedup": round(speedup, 2),
+    })
+    # Regression tripwire (the committed snapshot records the full-size
+    # number, >= 5x; keep slack here for noisy CI runners).
+    assert speedup >= 3.0
+
+
+def test_kernel_only_sweep(benchmark):
+    """Dict loop x K capacities vs one stack-distance pass, trace
+    generation excluded on both sides."""
+    lines, writes = built_trace()
+    caps = capacities_lines()
+
+    t0 = time.perf_counter()
+    loop_stats = []
+    for cap in caps:
+        sim = CacheSim(cap, line_size=1, policy="lru")
+        sim.run_lines(lines, writes)
+        sim.flush()
+        loop_stats.append(sim.stats)
+    dict_loop_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sweep = benchmark.pedantic(
+        lambda: simulate_lru_sweep(lines, writes, caps),
+        rounds=1, iterations=1)
+    sweep_s = time.perf_counter() - t0
+    for cap, st in zip(caps, loop_stats):
+        assert sweep.stats(cap) == st
+    speedup = dict_loop_s / sweep_s
+    print(f"\n[bench_fastsim] kernel-only ({len(lines)} events, "
+          f"{len(caps)} capacities): dict loop {dict_loop_s:.3f}s, "
+          f"fastsim sweep {sweep_s:.3f}s -> {speedup:.1f}x")
+    record_snapshot(kernel_only={
+        "trace_events": int(len(lines)),
+        "dict_loop_s": round(dict_loop_s, 4),
+        "fastsim_sweep_s": round(sweep_s, 4),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 1.5
+
+
+def test_single_capacity_footnote(benchmark):
+    """K=1: the tuned per-access loop vs the batched kernel (documents
+    why CacheSim defaults to the loop for a single capacity)."""
+    lines, writes = built_trace()
+    cap = capacities_lines()[1]  # 3 blocks
+
+    t0 = time.perf_counter()
+    sim = CacheSim(cap, line_size=1, policy="lru")
+    sim.run_lines(lines, writes)
+    sim.flush()
+    dict_loop_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    res = benchmark.pedantic(lambda: simulate_lru(lines, writes, cap),
+                             rounds=1, iterations=1)
+    single_s = time.perf_counter() - t0
+    assert res.stats(cap) == sim.stats
+    print(f"\n[bench_fastsim] single capacity: dict loop "
+          f"{dict_loop_s:.3f}s, fastsim {single_s:.3f}s "
+          f"(ratio {single_s / dict_loop_s:.2f} - the loop wins at K=1)")
+    record_snapshot(single_capacity={
+        "trace_events": int(len(lines)),
+        "dict_loop_s": round(dict_loop_s, 4),
+        "fastsim_single_s": round(single_s, 4),
+        "fastsim_over_loop_ratio": round(single_s / dict_loop_s, 2),
+    })

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.traces import matmul_trace
-from repro.machine.cache import CacheSim
+from repro.machine.cache import CacheSim, CacheStats
 from repro.util import format_table
 
 __all__ = ["run_sec6", "format_sec6"]
@@ -29,25 +29,39 @@ def run_sec6(
     schemes: Sequence[str] = ("wa2", "ab-multilevel", "wa-multilevel"),
 ) -> List[Dict]:
     floor = n * n // line
+    blocks_axis = (3, 4, 5)
     rows: List[Dict] = []
     for scheme in schemes:
         buf = matmul_trace(n, middle, n, scheme=scheme, b3=b3, b2=b2,
                            base=base, line_size=line)
         lines, writes = buf.finalize()
-        for blocks in (3, 4, 5):
-            cap = blocks * b3 * b3 + line
+        # The LRU column is a pure capacity sweep over one trace — the
+        # fastsim multi-capacity kernel computes all of it in one pass
+        # (bit-identical to the per-capacity CacheSim replay below).
+        caps = [blocks * b3 * b3 + line for blocks in blocks_axis]
+        lru_sweep = None
+        if "lru" in policies and all(c % line == 0 for c in caps):
+            from repro.machine.fastsim import simulate_lru_sweep
+            lru_sweep = simulate_lru_sweep(lines, writes,
+                                           [c // line for c in caps])
+        for blocks, cap in zip(blocks_axis, caps):
             for policy in policies:
-                sim = CacheSim(cap, line_size=line, policy=policy)
-                sim.run_lines(lines, writes)
-                sim.flush()
+                st: CacheStats
+                if policy == "lru" and lru_sweep is not None:
+                    st = lru_sweep.stats(cap // line)
+                else:
+                    sim = CacheSim(cap, line_size=line, policy=policy)
+                    sim.run_lines(lines, writes)
+                    sim.flush()
+                    st = sim.stats
                 rows.append({
                     "scheme": scheme,
                     "capacity_blocks": blocks,
                     "policy": policy,
-                    "writebacks": sim.stats.writebacks,
+                    "writebacks": st.writebacks,
                     "floor": floor,
-                    "ratio": sim.stats.writebacks / floor,
-                    "fills": sim.stats.fills,
+                    "ratio": st.writebacks / floor,
+                    "fills": st.fills,
                 })
     return rows
 

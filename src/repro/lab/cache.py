@@ -166,7 +166,47 @@ class ResultCache:
                 continue
         return removed
 
+    def versions(self) -> Dict[str, int]:
+        """Record counts by code version (``repro-lab cache stats``)."""
+        counts: Dict[str, int] = {}
+        for doc in self.entries():
+            version = doc.get("code_version", "<unknown>")
+            counts[version] = counts.get(version, 0) + 1
+        return counts
+
+    def total_bytes(self) -> int:
+        if self.disabled or not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*/*.json"))
+
+    def gc(self, keep_version: Optional[str] = None) -> int:
+        """Drop records from superseded code versions (default: keep only
+        the current fingerprint); pass ``keep_version=""`` to drop
+        everything.  Returns the number of records removed."""
+        if keep_version is None:
+            keep_version = self.code_version
+        if not keep_version:
+            return self.clear()  # nothing can match: skip the parsing
+        removed = 0
+        if self.disabled or not self.root.exists():
+            return removed
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                keep = doc.get("code_version") == keep_version
+            except (OSError, ValueError):
+                keep = False  # unreadable records are dead weight
+            if not keep:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
     def describe(self) -> str:
         state = "disabled" if self.disabled else str(self.root)
         return (f"cache at {state}: {len(self)} records, "
+                f"{self.total_bytes() / 1e6:.1f} MB, "
                 f"code version {self.code_version}")

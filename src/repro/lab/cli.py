@@ -9,15 +9,23 @@ Subcommands::
         --set n=32 --set middle=64 --set b3=8 --set b2=4 --set base=4 \\
         --grid scheme=co,wa2 --grid machine.write_slow=2,30 --jobs 2
     repro-lab report fig2 --quick      # re-render from cache, compute nothing
+    repro-lab cache stats              # result-cache + trace-store inventory
+    repro-lab cache gc                 # prune superseded code versions
 
 Every ``run``/``sweep`` prints a final accounting line reporting how many
-points were served from the persistent result cache.
+points were served from the persistent result cache.  Capacity sweeps
+over fully-associative LRU machines are collapsed into single-replay
+fastsim batches unless ``--no-multi-capacity`` is given, and generated
+traces are memoized in an on-disk trace store (``--no-trace-store`` or
+``REPRO_LAB_TRACES=off`` opts out).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lab.cache import ResultCache
@@ -25,6 +33,13 @@ from repro.lab.executor import MissingResultsError, execute
 from repro.lab.registry import KERNELS, MACHINES, POLICIES, resolve_machine
 from repro.lab.results import ResultSet
 from repro.lab.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.lab.tracestore import (
+    _OFF_VALUES,
+    TRACES_ENV,
+    TraceStore,
+    set_active_store,
+    store_from_env,
+)
 
 __all__ = ["main"]
 
@@ -59,6 +74,36 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _default_trace_root(args: argparse.Namespace) -> Optional[str]:
+    """A ``--cache-dir`` scopes the trace store too (``<dir>/traces``),
+    so scoped runs and scoped ``cache stats/gc`` see the same traces;
+    ``None`` falls back to the global default root."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return str(Path(cache_dir) / "traces")
+    return None
+
+
+def _setup_trace_store(args: argparse.Namespace) -> None:
+    """Install the trace store for this run (and its workers), honouring
+    ``--no-trace-store``, an explicit ``$REPRO_LAB_TRACES``, and
+    ``--cache-dir`` scoping."""
+    if getattr(args, "no_trace_store", False):
+        set_active_store(None)
+        return
+    if os.environ.get(TRACES_ENV, "").strip():
+        # Resolve whatever the env dictates (a path, or an off-value).
+        set_active_store(store_from_env())
+        return
+    if getattr(args, "no_cache", False):
+        # "read/write no cache" means no disk at all: skip the default
+        # trace store too (an explicit $REPRO_LAB_TRACES above still wins).
+        set_active_store(None)
+        return
+    store = TraceStore(_default_trace_root(args))
+    set_active_store(None if store.disabled else store)
 
 
 def _finish(scenario: Scenario, report, cache, args) -> int:
@@ -96,7 +141,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario, quick=args.quick)
     cache = _make_cache(args)
-    report = execute(scenario.points(), jobs=args.jobs, cache=cache)
+    _setup_trace_store(args)
+    report = execute(scenario.points(), jobs=args.jobs, cache=cache,
+                     multi_capacity=not args.no_multi_capacity)
     return _finish(scenario, report, cache, args)
 
 
@@ -111,7 +158,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid=_parse_kv(args.grid, grid=True),
     )
     cache = _make_cache(args)
-    report = execute(scenario.points(), jobs=args.jobs, cache=cache)
+    _setup_trace_store(args)
+    report = execute(scenario.points(), jobs=args.jobs, cache=cache,
+                     multi_capacity=not args.no_multi_capacity)
     return _finish(scenario, report, cache, args)
 
 
@@ -126,6 +175,61 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _finish(scenario, report, cache, args)
 
 
+def _maintenance_store(args: argparse.Namespace) -> Optional[TraceStore]:
+    """The trace store ``cache stats/gc`` should inspect — the same
+    resolution ``run``/``sweep`` use: --trace-dir, else
+    $REPRO_LAB_TRACES (a path, or an off-value meaning *no* store), else
+    <--cache-dir>/traces, else the default root."""
+    if getattr(args, "trace_dir", None):
+        return TraceStore(args.trace_dir)
+    env = os.environ.get(TRACES_ENV, "").strip()
+    if env:
+        if env.lower() in _OFF_VALUES:
+            return None  # disabled for runs => nothing to inspect/prune
+        return TraceStore(env)
+    return TraceStore(_default_trace_root(args))
+
+
+_STORE_OFF_NOTE = (f"trace store disabled (${TRACES_ENV}); "
+                   f"pass --trace-dir to inspect one anyway")
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    print(f"[repro.lab] {cache.describe()}")
+    versions = cache.versions()
+    for version in sorted(versions, key=lambda v: -versions[v]):
+        marker = " (current)" if version == cache.code_version else ""
+        print(f"  {versions[version]:>6} record(s) from code version "
+              f"{version}{marker}")
+    store = _maintenance_store(args)
+    if store is None:
+        print(f"[repro.lab] {_STORE_OFF_NOTE}")
+        return 0
+    print(f"[repro.lab] {store.describe()}")
+    stale = sum(1 for doc in store.entries()
+                if doc.get("code_version") != store.code_version)
+    if stale:
+        print(f"  {stale} trace(s) from superseded code versions "
+              f"(repro-lab cache gc reclaims them)")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    removed = cache.gc(keep_version="" if args.all else None)
+    print(f"[repro.lab] removed {removed} result record(s); "
+          f"{len(cache)} kept at {cache.root}")
+    store = _maintenance_store(args)
+    if store is None:
+        print(f"[repro.lab] {_STORE_OFF_NOTE}")
+        return 0
+    removed = store.gc(keep_version="" if args.all else None)
+    print(f"[repro.lab] removed {removed} trace(s); "
+          f"{len(store)} kept at {store.root}")
+    return 0
+
+
 def _add_cache_args(p: argparse.ArgumentParser, *,
                     allow_disable: bool = True) -> None:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -133,7 +237,17 @@ def _add_cache_args(p: argparse.ArgumentParser, *,
                         "or ~/.cache/repro-lab)")
     if allow_disable:
         p.add_argument("--no-cache", action="store_true",
-                       help="compute everything, read/write no cache")
+                       help="compute everything, read/write no cache "
+                            "(skips the default trace store too)")
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-multi-capacity", action="store_true",
+                   help="replay capacity sweeps point by point instead of "
+                        "batching them through the fastsim kernel")
+    p.add_argument("--no-trace-store", action="store_true",
+                   help="regenerate traces instead of memoizing them "
+                        "on disk")
 
 
 def _add_export_args(p: argparse.ArgumentParser) -> None:
@@ -163,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for uncached points")
     _add_cache_args(p_run)
+    _add_engine_args(p_run)
     _add_export_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -179,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "the machine spec (repeatable)")
     p_sweep.add_argument("--jobs", type=int, default=1, metavar="N")
     _add_cache_args(p_sweep)
+    _add_engine_args(p_sweep)
     _add_export_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -189,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p_rep, allow_disable=False)
     _add_export_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser("cache", help="inspect or prune the result "
+                                           "cache and trace store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="record/trace counts, sizes and code versions")
+    p_gc = cache_sub.add_parser(
+        "gc", help="drop records and traces from superseded code versions")
+    p_gc.add_argument("--all", action="store_true",
+                      help="drop everything, current code version included")
+    for p in (p_stats, p_gc):
+        _add_cache_args(p, allow_disable=False)
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="trace-store directory (default: "
+                            "$REPRO_LAB_TRACES or <cache dir>/traces)")
+    p_stats.set_defaults(func=_cmd_cache_stats)
+    p_gc.set_defaults(func=_cmd_cache_gc)
 
     return parser
 

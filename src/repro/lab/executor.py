@@ -3,18 +3,37 @@
 The executor resolves cache hits first (cheap, in-process), then fans only
 the remaining points out over a ``multiprocessing`` pool — so a warm sweep
 costs one JSON read per point regardless of ``jobs``, and a cold sweep
-scales with cores.  All cache I/O happens in the parent process; workers
-are pure functions from point payloads to records.
+scales with cores.  All *result-cache* I/O happens in the parent process;
+workers are deterministic functions from point payloads to records, though
+with a trace store installed (:mod:`repro.lab.tracestore`) they do share
+memoized traces through it (memory-mapped reads, atomic writes — safe
+under concurrency, and purely an accelerator: records are unaffected).
+
+**Multi-capacity batching** (on by default): uncached points that differ
+*only* in cache capacity — same kernel, same trace parameters, same
+fully-associative LRU machine — are collapsed into one task that replays
+the trace once through :func:`repro.machine.fastsim.simulate_lru_sweep`
+and emits exact per-point records, which are then fanned back out into
+the result cache under each point's own key.  A K-capacity sweep thus
+costs one trace generation and one stack-distance pass instead of K full
+replays, while reports, caching and record contents stay bit-identical
+to the per-point path.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lab.cache import ResultCache
+from repro.lab.registry import (
+    matmul_capacity_words,
+    matmul_trace_payload,
+    run_matmul_capacity_batch,
+)
 from repro.lab.scenarios import ScenarioPoint
 
 __all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError"]
@@ -50,6 +69,9 @@ class SweepReport:
     misses: int = 0
     elapsed: float = 0.0
     jobs: int = 1
+    #: points computed through multi-capacity batches / batch count.
+    batched_points: int = 0
+    batches: int = 0
 
     @property
     def total(self) -> int:
@@ -64,19 +86,82 @@ class SweepReport:
 
     def cache_line(self, cache: Optional[ResultCache]) -> str:
         """The one-line cache summary the CLIs print."""
+        batched = (f", {self.batched_points} via {self.batches} "
+                   f"multi-capacity batch(es)" if self.batches else "")
         if cache is None or cache.disabled:
             return (f"[repro.lab] cache disabled; computed "
                     f"{self.total} points in {self.elapsed:.2f}s "
-                    f"(jobs={self.jobs})")
+                    f"(jobs={self.jobs}{batched})")
         return (f"[repro.lab] {self.hits}/{self.total} points "
                 f"({self.hit_rate:.0%}) served from cache at {cache.root}; "
                 f"computed {self.misses} in {self.elapsed:.2f}s "
-                f"(jobs={self.jobs})")
+                f"(jobs={self.jobs}{batched})")
 
 
-def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Pool worker: rebuild the point and run its kernel."""
-    return ScenarioPoint.from_payload(payload).run()
+# --------------------------------------------------------------------- #
+# multi-capacity grouping
+# --------------------------------------------------------------------- #
+def _capacity_group_key(point: ScenarioPoint) -> Optional[str]:
+    """A key shared exactly by points that may ride one trace replay
+    (``None`` marks a point that must run on its own)."""
+    if point.kernel != "matmul-cache":
+        return None
+    machine = point.machine
+    if (machine.policy != "lru" or machine.levels is not None
+            or machine.associativity is not None):
+        return None
+    params = point.params
+    if not all(name in params for name in ("n", "middle", "scheme")):
+        return None
+    try:
+        cap_words = matmul_capacity_words(machine, params)
+        trace_id = matmul_trace_payload(machine, params)
+    except (KeyError, TypeError):
+        return None
+    if not isinstance(cap_words, int) or cap_words <= 0 \
+            or cap_words % machine.line_size != 0:
+        return None
+    # Identity = the full payload minus the capacity axes.
+    machine_d = machine.as_dict()
+    machine_d.pop("cache_words")
+    params_d = dict(params)
+    params_d.pop("cache_blocks", None)
+    try:
+        return json.dumps({"machine": machine_d, "params": params_d,
+                           "trace": trace_id}, sort_keys=True)
+    except (TypeError, ValueError):
+        return None
+
+
+def _plan_tasks(points: Sequence[ScenarioPoint], pending: Sequence[int],
+                multi_capacity: bool) -> List[List[int]]:
+    """Partition pending point indices into tasks (singletons or capacity
+    batches), preserving first-appearance order."""
+    if not multi_capacity:
+        return [[i] for i in pending]
+    groups: Dict[str, List[int]] = {}
+    tasks: List[List[int]] = []
+    for i in pending:
+        key = _capacity_group_key(points[i])
+        if key is None:
+            tasks.append([i])
+        elif key in groups:
+            groups[key].append(i)
+        else:
+            group = [i]
+            groups[key] = group
+            tasks.append(group)
+    return tasks
+
+
+def _run_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Pool worker: run one point or one capacity batch, records in
+    task order."""
+    pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
+    if len(pts) == 1:
+        return [pts[0].run()]
+    return run_matmul_capacity_batch([(pt.machine, pt.params)
+                                      for pt in pts])
 
 
 def execute(
@@ -85,6 +170,7 @@ def execute(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     require_cached: bool = False,
+    multi_capacity: bool = True,
 ) -> SweepReport:
     """Run every point, serving repeats from *cache* when provided.
 
@@ -101,6 +187,10 @@ def execute(
     require_cached:
         Report-only mode: raise :class:`MissingResultsError` instead of
         computing anything.
+    multi_capacity:
+        Collapse same-trace LRU capacity sweeps into single-replay
+        batches (see the module docstring).  Purely an execution
+        strategy: records and cache contents are identical either way.
     """
     t0 = time.perf_counter()
     points = list(points)
@@ -116,17 +206,25 @@ def execute(
     if pending and require_cached:
         raise MissingResultsError(len(pending), len(points))
 
+    batches = batched_points = 0
     if pending:
-        if jobs > 1 and len(pending) > 1:
-            payloads = [points[i].payload() for i in pending]
-            with multiprocessing.Pool(min(jobs, len(pending))) as pool:
-                records = pool.map(_run_payload, payloads)
+        tasks = _plan_tasks(points, pending, multi_capacity)
+        payloads = [{"points": [points[i].payload() for i in task]}
+                    for task in tasks]
+        for task in tasks:
+            if len(task) > 1:
+                batches += 1
+                batched_points += len(task)
+        if jobs > 1 and len(tasks) > 1:
+            with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+                record_lists = pool.map(_run_task, payloads)
         else:
-            records = [points[i].run() for i in pending]
-        for i, record in zip(pending, records):
-            if cache is not None:
-                cache.put(points[i].payload(), record)
-            results[i] = PointResult(points[i], record, cached=False)
+            record_lists = [_run_task(p) for p in payloads]
+        for task, records in zip(tasks, record_lists):
+            for i, record in zip(task, records):
+                if cache is not None:
+                    cache.put(points[i].payload(), record)
+                results[i] = PointResult(points[i], record, cached=False)
 
     return SweepReport(
         results=[r for r in results if r is not None],
@@ -134,4 +232,6 @@ def execute(
         misses=len(pending),
         elapsed=time.perf_counter() - t0,
         jobs=jobs,
+        batched_points=batched_points,
+        batches=batches,
     )

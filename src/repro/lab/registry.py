@@ -18,7 +18,8 @@ scenario file (or a CLI invocation) is pure data:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.experiments import (
     Fig2Config,
@@ -46,7 +47,8 @@ from repro.experiments import (
     run_table2,
 )
 from repro.core.traces import matmul_trace
-from repro.machine.cache import CacheSim
+from repro.lab.tracestore import active_store
+from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
 from repro.machine.multicache import CacheHierarchySim
 from repro.machine.policies import POLICIES
@@ -60,6 +62,10 @@ __all__ = [
     "EXPERIMENTS",
     "fig2_config",
     "resolve_machine",
+    "matmul_trace_payload",
+    "matmul_lines",
+    "matmul_capacity_words",
+    "run_matmul_capacity_batch",
 ]
 
 
@@ -185,36 +191,63 @@ def _require_params(params: Mapping, names: Tuple[str, ...],
             f"(pass them via --set or the scenario's fixed/grid)")
 
 
-def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
-    """One matmul instruction order through one simulated cache level.
-
-    Required params: ``n`` (outer dims), ``middle``, ``scheme``; optional
-    ``l`` (second outer dim, default ``n``), ``b3``, ``b2``, ``base``,
-    ``c_touch_hint`` and ``cache_blocks`` (capacity in units of b3-blocks,
-    as Section 6 counts it — overrides ``machine.cache_words``).
-    """
-    _require_params(params, ("n", "middle", "scheme"), "matmul-cache")
+def matmul_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+    """The trace-identity of a matmul-cache point: every parameter that
+    shapes the generated access sequence — and nothing capacity-related,
+    so all points of a capacity sweep share one entry in the trace
+    store."""
     n = params["n"]
-    middle = params["middle"]
-    l = params.get("l", n)
-    b3 = params.get("b3", 64)
+    return {
+        "family": "matmul",
+        "n": n,
+        "middle": params["middle"],
+        "l": params.get("l", n),
+        "scheme": params["scheme"],
+        "b3": params.get("b3", 64),
+        "b2": params.get("b2", 16),
+        "base": params.get("base", 8),
+        "line_size": machine.line_size,
+        "c_touch_hint": bool(params.get("c_touch_hint", False)),
+    }
+
+
+def matmul_lines(machine: MachineSpec, params: Mapping
+                 ) -> Tuple[Any, Any]:
+    """Finalized ``(lines, writes)`` for a matmul-cache point, served from
+    the active trace store when one is installed."""
+    spec = matmul_trace_payload(machine, params)
+
+    def build() -> Tuple[Any, Any]:
+        buf = matmul_trace(
+            spec["n"], spec["middle"], spec["l"],
+            scheme=spec["scheme"],
+            b3=spec["b3"],
+            b2=spec["b2"],
+            base=spec["base"],
+            line_size=spec["line_size"],
+            c_touch_hint=spec["c_touch_hint"],
+        )
+        return buf.finalize()
+
+    store = active_store()
+    if store is None:
+        return build()
+    return store.get_or_build(spec, build)
+
+
+def matmul_capacity_words(machine: MachineSpec, params: Mapping) -> int:
+    """Simulated capacity of a matmul-cache point, in words
+    (``cache_blocks`` counts b3-blocks, as Section 6 sizes caches)."""
     if params.get("cache_blocks") is not None:
-        cap = params["cache_blocks"] * b3 * b3 + machine.line_size
-        machine = machine.override(cache_words=cap)
-    buf = matmul_trace(
-        n, middle, l,
-        scheme=params["scheme"],
-        b3=b3,
-        b2=params.get("b2", 16),
-        base=params.get("base", 8),
-        line_size=machine.line_size,
-        c_touch_hint=params.get("c_touch_hint", False),
-    )
-    sim = machine.make()
-    lines, writes = buf.finalize()
-    sim.run_lines(lines, writes)
-    sim.flush()
-    st = sim.stats
+        b3 = params.get("b3", 64)
+        return params["cache_blocks"] * b3 * b3 + machine.line_size
+    return machine.cache_words
+
+
+def _matmul_record(machine: MachineSpec, params: Mapping,
+                   st: "CacheStats") -> Dict:
+    n = params["n"]
+    l = params.get("l", n)
     return {
         "accesses": st.accesses,
         "hits": st.hits,
@@ -230,6 +263,64 @@ def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
     }
 
 
+def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
+    """One matmul instruction order through one simulated cache level.
+
+    Required params: ``n`` (outer dims), ``middle``, ``scheme``; optional
+    ``l`` (second outer dim, default ``n``), ``b3``, ``b2``, ``base``,
+    ``c_touch_hint`` and ``cache_blocks`` (capacity in units of b3-blocks,
+    as Section 6 counts it — overrides ``machine.cache_words``).
+    """
+    _require_params(params, ("n", "middle", "scheme"), "matmul-cache")
+    if params.get("cache_blocks") is not None:
+        machine = machine.override(
+            cache_words=matmul_capacity_words(machine, params))
+    lines, writes = matmul_lines(machine, params)
+    sim = machine.make()
+    sim.run_lines(lines, writes)
+    sim.flush()
+    return _matmul_record(machine, params, sim.stats)
+
+
+def run_matmul_capacity_batch(
+    group: Sequence[Tuple[MachineSpec, Mapping]],
+) -> list:
+    """All capacities of one matmul-cache sweep from a *single* replay.
+
+    Every ``(machine, params)`` pair must share the trace identity
+    (:func:`matmul_trace_payload`) and describe a fully-associative LRU
+    cache; they may differ only in capacity.  The trace is generated (or
+    mapped from the trace store) once, fastsim's multi-capacity kernel
+    produces exact per-capacity counters in one pass, and each point gets
+    the same record :func:`kernel_matmul_cache` would have computed —
+    bit-identical, enforced by the equivalence tests.
+    """
+    from repro.machine.fastsim import simulate_lru_sweep
+
+    machine0, params0 = group[0]
+    _require_params(params0, ("n", "middle", "scheme"), "matmul-cache")
+    spec0 = matmul_trace_payload(machine0, params0)
+    caps_lines = []
+    for machine, params in group:
+        require(machine.policy == "lru" and machine.levels is None
+                and machine.associativity is None,
+                "capacity batching needs fully-associative LRU points")
+        require(matmul_trace_payload(machine, params) == spec0,
+                "capacity batch mixes different trace configurations")
+        cap_words = matmul_capacity_words(machine, params)
+        require(cap_words % machine.line_size == 0,
+                f"capacity_words={cap_words} must be a multiple of "
+                f"line_size={machine.line_size}")
+        caps_lines.append(cap_words // machine.line_size)
+    lines, writes = matmul_lines(machine0, params0)
+    sweep = simulate_lru_sweep(lines, writes, caps_lines)
+    return [
+        _matmul_record(machine, params,
+                       sweep.stats(cap, include_flush=True))
+        for (machine, params), cap in zip(group, caps_lines)
+    ]
+
+
 def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
     """One matmul order through a multi-level cache hierarchy.
 
@@ -240,18 +331,15 @@ def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
             "matmul-hierarchy needs a machine with `levels`")
     _require_params(params, ("n", "middle", "scheme"), "matmul-hierarchy")
     n = params["n"]
-    middle = params["middle"]
     l = params.get("l", n)
-    buf = matmul_trace(
-        n, middle, l,
-        scheme=params["scheme"],
-        b3=params.get("b3", 16),
-        b2=params.get("b2", 8),
-        base=params.get("base", 4),
-        line_size=machine.line_size,
-    )
+    # This kernel's blocking defaults differ from matmul-cache's, so pin
+    # them before the shared trace helper applies its own.
+    filled = dict(params)
+    filled.setdefault("b3", 16)
+    filled.setdefault("b2", 8)
+    filled.setdefault("base", 4)
+    lines, writes = matmul_lines(machine, filled)
     hier = machine.make()
-    lines, writes = buf.finalize()
     hier.run_lines(lines, writes)
     hier.flush()
     rec: Dict[str, Any] = {}

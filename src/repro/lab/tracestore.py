@@ -1,0 +1,274 @@
+"""Content-addressed on-disk store for generated address traces.
+
+Building a trace (a Python loop over the kernel's task order) costs far
+more than simulating it, and a capacity/policy sweep re-generates the
+*same* trace for every point — per worker process, per run.  This store
+memoizes finalized ``(lines, writes)`` arrays on disk, keyed exactly like
+the result cache: the SHA-256 of the canonical JSON of the
+trace-generating parameters plus the repro source fingerprint, so any
+code change transparently invalidates every trace it could have shaped.
+
+Each entry is a pair of raw ``.npy`` files (loaded back memory-mapped, so
+concurrent workers share pages instead of each materializing a copy) plus
+a small JSON sidecar recording the payload for `repro-lab cache stats`.
+Writes are atomic (tempfile + ``os.replace``); a store whose root cannot
+be created degrades to a no-op, like :class:`repro.lab.cache.ResultCache`.
+
+The store is **opt-in**: :func:`active_store` returns one only when
+``$REPRO_LAB_TRACES`` names a directory or the CLI/executor installed one
+via :func:`set_active_store` (``repro-lab run/sweep`` do so by default;
+``--no-trace-store`` opts back out).  Plain library calls never touch the
+filesystem behind your back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.lab.cache import code_fingerprint, default_cache_root, point_key
+
+__all__ = ["TraceStore", "active_store", "set_active_store",
+           "default_trace_root", "store_from_env"]
+
+#: env var: a directory enables the store there; "off"/"0"/"none" keeps it
+#: disabled even when the CLI would install the default one.
+TRACES_ENV = "REPRO_LAB_TRACES"
+_OFF_VALUES = ("off", "0", "none", "disabled", "no")
+#: internal worker-propagation channel for :func:`set_active_store`;
+#: never read as user intent (that is what :data:`TRACES_ENV` is for).
+_ACTIVE_ENV = "_REPRO_LAB_TRACES_ACTIVE"
+
+
+def default_trace_root() -> Path:
+    return default_cache_root() / "traces"
+
+
+class TraceStore:
+    """Persistent ``(lines, writes)`` store with hit/miss accounting."""
+
+    def __init__(self,
+                 root: Optional[Union[str, Path]] = None,
+                 code_version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_trace_root()
+        self.code_version = code_version or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disabled = False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.disabled = True
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, payload: Dict) -> str:
+        return point_key({"trace": dict(payload)}, self.code_version)
+
+    def _paths(self, key: str) -> Tuple[Path, Path, Path]:
+        shard = self.root / key[:2]
+        return (shard / f"{key}.lines.npy",
+                shard / f"{key}.writes.npy",
+                shard / f"{key}.json")
+
+    def get(self, payload: Dict) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Memory-mapped arrays for *payload*, or ``None`` on a miss."""
+        if self.disabled:
+            self.misses += 1
+            return None
+        lines_p, writes_p, _ = self._paths(self.key_for(payload))
+        try:
+            lines = np.load(lines_p, mmap_mode="r")
+            writes = np.load(writes_p, mmap_mode="r")
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if lines.shape != writes.shape:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return lines, writes
+
+    def put(self, payload: Dict, lines: np.ndarray,
+            writes: np.ndarray) -> bool:
+        if self.disabled:
+            return False
+        key = self.key_for(payload)
+        lines_p, writes_p, meta_p = self._paths(key)
+        meta = {"key": key, "code_version": self.code_version,
+                "trace": dict(payload), "events": int(len(lines))}
+        try:
+            blob = json.dumps(meta, sort_keys=True)
+        except (TypeError, ValueError):
+            return False
+        try:
+            lines_p.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_npy(lines_p, np.ascontiguousarray(lines))
+            self._atomic_npy(writes_p, np.ascontiguousarray(writes))
+            fd, tmp = tempfile.mkstemp(dir=str(meta_p.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(blob)
+                os.replace(tmp, meta_p)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+    @staticmethod
+    def _atomic_npy(path: Path, arr: np.ndarray) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".npy.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, arr)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_build(
+        self,
+        payload: Dict,
+        builder: Callable[[], Tuple[np.ndarray, np.ndarray]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Serve *payload* from disk, or build, store and return it."""
+        cached = self.get(payload)
+        if cached is not None:
+            return cached
+        lines, writes = builder()
+        self.put(payload, lines, writes)
+        return lines, writes
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if self.disabled or not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def entries(self) -> Iterator[Dict]:
+        """Yield every sidecar document (any code version)."""
+        if self.disabled or not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    yield json.load(fh)
+            except (OSError, ValueError):
+                continue
+
+    def total_bytes(self) -> int:
+        if self.disabled or not self.root.exists():
+            return 0
+        return sum(p.stat().st_size
+                   for p in self.root.glob("*/*")
+                   if p.is_file())
+
+    def gc(self, keep_version: Optional[str] = None) -> int:
+        """Drop traces not matching *keep_version* (default: current code
+        fingerprint); pass ``keep_version=""`` to drop everything.
+
+        Sweeps every file under the root — not just entries with valid
+        sidecars — so blobs orphaned by a crashed ``put()`` (payload
+        written, sidecar not) are reclaimed too.  Returns the number of
+        distinct trace keys removed.
+        """
+        if keep_version is None:
+            keep_version = self.code_version
+        if self.disabled or not self.root.exists():
+            return 0
+        keep_keys = set()
+        if keep_version:
+            for doc in self.entries():
+                if doc.get("code_version") == keep_version and doc.get("key"):
+                    keep_keys.add(doc["key"])
+        removed_keys = set()
+        for path in list(self.root.glob("*/*")):
+            if not path.is_file():
+                continue
+            name = path.name
+            key = None
+            for suffix in (".lines.npy", ".writes.npy", ".json"):
+                if name.endswith(suffix):
+                    key = name[:-len(suffix)]
+                    break
+            if key in keep_keys:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            if key is not None:  # junk (e.g. crashed tmp files) swept
+                removed_keys.add(key)  # but not counted as traces
+        return len(removed_keys)
+
+    def describe(self) -> str:
+        state = "disabled" if self.disabled else str(self.root)
+        return (f"trace store at {state}: {len(self)} traces, "
+                f"{self.total_bytes() / 1e6:.1f} MB, "
+                f"code version {self.code_version}")
+
+
+# --------------------------------------------------------------------- #
+# process-wide active store (inherited by executor worker processes)
+# --------------------------------------------------------------------- #
+_active: Union[TraceStore, None, str] = "unset"
+
+
+def store_from_env() -> Optional[TraceStore]:
+    """A store as ``$REPRO_LAB_TRACES`` dictates: a path enables it there,
+    off-values (or an unset variable) leave it disabled."""
+    env = os.environ.get(TRACES_ENV, "").strip()
+    if not env or env.lower() in _OFF_VALUES:
+        return None
+    store = TraceStore(env)
+    return None if store.disabled else store
+
+
+def active_store() -> Optional[TraceStore]:
+    """The store trace-generating kernels should consult (or ``None``).
+
+    Resolution order: a store installed via :func:`set_active_store`
+    (including one an executor parent exported for its workers), then
+    whatever ``$REPRO_LAB_TRACES`` dictates.
+    """
+    global _active
+    if _active == "unset":
+        exported = os.environ.get(_ACTIVE_ENV)
+        if exported is not None:
+            if exported.lower() in _OFF_VALUES:
+                _active = None
+            else:
+                store = TraceStore(exported)
+                _active = None if store.disabled else store
+        else:
+            _active = store_from_env()
+    return _active  # type: ignore[return-value]
+
+
+def set_active_store(store: Optional[TraceStore]) -> Optional[TraceStore]:
+    """Install *store* process-wide and export it on the *internal*
+    worker-propagation variable (so executor worker processes resolve the
+    same one); ``$REPRO_LAB_TRACES`` itself — the user's intent — is
+    never touched.  Returns the previous store."""
+    global _active
+    previous = None if _active == "unset" else _active
+    _active = store
+    if store is None or store.disabled:
+        os.environ[_ACTIVE_ENV] = "off"
+    else:
+        os.environ[_ACTIVE_ENV] = str(store.root)
+    return previous  # type: ignore[return-value]

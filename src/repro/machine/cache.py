@@ -89,6 +89,15 @@ class CacheSim:
         Seed for the random policy's generator, so randomized sweeps are
         reproducible point-by-point.  ``None`` keeps the historical
         behaviour (every set gets its own generator seeded 0).
+    fastsim_min_events:
+        When set, ``run_lines`` traces of at least this many events on an
+        *empty* fully-associative LRU cache replay through the batched
+        :mod:`repro.machine.fastsim` kernel (bit-identical counters and
+        end state, no per-access loop).  ``None`` (the default) keeps the
+        tuned per-access loop: the batched kernel's stack-distance pass
+        costs ~2-4x one replay, so it only pays when amortized over two
+        or more capacities — which is the lab engine's multi-capacity
+        path, not this single-capacity entry point.
 
     Notes
     -----
@@ -107,6 +116,7 @@ class CacheSim:
         associativity: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        fastsim_min_events: Optional[int] = None,
     ):
         check_positive_int(capacity_words, "capacity_words")
         check_positive_int(line_size, "line_size")
@@ -137,6 +147,7 @@ class CacheSim:
             for _ in range(self.num_sets)
         ]
         self._dirty: dict[int, bool] = {}
+        self.fastsim_min_events = fastsim_min_events
         self.stats = CacheStats()
         self._offline = isinstance(self._sets[0], BeladyPolicy)
         #: line id evicted by the most recent access (None if no eviction);
@@ -194,7 +205,12 @@ class CacheSim:
         if self._offline:
             self._run_belady(lines, writes)
         elif isinstance(self._sets[0], LRUPolicy) and self.num_sets == 1:
-            self._run_lru_fast(lines, writes)
+            if (self.fastsim_min_events is not None
+                    and len(lines) >= self.fastsim_min_events
+                    and not self._dirty):
+                self._run_lru_batched(lines, writes)
+            else:
+                self._run_lru_fast(lines, writes)
         else:
             acc = self._access_line
             for line, w in zip(lines.tolist(), writes.tolist()):
@@ -273,25 +289,51 @@ class CacheSim:
         st.victims_e += ve
 
     # ------------------------------------------------------------------ #
+    # batched path: fastsim stack-distance kernel (opt-in, exact)
+    # ------------------------------------------------------------------ #
+    def _run_lru_batched(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Replay via :func:`repro.machine.fastsim.simulate_lru`.
+
+        Counters come from the vectorized stack-distance kernel; the LRU
+        order and dirty bits are then reconstructed so this simulator
+        stays resumable (``flush()`` and further accesses behave exactly
+        as if the per-access loop had run).
+        """
+        from repro.machine.fastsim import simulate_lru
+
+        res = simulate_lru(lines, writes, self.capacity_lines)
+        st = res.stats(self.capacity_lines, include_flush=False)
+        mine = self.stats
+        mine.accesses += st.accesses
+        mine.hits += st.hits
+        mine.misses += st.misses
+        mine.fills += st.fills
+        mine.victims_m += st.victims_m
+        mine.victims_e += st.victims_e
+        resident, dirty = res.end_state(self.capacity_lines)
+        order = self._sets[0]._order  # type: ignore[attr-defined]
+        for line in resident.tolist():
+            order[line] = None
+        self._dirty = dict(zip(resident.tolist(), dirty.tolist()))
+
+    # ------------------------------------------------------------------ #
     # offline path: Belady / ideal cache
     # ------------------------------------------------------------------ #
     def _run_belady(self, lines: np.ndarray, writes: np.ndarray) -> None:
         """Farthest-next-use (MIN) replacement with dirty-bit tracking.
 
-        Classic two-pass algorithm: compute next-use indices in a reverse
-        scan, then simulate with a lazy max-heap keyed by next use.  Set
-        associativity is ignored (the ideal-cache model of [24] is fully
-        associative), matching how the paper uses it as a bound.
+        Two-pass algorithm: next-use indices come from the vectorized
+        fastsim preprocessor (one stable argsort instead of a Python
+        reverse scan), then a lazy max-heap keyed by next use simulates
+        the evictions.  Set associativity is ignored (the ideal-cache
+        model of [24] is fully associative), matching how the paper uses
+        it as a bound.
         """
+        from repro.machine.fastsim import belady_next_use
+
         n = len(lines)
-        next_use = np.empty(n, dtype=np.int64)
-        last_seen: dict[int, int] = {}
-        INF = n + 1
+        next_use = belady_next_use(lines)
         lines_list = lines.tolist()
-        for i in range(n - 1, -1, -1):
-            ln = lines_list[i]
-            next_use[i] = last_seen.get(ln, INF)
-            last_seen[ln] = i
         cap = self.capacity_lines
         resident: dict[int, bool] = {}  # line -> dirty
         cur_next: dict[int, int] = {}

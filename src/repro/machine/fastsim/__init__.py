@@ -1,0 +1,47 @@
+"""Vectorized trace-simulation kernels (single-pass, multi-capacity).
+
+The per-access loops in :mod:`repro.machine.cache` replay a trace once
+per cache capacity; every figure and table in the paper, however, is a
+*grid* over capacities and policies.  This package computes exact
+fully-associative LRU counters for **all capacities in one pass** from
+the trace's Mattson stack-distance profile — including the write-aware
+bookkeeping (`LLC_VICTIMS.M`, flush write-backs) the paper's Section-6
+measurements revolve around — plus the vectorized next-use preprocessor
+for the offline Belady simulation.
+
+Entry points:
+
+* :func:`simulate_lru_sweep` — counters for a whole capacity grid from
+  one replay (the engine behind the lab's multi-capacity sweep axis);
+* :func:`simulate_lru` — the same kernel for a single capacity;
+* :func:`stack_distances` / :func:`count_earlier_greater` — the exact
+  reuse-distance machinery, reusable for other policies built on it;
+* :func:`belady_next_use` — vectorized Belady preprocessing.
+
+Everything here is exact: parity with :class:`CacheSim` is enforced
+bit-for-bit by the test suite (``tests/test_fastsim.py``).
+"""
+
+from repro.machine.fastsim.belady import belady_next_use
+from repro.machine.fastsim.distances import (
+    count_earlier_greater,
+    next_occurrences,
+    prev_occurrences,
+    stack_distances,
+)
+from repro.machine.fastsim.lru import (
+    LRUSweepResult,
+    simulate_lru,
+    simulate_lru_sweep,
+)
+
+__all__ = [
+    "belady_next_use",
+    "count_earlier_greater",
+    "next_occurrences",
+    "prev_occurrences",
+    "stack_distances",
+    "LRUSweepResult",
+    "simulate_lru",
+    "simulate_lru_sweep",
+]

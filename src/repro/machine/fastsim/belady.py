@@ -1,0 +1,26 @@
+"""Vectorized preprocessing for the offline Belady/MIN simulation.
+
+:meth:`repro.machine.cache.CacheSim._run_belady` needs, for every access,
+the index of the *next* use of the same line — historically computed with
+a Python reverse scan over the whole trace.  The scan is a pure function
+of the line array, so it vectorizes into one stable argsort plus a
+shifted comparison; the eviction loop itself (a lazy max-heap over
+current next-use indices) stays as-is, but its setup cost drops from
+per-access Python work to a handful of numpy passes.
+
+The ``n + 1`` "never used again" sentinel is preserved exactly, so heap
+ordering — and therefore every counter — is bit-identical to the scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.fastsim.distances import next_occurrences
+
+__all__ = ["belady_next_use"]
+
+
+def belady_next_use(lines: np.ndarray) -> np.ndarray:
+    """``next_use[i]`` = next index accessing ``lines[i]``, else ``n + 1``."""
+    return next_occurrences(np.asarray(lines, dtype=np.int64))

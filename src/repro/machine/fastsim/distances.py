@@ -1,0 +1,177 @@
+"""Vectorized reuse/stack-distance machinery (the heart of fastsim).
+
+The multi-capacity LRU kernel rests on Mattson's inclusion property: a
+fully-associative LRU cache of capacity ``C`` holds exactly the top ``C``
+entries of the LRU stack, so one stack-distance profile answers hit/miss
+questions for *every* capacity at once.  The classic online algorithm
+(Bennett–Kruskal: a Fenwick tree over last-access marks) is a per-access
+Python loop — exactly the cost this package exists to remove — so we use
+an offline identity instead:
+
+Let ``prev[t]`` be the previous access to ``lines[t]`` (``-1`` on a cold
+access).  The distinct lines touched in the reuse window ``(prev[t], t)``
+are the window's length minus the accesses that are *repeats within the
+window* — and an access ``s`` is a repeat inside the window exactly when
+its own previous access also falls inside, i.e. ``prev[s] > prev[t]``
+(``prev[s] < s < t`` always holds).  Hence the exact stack distance is
+
+    D(t) = (t - prev[t] - 1) - #{ s < t : prev[s] > prev[t] }
+
+which reduces the whole profile to *per-element inversion counting* on
+the ``prev`` array.  That we compute with a most-significant-bit radix
+partition: ``bit_length(n)`` rounds of cumulative sums and one packed
+scatter each — O(n log n) total work, all inside numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "prev_occurrences",
+    "next_occurrences",
+    "count_earlier_greater",
+    "stack_distances",
+    "reuse_profile",
+]
+
+
+def _grouped_by_line(lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable permutation grouping equal line ids in time order."""
+    order = np.argsort(lines, kind="stable")
+    return order, lines[order]
+
+
+def prev_occurrences(lines: np.ndarray) -> np.ndarray:
+    """``prev[t]`` = index of the previous access to ``lines[t]``, else -1."""
+    lines = np.ascontiguousarray(lines)
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        order, sorted_lines = _grouped_by_line(lines)
+        same = sorted_lines[1:] == sorted_lines[:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def next_occurrences(lines: np.ndarray) -> np.ndarray:
+    """``nxt[t]`` = index of the next access to ``lines[t]``, else ``n + 1``.
+
+    The ``n + 1`` sentinel matches the value the Belady scan has always
+    used for "never used again", so swapping this in for the Python
+    reverse scan leaves the heap tie-breaking bit-identical.
+    """
+    lines = np.ascontiguousarray(lines)
+    n = len(lines)
+    nxt = np.full(n, n + 1, dtype=np.int64)
+    if n > 1:
+        order, sorted_lines = _grouped_by_line(lines)
+        same = sorted_lines[1:] == sorted_lines[:-1]
+        nxt[order[:-1][same]] = order[1:][same]
+    return nxt
+
+
+def count_earlier_greater(values: np.ndarray) -> np.ndarray:
+    """For each i: ``#{ j < i : values[j] > values[i] }`` (vectorized).
+
+    Iterative MSB radix partition.  Elements are kept stably partitioned
+    by the value bits above the current level, so each element's "earlier
+    and greater" predecessors that first differ at the current bit are
+    exactly the earlier same-group elements carrying a 1 where it carries
+    a 0 — a segmented cumulative sum.  Value and original index are packed
+    into one int64 so each round performs a single scatter.
+
+    ``values`` must be non-negative and < 2**31 (trace positions always
+    are); returns int64 counts.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    counts = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return counts
+    if values.min() < 0 or int(values.max()) >= (1 << 31):
+        raise ValueError("count_earlier_greater needs 0 <= values < 2**31")
+    nbits = max(1, int(values.max()).bit_length())
+    packed = (values.astype(np.int64) << 31) | np.arange(n, dtype=np.int64)
+    slot_counts = np.zeros(n, dtype=np.int64)  # rides the permutation
+    idx = np.arange(n, dtype=np.int64)
+    for b in range(nbits - 1, -1, -1):
+        vals = packed >> 31
+        bit = (vals >> b) & np.int64(1)
+        # Segment boundaries: where the already-partitioned prefix changes.
+        prefix = vals >> (b + 1)
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(prefix[1:], prefix[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        if len(starts) == n:
+            break  # every group is a singleton; lower bits cannot invert
+        gid = np.cumsum(boundary) - 1
+        gstart = starts[gid]
+        ones_excl = np.cumsum(bit) - bit           # ones strictly before
+        ones_before = ones_excl - ones_excl[gstart]
+        zeros = bit ^ np.int64(1)
+        group_zeros = np.add.reduceat(zeros, starts)[gid]
+        is_zero = bit == 0
+        np.add(slot_counts, ones_before, out=slot_counts, where=is_zero)
+        zeros_before = (idx - gstart) - ones_before
+        new_pos = np.where(is_zero, gstart + zeros_before,
+                           gstart + group_zeros + ones_before)
+        next_packed = np.empty_like(packed)
+        next_counts = np.empty_like(slot_counts)
+        next_packed[new_pos] = packed
+        next_counts[new_pos] = slot_counts
+        packed, slot_counts = next_packed, next_counts
+    counts[packed & np.int64((1 << 31) - 1)] = slot_counts
+    return counts
+
+
+def reuse_profile(
+    lines: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The full reuse profile of a trace from one stable sort.
+
+    Returns ``(order, sorted_lines, first, prev, distances)``:
+
+    * ``order``/``sorted_lines`` — the stable line-grouping permutation
+      and the lines in grouped (line, time) order;
+    * ``first`` — True at each line's first access, in grouped order;
+    * ``prev`` — previous-occurrence index per access (-1 when cold);
+    * ``distances`` — exact LRU stack distance per access (the number of
+      distinct *other* lines touched since the previous access, so a hit
+      at capacity ``C`` is ``distances[t] < C``); cold accesses carry
+      the sentinel ``n + 1`` and must be treated as misses at every
+      capacity, however large — clamp against your capacity grid before
+      comparing.
+    """
+    lines = np.ascontiguousarray(lines)
+    n = len(lines)
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    first = np.empty(n, dtype=bool)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n:
+        first[0] = True
+        np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=first[1:])
+        repeat = ~first[1:]
+        prev[order[1:][repeat]] = order[:-1][repeat]
+    distances = np.full(n, n + 1, dtype=np.int64)
+    warm = prev >= 0
+    if warm.any():
+        # Cold entries can never satisfy prev[s] > prev[t] >= 0, so they
+        # are dropped from the inversion count entirely.
+        warm_prev = prev[warm]
+        repeats = count_earlier_greater(warm_prev)
+        t = np.flatnonzero(warm)
+        distances[warm] = t - warm_prev - 1 - repeats
+    return order, sorted_lines, first, prev, distances
+
+
+def stack_distances(lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact LRU stack distance of every access, in one vectorized pass
+    (see :func:`reuse_profile` for the distance/sentinel conventions).
+    Returns ``(distances, prev)``."""
+    _, _, _, prev, distances = reuse_profile(lines)
+    return distances, prev

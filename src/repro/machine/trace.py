@@ -13,7 +13,7 @@ hpc-parallel guidance: no per-element Python appends in hot paths).
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ class TraceBuffer:
         self.line_size = line_size
         self._chunks: list[Tuple[np.ndarray, bool]] = []
         self._n = 0
+        self._finalized: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         return self._n
@@ -45,6 +46,7 @@ class TraceBuffer:
             return
         self._chunks.append((lines, bool(write)))
         self._n += len(lines)
+        self._finalized = None
 
     def touch_words(self, start: int, nwords: int, write: bool = False) -> None:
         """Append the lines covering words ``[start, start+nwords)``."""
@@ -59,12 +61,21 @@ class TraceBuffer:
             raise ValueError("cannot mix traces with different line sizes")
         self._chunks.extend(other._chunks)
         self._n += other._n
+        self._finalized = None
 
     # ------------------------------------------------------------------ #
     # consuming
     # ------------------------------------------------------------------ #
     def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Concatenate into ``(lines, writes)`` arrays."""
+        """Concatenate into ``(lines, writes)`` arrays.
+
+        The concatenation is memoized — harnesses finalize the same
+        buffer once per capacity/policy point — and the memo is dropped
+        whenever new events arrive (``touch_*``/``extend``).  Callers
+        must treat the returned arrays as read-only.
+        """
+        if self._finalized is not None:
+            return self._finalized
         if not self._chunks:
             empty = np.empty(0, dtype=np.int64)
             return empty, np.empty(0, dtype=bool)
@@ -72,7 +83,8 @@ class TraceBuffer:
         writes = np.concatenate(
             [np.full(len(c), w, dtype=bool) for c, w in self._chunks]
         )
-        return lines, writes
+        self._finalized = (lines, writes)
+        return self._finalized
 
     def iter_chunks(self) -> Iterator[Tuple[np.ndarray, bool]]:
         return iter(self._chunks)

@@ -1,0 +1,20 @@
+"""Shared fixtures: keep the suite off the user's real cache directories.
+
+CLI and executor tests exercise the persistent result cache and trace
+store; without isolation a test that omits ``--cache-dir`` would write
+into ``~/.cache/repro-lab``.  Every test gets a fresh cache root and a
+clean trace-store state instead.
+"""
+
+import pytest
+
+import repro.lab.tracestore as tracestore
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_roots(monkeypatch, tmp_path_factory):
+    root = tmp_path_factory.mktemp("lab-cache")
+    monkeypatch.setenv("REPRO_LAB_CACHE", str(root))
+    monkeypatch.delenv(tracestore.TRACES_ENV, raising=False)
+    monkeypatch.delenv(tracestore._ACTIVE_ENV, raising=False)
+    monkeypatch.setattr(tracestore, "_active", "unset")

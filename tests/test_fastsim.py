@@ -1,0 +1,280 @@
+"""Parity and property tests for the vectorized fastsim kernels.
+
+The acceptance bar is *bit-identity*: every counter fastsim produces must
+equal what :class:`CacheSim` computes with its per-access loops, for
+every capacity, on paper-shaped and adversarial traces alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.traces import matmul_trace
+from repro.machine.cache import CacheSim, CacheStats
+from repro.machine.fastsim import (
+    belady_next_use,
+    count_earlier_greater,
+    next_occurrences,
+    prev_occurrences,
+    simulate_lru,
+    simulate_lru_sweep,
+    stack_distances,
+)
+from repro.machine.trace import TraceBuffer
+
+
+def reference_counters(lines, writes, capacity_lines):
+    """CacheSim ground truth: run + flush, with the flush split out."""
+    sim = CacheSim(capacity_lines, line_size=1, policy="lru")
+    sim.run_lines(lines, writes)
+    pre_flush_victims_e = sim.stats.victims_e
+    sim.flush()
+    st = sim.stats
+    return {
+        "hits": st.hits,
+        "misses": st.misses,
+        "fills": st.fills,
+        "victims_m": st.victims_m,
+        "victims_e": pre_flush_victims_e,
+        "flush_writebacks": st.flush_writebacks,
+        "flush_victims_e": st.victims_e - pre_flush_victims_e,
+    }
+
+
+def random_trace(rng, n_events=None, n_lines=None):
+    n = n_events or int(rng.integers(1, 400))
+    n_lines = n_lines or int(rng.integers(1, 50))
+    lines = rng.integers(0, n_lines, n).astype(np.int64)
+    writes = rng.random(n) < rng.random()  # write mix varies per trace
+    return lines, writes
+
+
+# --------------------------------------------------------------------- #
+# distance machinery
+# --------------------------------------------------------------------- #
+class TestDistances:
+    def test_count_earlier_greater_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(0, 200))
+            v = rng.integers(0, max(1, int(rng.integers(1, 300))), n)
+            got = count_earlier_greater(v)
+            want = [int(np.sum(v[:i] > v[i])) for i in range(n)]
+            assert got.tolist() == want
+
+    def test_count_earlier_greater_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            count_earlier_greater(np.array([1, -2, 3]))
+
+    def test_prev_next_occurrences(self):
+        lines = np.array([7, 3, 7, 7, 3, 9])
+        assert prev_occurrences(lines).tolist() == [-1, -1, 0, 2, 1, -1]
+        n = len(lines)
+        assert next_occurrences(lines).tolist() == [2, 4, 3, n + 1, n + 1,
+                                                    n + 1]
+
+    def test_stack_distances_match_lru_stack(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            lines, _ = random_trace(rng)
+            dist, prev = stack_distances(lines)
+            stack = []  # MRU first
+            n = len(lines)
+            for t, ln in enumerate(lines.tolist()):
+                if ln in stack:
+                    want = stack.index(ln)
+                    stack.remove(ln)
+                else:
+                    want = n + 1  # cold sentinel
+                    assert prev[t] == -1
+                stack.insert(0, ln)
+                assert dist[t] == want
+
+
+# --------------------------------------------------------------------- #
+# multi-capacity sweep == CacheSim replayed per capacity
+# --------------------------------------------------------------------- #
+class TestSweepEquivalence:
+    def check(self, lines, writes, capacities):
+        sweep = simulate_lru_sweep(lines, writes, capacities)
+        for cap in capacities:
+            want = reference_counters(lines, writes, cap)
+            k = sweep.index_of(cap)
+            for name, value in want.items():
+                assert int(getattr(sweep, name)[k]) == value, (cap, name)
+
+    def test_adversarial_random_traces(self):
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            lines, writes = random_trace(rng)
+            caps = sorted(set(rng.integers(
+                1, lines.max() + 6, 5).tolist()))
+            self.check(lines, writes, caps)
+
+    def test_degenerate_traces(self):
+        one = np.zeros(7, dtype=np.int64)
+        self.check(one, np.ones(7, dtype=bool), [1, 2, 3])
+        self.check(one, np.zeros(7, dtype=bool), [1, 4])
+        ramp = np.arange(50, dtype=np.int64)  # all cold, no reuse
+        self.check(ramp, np.arange(50) % 3 == 0, [1, 10, 50, 100])
+        pingpong = np.tile([5, 9], 30).astype(np.int64)
+        self.check(pingpong, np.tile([True, False], 30), [1, 2, 3])
+
+    def test_all_read_and_all_write_mixes(self):
+        rng = np.random.default_rng(3)
+        lines, _ = random_trace(rng, n_events=300)
+        for writes in (np.zeros(300, bool), np.ones(300, bool)):
+            self.check(lines, writes, [1, 3, 8, 21, 60])
+
+    @pytest.mark.parametrize("scheme", ["wa2", "co", "ab-multilevel"])
+    def test_sec6_shaped_capacity_sweep(self, scheme):
+        """The paper's Section-6 grid: one trace, capacities 2..6 blocks."""
+        b3, line = 8, 4
+        buf = matmul_trace(16, 32, 16, scheme=scheme, b3=b3, b2=4, base=4,
+                           line_size=line)
+        lines, writes = buf.finalize()
+        caps = [(blocks * b3 * b3 + line) // line
+                for blocks in (2, 3, 4, 5, 6)]
+        self.check(lines, writes, caps)
+
+    def test_fig2_shaped_single_capacity(self):
+        buf = matmul_trace(16, 64, 16, scheme="mkl-like", b3=8, b2=4,
+                           base=4, line_size=4)
+        lines, writes = buf.finalize()
+        self.check(lines, writes, [49])  # 3 * 8^2 / 4 + 1
+
+    def test_empty_trace(self):
+        sweep = simulate_lru_sweep(np.empty(0, np.int64),
+                                   np.empty(0, bool), [4, 8])
+        assert sweep.accesses == 0
+        assert sweep.stats(4) == CacheStats()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            simulate_lru_sweep(np.array([1]), np.array([True]), [])
+        with pytest.raises(ValueError):
+            simulate_lru_sweep(np.array([1]), np.array([True]), [0])
+        with pytest.raises(KeyError):
+            simulate_lru(np.array([1]), np.array([True]), 4).stats(5)
+
+
+# --------------------------------------------------------------------- #
+# satellite: generic per-access path vs _run_lru_fast vs fastsim
+# --------------------------------------------------------------------- #
+class TestThreeWayLRUParity:
+    def as_tuple(self, st):
+        return (st.accesses, st.hits, st.misses, st.fills, st.victims_m,
+                st.victims_e, st.flush_writebacks)
+
+    def test_three_implementations_agree(self):
+        rng = np.random.default_rng(4)
+        for _ in range(25):
+            lines, writes = random_trace(rng)
+            for cap in sorted({1, 3, int(rng.integers(1, 60)),
+                               int(lines.max()) + 2}):
+                # generic per-access path (the policy-object loop)
+                generic = CacheSim(cap, line_size=1, policy="lru")
+                assert generic.num_sets == 1
+                for ln, w in zip(lines.tolist(), writes.tolist()):
+                    generic._access_line(ln, w)
+                # hand-inlined dict loop
+                fast = CacheSim(cap, line_size=1, policy="lru")
+                fast.run_lines(lines, writes)
+                # batched fastsim kernel
+                batched = CacheSim(cap, line_size=1, policy="lru",
+                                   fastsim_min_events=0)
+                batched.run_lines(lines, writes)
+                assert (self.as_tuple(generic.stats)
+                        == self.as_tuple(fast.stats)
+                        == self.as_tuple(batched.stats))
+                # identical LRU order and dirty bits too
+                assert (list(fast._sets[0]._order)
+                        == list(batched._sets[0]._order)
+                        == list(generic._sets[0]._order))
+                assert fast._dirty == batched._dirty == generic._dirty
+
+    def test_batched_cache_stays_resumable(self):
+        """After a batched replay, flush() and further accesses behave
+        exactly like the per-access simulator."""
+        rng = np.random.default_rng(5)
+        lines, writes = random_trace(rng, n_events=300, n_lines=30)
+        more_lines, more_writes = random_trace(rng, n_events=100, n_lines=30)
+        for cap in (2, 7, 19, 40):
+            a = CacheSim(cap, line_size=1, policy="lru")
+            b = CacheSim(cap, line_size=1, policy="lru",
+                         fastsim_min_events=0)
+            for sim in (a, b):
+                sim.run_lines(lines, writes)
+                sim.run_lines(more_lines, more_writes)  # b falls back: warm
+                sim.flush()
+            assert self.as_tuple(a.stats) == self.as_tuple(b.stats)
+
+    def test_dispatch_requires_empty_cache(self):
+        sim = CacheSim(4, line_size=1, policy="lru", fastsim_min_events=0)
+        sim.access(1, write=True)
+        # warm cache: run_lines must keep exact state, so it falls back
+        sim.run_lines(np.array([1, 2, 3]), np.array([False] * 3))
+        assert sim.stats.accesses == 4
+        assert sim.stats.hits == 1
+
+
+# --------------------------------------------------------------------- #
+# Belady preprocessor
+# --------------------------------------------------------------------- #
+class TestBeladyPreprocessor:
+    def test_next_use_matches_reverse_scan(self):
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            lines, _ = random_trace(rng)
+            n = len(lines)
+            last = {}
+            want = np.empty(n, dtype=np.int64)
+            for i in range(n - 1, -1, -1):
+                want[i] = last.get(int(lines[i]), n + 1)
+                last[int(lines[i])] = i
+            assert (belady_next_use(lines) == want).all()
+
+    def test_belady_not_worse_than_lru_on_fills(self):
+        buf = matmul_trace(16, 32, 16, scheme="wa2", b3=8, b2=4, base=4,
+                           line_size=4)
+        lines, writes = buf.finalize()
+        cap = 3 * 64 + 4
+        lru = CacheSim(cap, line_size=4, policy="lru")
+        lru.run_lines(lines, writes)
+        lru.flush()
+        opt = CacheSim(cap, line_size=4, policy="belady")
+        opt.run_lines(lines, writes)
+        assert opt.stats.fills <= lru.stats.fills
+
+
+# --------------------------------------------------------------------- #
+# satellite: TraceBuffer.finalize memoization
+# --------------------------------------------------------------------- #
+class TestFinalizeMemo:
+    def test_repeat_finalize_reuses_arrays(self):
+        tb = TraceBuffer(line_size=4)
+        tb.touch_lines(np.arange(5), write=False)
+        first = tb.finalize()
+        again = tb.finalize()
+        assert first[0] is again[0] and first[1] is again[1]
+
+    def test_touch_invalidates_memo(self):
+        tb = TraceBuffer(line_size=4)
+        tb.touch_lines(np.arange(5), write=False)
+        lines, _ = tb.finalize()
+        tb.touch_lines(np.arange(3), write=True)
+        lines2, writes2 = tb.finalize()
+        assert len(lines2) == 8 and lines2 is not lines
+        assert writes2.sum() == 3
+        tb.touch_words(0, 8, write=False)
+        assert len(tb.finalize()[0]) == 10
+
+    def test_extend_invalidates_memo(self):
+        a = TraceBuffer(line_size=4)
+        a.touch_lines(np.arange(4), write=True)
+        a.finalize()
+        b = TraceBuffer(line_size=4)
+        b.touch_lines(np.arange(2), write=False)
+        a.extend(b)
+        lines, writes = a.finalize()
+        assert len(lines) == 6
+        assert writes.tolist() == [True] * 4 + [False] * 2
