@@ -1,14 +1,20 @@
 """Benchmarks for the fastsim engine: per-capacity replay vs single-pass.
 
-Three levels of comparison, mirroring how the stack is wired:
+Levels of comparison, mirroring how the stack is wired:
 
 * **end-to-end** — a sec6-shaped capacity sweep through the lab executor,
   per-capacity replay (the pre-fastsim engine: one trace generation and
   one per-access loop per point) against the multi-capacity batch path
-  (one trace generation, one stack-distance pass).  This is the paper's
-  actual workload shape and the acceptance number for the subsystem.
+  (one trace generation, one sweep pass per policy).  This is the
+  paper's actual workload shape and the acceptance number for the
+  subsystem — measured for the LRU-only sweep, for the full
+  LRU+Belady sweep (the sec6 table's batchable columns riding *one*
+  trace replay), and for a non-matmul trace kernel (TRSM), so a
+  batching bypass in any of the three regresses the build loudly.
 * **kernel-only** — the per-access dict loop replayed K times against
-  one :func:`simulate_lru_sweep` call on a pre-built trace.
+  one :func:`simulate_lru_sweep` call on a pre-built trace, and the
+  Belady heap loop replayed K times against one
+  :func:`simulate_opt_sweep` pass.
 * **single capacity** — the honest footnote: one stack-distance pass
   costs more than one tuned dict replay, which is why ``CacheSim`` keeps
   the per-access loop for K=1 and the batched kernel pays from K>=2.
@@ -29,7 +35,11 @@ from repro.lab.registry import MachineSpec
 from repro.lab.scenarios import ScenarioPoint
 from repro.lab.tracestore import set_active_store
 from repro.machine.cache import CacheSim
-from repro.machine.fastsim import simulate_lru, simulate_lru_sweep
+from repro.machine.fastsim import (
+    simulate_lru,
+    simulate_lru_sweep,
+    simulate_opt_sweep,
+)
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 N, MIDDLE = (32, 64) if QUICK else (64, 128)
@@ -43,10 +53,12 @@ def _params(blocks):
             "base": BASE, "cache_blocks": blocks}
 
 
-def sweep_points():
+def sweep_points(policies=("lru",)):
     machine = MachineSpec(name="bench-l3", line_size=LINE, policy="lru")
-    return [ScenarioPoint("matmul-cache", machine, _params(b))
-            for b in BLOCKS]
+    return [ScenarioPoint("matmul-cache", machine.override(policy=policy),
+                          _params(b))
+            for b in BLOCKS
+            for policy in policies]
 
 
 def built_trace():
@@ -101,6 +113,99 @@ def test_multi_capacity_sweep_end_to_end(benchmark):
     # Regression tripwire (the committed snapshot records the full-size
     # number, >= 5x; keep slack here for noisy CI runners).
     assert speedup >= 3.0
+
+
+def test_sec6_belady_sweep_end_to_end(benchmark):
+    """The sec6 table's batchable columns: LRU *and* Belady points of one
+    trace collapse into a single batch (one trace generation, one
+    fastsim sweep per policy) — per-capacity replay regenerates the
+    trace and replays it once per point."""
+    set_active_store(None)
+    points = sweep_points(policies=("lru", "belady"))
+    per_capacity = execute(points, cache=None, multi_capacity=False)
+    multi = benchmark.pedantic(
+        lambda: execute(points, cache=None, multi_capacity=True),
+        rounds=1, iterations=1)
+    assert multi.records() == per_capacity.records()  # bit-identical
+    assert multi.batches == 1  # both policies ride one replay
+    speedup = per_capacity.elapsed / multi.elapsed
+    print(f"\n[bench_fastsim] {len(points)}-point LRU+Belady sweep "
+          f"({len(BLOCKS)} capacities, n={N}, middle={MIDDLE}): "
+          f"per-capacity replay {per_capacity.elapsed:.3f}s, "
+          f"multi-capacity {multi.elapsed:.3f}s -> {speedup:.1f}x")
+    record_snapshot(sec6_belady_end_to_end={
+        "points": len(points),
+        "per_capacity_replay_s": round(per_capacity.elapsed, 4),
+        "multi_capacity_s": round(multi.elapsed, 4),
+        "speedup": round(speedup, 2),
+    })
+    # Acceptance: >= 4x full-size (committed snapshot); CI slack here.
+    assert speedup >= 3.0
+
+
+def test_trsm_sweep_end_to_end(benchmark):
+    """A non-matmul trace kernel through the generic capacity batcher —
+    regresses loudly if protocol-driven grouping silently degrades to
+    per-point replay."""
+    set_active_store(None)
+    n, m, b = (32, 16, 8) if QUICK else (64, 32, 8)
+    machine = MachineSpec(name="bench-l3", line_size=LINE, policy="lru")
+    points = [ScenarioPoint("trsm-cache", machine,
+                            {"n": n, "m": m, "b": b, "cache_blocks": blk})
+              for blk in BLOCKS]
+    per_capacity = execute(points, cache=None, multi_capacity=False)
+    multi = benchmark.pedantic(
+        lambda: execute(points, cache=None, multi_capacity=True),
+        rounds=1, iterations=1)
+    assert multi.records() == per_capacity.records()  # bit-identical
+    assert multi.batches == 1
+    speedup = per_capacity.elapsed / multi.elapsed
+    print(f"\n[bench_fastsim] trsm-cache {len(BLOCKS)}-capacity sweep "
+          f"(n={n}, m={m}, b={b}): per-capacity replay "
+          f"{per_capacity.elapsed:.3f}s, multi-capacity "
+          f"{multi.elapsed:.3f}s -> {speedup:.1f}x")
+    record_snapshot(trsm_end_to_end={
+        "points": len(points),
+        "per_capacity_replay_s": round(per_capacity.elapsed, 4),
+        "multi_capacity_s": round(multi.elapsed, 4),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 2.0
+
+
+def test_kernel_only_opt_sweep(benchmark):
+    """Belady heap loop x K capacities vs one simulate_opt_sweep pass,
+    trace generation excluded on both sides."""
+    lines, writes = built_trace()
+    caps = capacities_lines()
+
+    t0 = time.perf_counter()
+    loop_stats = []
+    for cap in caps:
+        sim = CacheSim(cap, line_size=1, policy="belady")
+        sim.run_lines(lines, writes)
+        sim.flush()
+        loop_stats.append(sim.stats)
+    heap_loop_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sweep = benchmark.pedantic(
+        lambda: simulate_opt_sweep(lines, writes, caps),
+        rounds=1, iterations=1)
+    sweep_s = time.perf_counter() - t0
+    for cap, st in zip(caps, loop_stats):
+        assert sweep.stats(cap) == st
+    speedup = heap_loop_s / sweep_s
+    print(f"\n[bench_fastsim] kernel-only OPT ({len(lines)} events, "
+          f"{len(caps)} capacities): heap loop {heap_loop_s:.3f}s, "
+          f"opt sweep {sweep_s:.3f}s -> {speedup:.1f}x")
+    record_snapshot(kernel_only_opt={
+        "trace_events": int(len(lines)),
+        "heap_loop_s": round(heap_loop_s, 4),
+        "opt_sweep_s": round(sweep_s, 4),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 1.2
 
 
 def test_kernel_only_sweep(benchmark):

@@ -35,20 +35,27 @@ def run_sec6(
         buf = matmul_trace(n, middle, n, scheme=scheme, b3=b3, b2=b2,
                            base=base, line_size=line)
         lines, writes = buf.finalize()
-        # The LRU column is a pure capacity sweep over one trace — the
-        # fastsim multi-capacity kernel computes all of it in one pass
-        # (bit-identical to the per-capacity CacheSim replay below).
+        # The LRU and Belady columns are pure capacity sweeps over one
+        # trace — both policies are stack algorithms, so the fastsim
+        # multi-capacity kernels compute each column in one pass
+        # (bit-identical to the per-capacity CacheSim replays below).
         caps = [blocks * b3 * b3 + line for blocks in blocks_axis]
-        lru_sweep = None
-        if "lru" in policies and all(c % line == 0 for c in caps):
-            from repro.machine.fastsim import simulate_lru_sweep
-            lru_sweep = simulate_lru_sweep(lines, writes,
-                                           [c // line for c in caps])
+        lru_sweep = opt_sweep = None
+        if all(c % line == 0 for c in caps):
+            caps_lines = [c // line for c in caps]
+            if "lru" in policies:
+                from repro.machine.fastsim import simulate_lru_sweep
+                lru_sweep = simulate_lru_sweep(lines, writes, caps_lines)
+            if "belady" in policies:
+                from repro.machine.fastsim import simulate_opt_sweep
+                opt_sweep = simulate_opt_sweep(lines, writes, caps_lines)
         for blocks, cap in zip(blocks_axis, caps):
             for policy in policies:
                 st: CacheStats
                 if policy == "lru" and lru_sweep is not None:
                     st = lru_sweep.stats(cap // line)
+                elif policy == "belady" and opt_sweep is not None:
+                    st = opt_sweep.stats(cap // line)
                 else:
                     sim = CacheSim(cap, line_size=line, policy=policy)
                     sim.run_lines(lines, writes)

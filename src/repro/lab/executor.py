@@ -10,12 +10,15 @@ memoized traces through it (memory-mapped reads, atomic writes — safe
 under concurrency, and purely an accelerator: records are unaffected).
 
 **Multi-capacity batching** (on by default): uncached points that differ
-*only* in cache capacity — same kernel, same trace parameters, same
-fully-associative LRU machine — are collapsed into one task that replays
-the trace once through :func:`repro.machine.fastsim.simulate_lru_sweep`
-and emits exact per-point records, which are then fanned back out into
-the result cache under each point's own key.  A K-capacity sweep thus
-costs one trace generation and one stack-distance pass instead of K full
+*only* in cache capacity and batchable policy — same registered
+line-trace kernel (:data:`repro.lab.registry.TRACE_KERNELS`), same trace
+parameters, fully-associative LRU or Belady machine — are collapsed into
+one task that replays the trace once through the single-pass fastsim
+sweeps (:func:`repro.machine.fastsim.simulate_lru_sweep` for LRU points,
+:func:`repro.machine.fastsim.simulate_opt_sweep` for Belady ones) and
+emits exact per-point records, which are then fanned back out into the
+result cache under each point's own key.  A K-capacity sweep thus costs
+one trace generation and one sweep pass per policy instead of K full
 replays, while reports, caching and record contents stay bit-identical
 to the per-point path.
 """
@@ -24,15 +27,16 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import numbers
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lab.cache import ResultCache
 from repro.lab.registry import (
-    matmul_capacity_words,
-    matmul_trace_payload,
-    run_matmul_capacity_batch,
+    BATCHABLE_POLICIES,
+    TRACE_KERNELS,
+    run_capacity_batch,
 )
 from repro.lab.scenarios import ScenarioPoint
 
@@ -101,34 +105,59 @@ class SweepReport:
 # --------------------------------------------------------------------- #
 # multi-capacity grouping
 # --------------------------------------------------------------------- #
+def _json_canonical(value: Any) -> Any:
+    """``json.dumps`` fallback so numpy scalars (``np.int64`` grid axes,
+    ``np.float64`` costs) key identically to their python twins."""
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
 def _capacity_group_key(point: ScenarioPoint) -> Optional[str]:
     """A key shared exactly by points that may ride one trace replay
-    (``None`` marks a point that must run on its own)."""
-    if point.kernel != "matmul-cache":
+    (``None`` marks a point that must run on its own).
+
+    Grouping is driven by the trace-kernel protocol
+    (:data:`repro.lab.registry.TRACE_KERNELS`): any registered line-trace
+    kernel qualifies when its point describes a fully-associative cache
+    under a batchable policy.  The policy axis itself is *excluded* from
+    the key — LRU and Belady points of one trace ride the same replay,
+    each through its own single-pass sweep kernel.
+    """
+    tk = TRACE_KERNELS.get(point.kernel)
+    if tk is None:
         return None
     machine = point.machine
-    if (machine.policy != "lru" or machine.levels is not None
+    if (machine.policy not in BATCHABLE_POLICIES
+            or machine.levels is not None
             or machine.associativity is not None):
         return None
     params = point.params
-    if not all(name in params for name in ("n", "middle", "scheme")):
+    if not all(name in params for name in tk.required):
         return None
     try:
-        cap_words = matmul_capacity_words(machine, params)
-        trace_id = matmul_trace_payload(machine, params)
-    except (KeyError, TypeError):
+        cap_words = tk.capacity_words(machine, params)
+        trace_id = tk.payload(machine, params)
+    except (KeyError, TypeError, ValueError):
         return None
-    if not isinstance(cap_words, int) or cap_words <= 0 \
-            or cap_words % machine.line_size != 0:
+    # numpy integer capacities (np.int64 grids) batch like python ints;
+    # bools are excluded (True is Integral but never a capacity).
+    if (not isinstance(cap_words, numbers.Integral)
+            or isinstance(cap_words, bool) or cap_words <= 0
+            or cap_words % machine.line_size != 0):
         return None
-    # Identity = the full payload minus the capacity axes.
+    # Identity = the full payload minus the capacity and policy axes.
     machine_d = machine.as_dict()
     machine_d.pop("cache_words")
-    params_d = dict(params)
-    params_d.pop("cache_blocks", None)
+    machine_d.pop("policy")
+    params_d = {k: v for k, v in params.items()
+                if k not in tk.capacity_params}
     try:
-        return json.dumps({"machine": machine_d, "params": params_d,
-                           "trace": trace_id}, sort_keys=True)
+        return json.dumps({"kernel": point.kernel, "machine": machine_d,
+                           "params": params_d, "trace": trace_id},
+                          sort_keys=True, default=_json_canonical)
     except (TypeError, ValueError):
         return None
 
@@ -160,8 +189,8 @@ def _run_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
     pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
     if len(pts) == 1:
         return [pts[0].run()]
-    return run_matmul_capacity_batch([(pt.machine, pt.params)
-                                      for pt in pts])
+    return run_capacity_batch(pts[0].kernel,
+                              [(pt.machine, pt.params) for pt in pts])
 
 
 def execute(

@@ -17,6 +17,7 @@ scenario file (or a CLI invocation) is pure data:
 
 from __future__ import annotations
 
+import operator
 from dataclasses import asdict, dataclass, field, replace
 from typing import (Any, Callable, Dict, Mapping, Optional, Sequence, Tuple,
                     Union)
@@ -46,7 +47,12 @@ from repro.experiments import (
     run_table1,
     run_table2,
 )
-from repro.core.traces import matmul_trace
+from repro.core.traces import (
+    cholesky_trace,
+    matmul_trace,
+    nbody_trace,
+    trsm_trace,
+)
 from repro.lab.tracestore import active_store
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
@@ -60,11 +66,15 @@ __all__ = [
     "KERNELS",
     "POLICIES",
     "EXPERIMENTS",
+    "TraceKernel",
+    "TRACE_KERNELS",
+    "BATCHABLE_POLICIES",
     "fig2_config",
     "resolve_machine",
     "matmul_trace_payload",
     "matmul_lines",
     "matmul_capacity_words",
+    "run_capacity_batch",
     "run_matmul_capacity_batch",
 ]
 
@@ -181,8 +191,14 @@ def resolve_machine(machine: Union[str, MachineSpec, Mapping[str, Any]],
 
 
 # --------------------------------------------------------------------- #
-# kernels
+# trace-kernel protocol
 # --------------------------------------------------------------------- #
+#: policies a capacity batch can replay in one pass: the stack algorithms
+#: with a single-pass multi-capacity fastsim kernel (LRU by Mattson
+#: inclusion, Belady/MIN because OPT is a stack algorithm too).
+BATCHABLE_POLICIES = ("lru", "belady")
+
+
 def _require_params(params: Mapping, names: Tuple[str, ...],
                     kernel: str) -> None:
     missing = sorted(set(names) - set(params))
@@ -191,76 +207,257 @@ def _require_params(params: Mapping, names: Tuple[str, ...],
             f"(pass them via --set or the scenario's fixed/grid)")
 
 
+def _as_int(value: Any, name: str) -> int:
+    """Canonicalize a trace parameter to a plain python int.
+
+    Grid axes frequently arrive as ``np.int64`` (``np.arange``-built
+    scenarios); canonicalizing here keeps trace payloads JSON-able, cache
+    keys stable across int flavours, and ``CacheSim``'s strict
+    ``capacity_words`` validation satisfied.  Non-integral values are
+    rejected loudly rather than truncated.
+    """
+    try:
+        if not isinstance(value, bool):  # True is Integral, not a size
+            return operator.index(value)
+    except TypeError:
+        pass
+    raise ValueError(
+        f"parameter {name!r} must be an integer, got {value!r}")
+
+
+@dataclass(frozen=True)
+class TraceKernel:
+    """Declarative protocol entry for a line-trace kernel.
+
+    A trace kernel is any registry kernel whose record is a pure function
+    of a finalized ``(lines, writes)`` line trace (determined by the
+    trace parameters alone) replayed through one simulated
+    fully-associative cache level.  Declaring the ingredients — trace
+    identity, trace builder, capacity, write floor — instead of
+    hard-coding them per kernel lets the engine share work mechanically:
+
+    * :meth:`lines` memoizes ``payload`` → ``build`` results in the
+      active trace store, so capacity/policy sweeps generate each trace
+      once across points, workers and runs;
+    * the executor groups points that differ only in the capacity (and
+      batchable-policy) axes and replays each group through the
+      single-pass fastsim sweeps (:func:`run_capacity_batch`).
+    """
+
+    name: str
+    #: parameters every point must carry.
+    required: Tuple[str, ...]
+    #: parameters that size the simulated cache; excluded from the trace
+    #: identity and from the executor's capacity-group key.
+    capacity_params: Tuple[str, ...]
+    #: (machine, params) -> canonical JSON-able trace identity.
+    payload: Callable[[MachineSpec, Mapping], Dict]
+    #: trace identity -> finalized ``(lines, writes)``.
+    build: Callable[[Mapping], Tuple[Any, Any]]
+    #: (machine, params) -> simulated capacity in words.
+    capacity_words: Callable[[MachineSpec, Mapping], int]
+    #: (machine, params) -> the paper's write lower bound, in lines.
+    write_lb: Callable[[MachineSpec, Mapping], int]
+
+    def lines(self, machine: MachineSpec, params: Mapping
+              ) -> Tuple[Any, Any]:
+        """Finalized ``(lines, writes)``, served from the active trace
+        store when one is installed."""
+        spec = self.payload(machine, params)
+        store = active_store()
+        if store is None:
+            return self.build(spec)
+        return store.get_or_build(spec, lambda: self.build(spec))
+
+    def record(self, machine: MachineSpec, params: Mapping,
+               st: "CacheStats") -> Dict:
+        """One flat record (the same shape for every trace kernel)."""
+        return {
+            "accesses": st.accesses,
+            "hits": st.hits,
+            "misses": st.misses,
+            "fills": st.fills,
+            "victims_m": st.victims_m,
+            "victims_e": st.victims_e,
+            "flush_writebacks": st.flush_writebacks,
+            "writebacks": st.writebacks,
+            "write_lb": self.write_lb(machine, params),
+            "energy": machine.energy_model().cache_boundary(
+                st, machine.line_size),
+        }
+
+    def run(self, machine: MachineSpec, params: Mapping) -> Dict:
+        """The per-point path: replay the trace through ``machine``."""
+        _require_params(params, self.required, self.name)
+        require(machine.levels is None,
+                f"{self.name} simulates a single cache level; "
+                f"machines with `levels` need a hierarchy kernel")
+        machine = machine.override(
+            cache_words=int(self.capacity_words(machine, params)))
+        lines, writes = self.lines(machine, params)
+        sim = machine.make()
+        sim.run_lines(lines, writes)
+        sim.flush()
+        return self.record(machine, params, sim.stats)
+
+
+# ----------------------------- matmul ---------------------------------- #
 def matmul_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
     """The trace-identity of a matmul-cache point: every parameter that
     shapes the generated access sequence — and nothing capacity-related,
     so all points of a capacity sweep share one entry in the trace
     store."""
-    n = params["n"]
+    n = _as_int(params["n"], "n")
     return {
         "family": "matmul",
         "n": n,
-        "middle": params["middle"],
-        "l": params.get("l", n),
-        "scheme": params["scheme"],
-        "b3": params.get("b3", 64),
-        "b2": params.get("b2", 16),
-        "base": params.get("base", 8),
+        "middle": _as_int(params["middle"], "middle"),
+        "l": _as_int(params.get("l", n), "l"),
+        "scheme": str(params["scheme"]),
+        "b3": _as_int(params.get("b3", 64), "b3"),
+        "b2": _as_int(params.get("b2", 16), "b2"),
+        "base": _as_int(params.get("base", 8), "base"),
         "line_size": machine.line_size,
         "c_touch_hint": bool(params.get("c_touch_hint", False)),
     }
 
 
-def matmul_lines(machine: MachineSpec, params: Mapping
-                 ) -> Tuple[Any, Any]:
-    """Finalized ``(lines, writes)`` for a matmul-cache point, served from
-    the active trace store when one is installed."""
-    spec = matmul_trace_payload(machine, params)
-
-    def build() -> Tuple[Any, Any]:
-        buf = matmul_trace(
-            spec["n"], spec["middle"], spec["l"],
-            scheme=spec["scheme"],
-            b3=spec["b3"],
-            b2=spec["b2"],
-            base=spec["base"],
-            line_size=spec["line_size"],
-            c_touch_hint=spec["c_touch_hint"],
-        )
-        return buf.finalize()
-
-    store = active_store()
-    if store is None:
-        return build()
-    return store.get_or_build(spec, build)
+def _build_matmul(spec: Mapping) -> Tuple[Any, Any]:
+    buf = matmul_trace(
+        spec["n"], spec["middle"], spec["l"],
+        scheme=spec["scheme"],
+        b3=spec["b3"],
+        b2=spec["b2"],
+        base=spec["base"],
+        line_size=spec["line_size"],
+        c_touch_hint=spec["c_touch_hint"],
+    )
+    return buf.finalize()
 
 
 def matmul_capacity_words(machine: MachineSpec, params: Mapping) -> int:
     """Simulated capacity of a matmul-cache point, in words
     (``cache_blocks`` counts b3-blocks, as Section 6 sizes caches)."""
     if params.get("cache_blocks") is not None:
-        b3 = params.get("b3", 64)
-        return params["cache_blocks"] * b3 * b3 + machine.line_size
+        b3 = _as_int(params.get("b3", 64), "b3")
+        return (_as_int(params["cache_blocks"], "cache_blocks") * b3 * b3
+                + machine.line_size)
     return machine.cache_words
 
 
-def _matmul_record(machine: MachineSpec, params: Mapping,
-                   st: "CacheStats") -> Dict:
-    n = params["n"]
-    l = params.get("l", n)
+def _matmul_write_lb(machine: MachineSpec, params: Mapping) -> int:
+    n = _as_int(params["n"], "n")
+    l = _as_int(params.get("l", n), "l")
+    return n * l // machine.line_size
+
+
+# ------------------------ TRSM / Cholesky / N-body --------------------- #
+def trsm_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
     return {
-        "accesses": st.accesses,
-        "hits": st.hits,
-        "misses": st.misses,
-        "fills": st.fills,
-        "victims_m": st.victims_m,
-        "victims_e": st.victims_e,
-        "flush_writebacks": st.flush_writebacks,
-        "writebacks": st.writebacks,
-        "write_lb": n * l // machine.line_size,
-        "energy": machine.energy_model().cache_boundary(
-            st, machine.line_size),
+        "family": "trsm",
+        "n": _as_int(params["n"], "n"),
+        "m": _as_int(params["m"], "m"),
+        "b": _as_int(params["b"], "b"),
+        "line_size": machine.line_size,
     }
+
+
+def cholesky_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+    return {
+        "family": "cholesky",
+        "n": _as_int(params["n"], "n"),
+        "b": _as_int(params["b"], "b"),
+        "line_size": machine.line_size,
+    }
+
+
+def nbody_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+    return {
+        "family": "nbody",
+        "n": _as_int(params["n"], "n"),
+        "b": _as_int(params["b"], "b"),
+        "line_size": machine.line_size,
+    }
+
+
+def _block_squared_capacity(machine: MachineSpec, params: Mapping) -> int:
+    """``cache_blocks`` b×b matrix blocks plus the paper's spare line."""
+    if params.get("cache_blocks") is not None:
+        b = _as_int(params["b"], "b")
+        return (_as_int(params["cache_blocks"], "cache_blocks") * b * b
+                + machine.line_size)
+    return machine.cache_words
+
+
+def _block_vector_capacity(machine: MachineSpec, params: Mapping) -> int:
+    """``cache_blocks`` b-particle vector blocks plus the spare line."""
+    if params.get("cache_blocks") is not None:
+        return (_as_int(params["cache_blocks"], "cache_blocks")
+                * _as_int(params["b"], "b") + machine.line_size)
+    return machine.cache_words
+
+
+#: Every line-trace kernel the engine can batch, by registry name.
+TRACE_KERNELS: Dict[str, TraceKernel] = {tk.name: tk for tk in (
+    TraceKernel(
+        name="matmul-cache",
+        required=("n", "middle", "scheme"),
+        capacity_params=("cache_blocks",),
+        payload=matmul_trace_payload,
+        build=_build_matmul,
+        capacity_words=matmul_capacity_words,
+        write_lb=_matmul_write_lb,
+    ),
+    TraceKernel(
+        name="trsm-cache",
+        required=("n", "m", "b"),
+        capacity_params=("cache_blocks",),
+        payload=trsm_trace_payload,
+        build=lambda spec: trsm_trace(
+            spec["n"], spec["m"], b=spec["b"],
+            line_size=spec["line_size"]).finalize(),
+        capacity_words=_block_squared_capacity,
+        # Proposition 6.2: write-backs = the n×m output.
+        write_lb=lambda machine, params: (
+            _as_int(params["n"], "n") * _as_int(params["m"], "m")
+            // machine.line_size),
+    ),
+    TraceKernel(
+        name="cholesky-cache",
+        required=("n", "b"),
+        capacity_params=("cache_blocks",),
+        payload=cholesky_trace_payload,
+        build=lambda spec: cholesky_trace(
+            spec["n"], b=spec["b"],
+            line_size=spec["line_size"]).finalize(),
+        capacity_words=_block_squared_capacity,
+        # Lower-triangle output, full diagonal blocks: n(n+b)/2 words.
+        write_lb=lambda machine, params: (
+            _as_int(params["n"], "n")
+            * (_as_int(params["n"], "n") + _as_int(params["b"], "b"))
+            // 2 // machine.line_size),
+    ),
+    TraceKernel(
+        name="nbody-cache",
+        required=("n", "b"),
+        capacity_params=("cache_blocks",),
+        payload=nbody_trace_payload,
+        build=lambda spec: nbody_trace(
+            spec["n"], b=spec["b"],
+            line_size=spec["line_size"]).finalize(),
+        capacity_words=_block_vector_capacity,
+        # The N force words are the only obligatory writes.
+        write_lb=lambda machine, params: (
+            _as_int(params["n"], "n") // machine.line_size),
+    ),
+)}
+
+
+def matmul_lines(machine: MachineSpec, params: Mapping
+                 ) -> Tuple[Any, Any]:
+    """Finalized ``(lines, writes)`` for a matmul-cache point, served from
+    the active trace store when one is installed."""
+    return TRACE_KERNELS["matmul-cache"].lines(machine, params)
 
 
 def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
@@ -271,54 +468,103 @@ def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
     ``c_touch_hint`` and ``cache_blocks`` (capacity in units of b3-blocks,
     as Section 6 counts it — overrides ``machine.cache_words``).
     """
-    _require_params(params, ("n", "middle", "scheme"), "matmul-cache")
-    if params.get("cache_blocks") is not None:
-        machine = machine.override(
-            cache_words=matmul_capacity_words(machine, params))
-    lines, writes = matmul_lines(machine, params)
-    sim = machine.make()
-    sim.run_lines(lines, writes)
-    sim.flush()
-    return _matmul_record(machine, params, sim.stats)
+    return TRACE_KERNELS["matmul-cache"].run(machine, params)
+
+
+def kernel_trsm_cache(machine: MachineSpec, params: Mapping) -> Dict:
+    """Two-level WA TRSM line trace (Algorithm 2) through one cache level.
+
+    Required params: ``n`` (triangular dim), ``m`` (right-hand sides),
+    ``b`` (block size); optional ``cache_blocks`` (capacity in b×b
+    blocks plus a spare line — Proposition 6.2 needs five).
+    """
+    return TRACE_KERNELS["trsm-cache"].run(machine, params)
+
+
+def kernel_cholesky_cache(machine: MachineSpec, params: Mapping) -> Dict:
+    """Left-looking WA Cholesky line trace (Alg. 3) through one cache level.
+
+    Required params: ``n``, ``b``; optional ``cache_blocks`` (capacity
+    in b×b blocks plus a spare line — Proposition 6.2 needs five).
+    """
+    return TRACE_KERNELS["cholesky-cache"].run(machine, params)
+
+
+def kernel_nbody_cache(machine: MachineSpec, params: Mapping) -> Dict:
+    """Blocked direct (N,2)-body line trace (Alg. 4) through one cache level.
+
+    Required params: ``n`` (particles), ``b`` (block size); optional
+    ``cache_blocks`` (capacity in b-particle blocks plus a spare line —
+    three suffice: P(i), F(i) and the streamed P(j)).
+    """
+    return TRACE_KERNELS["nbody-cache"].run(machine, params)
+
+
+def run_capacity_batch(
+    kernel: str,
+    group: Sequence[Tuple[MachineSpec, Mapping]],
+) -> list:
+    """All capacities (and batchable policies) of one trace-kernel sweep
+    from a *single* replay.
+
+    Every ``(machine, params)`` pair must share the trace identity
+    (``TRACE_KERNELS[kernel].payload``) and describe a fully-associative
+    LRU or Belady cache; they may differ only in capacity and in which of
+    those two policies they use.  The trace is generated (or mapped from
+    the trace store) once, the fastsim multi-capacity kernels
+    (:func:`~repro.machine.fastsim.simulate_lru_sweep`,
+    :func:`~repro.machine.fastsim.simulate_opt_sweep`) produce exact
+    per-capacity counters in one pass per policy, and each point gets
+    the same record the per-point kernel would have computed —
+    bit-identical, enforced by the equivalence tests.
+    """
+    from repro.machine.fastsim import simulate_lru_sweep, simulate_opt_sweep
+
+    try:
+        tk = TRACE_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"kernel {kernel!r} is not a trace kernel; "
+            f"available: {sorted(TRACE_KERNELS)}"
+        ) from None
+    machine0, params0 = group[0]
+    _require_params(params0, tk.required, tk.name)
+    spec0 = tk.payload(machine0, params0)
+    caps_lines = []
+    for machine, params in group:
+        require(machine.policy in BATCHABLE_POLICIES
+                and machine.levels is None
+                and machine.associativity is None,
+                "capacity batching needs fully-associative LRU or "
+                "Belady points")
+        require(tk.payload(machine, params) == spec0,
+                "capacity batch mixes different trace configurations")
+        cap_words = int(tk.capacity_words(machine, params))
+        require(cap_words % machine.line_size == 0,
+                f"capacity_words={cap_words} must be a multiple of "
+                f"line_size={machine.line_size}")
+        caps_lines.append(cap_words // machine.line_size)
+    lines, writes = tk.lines(machine0, params0)
+    simulate = {"lru": simulate_lru_sweep, "belady": simulate_opt_sweep}
+    sweeps = {}
+    for policy, sweep_fn in simulate.items():
+        caps = sorted({cap for (m, _), cap in zip(group, caps_lines)
+                       if m.policy == policy})
+        if caps:
+            sweeps[policy] = sweep_fn(lines, writes, caps)
+    return [
+        tk.record(machine, params,
+                  sweeps[machine.policy].stats(cap, include_flush=True))
+        for (machine, params), cap in zip(group, caps_lines)
+    ]
 
 
 def run_matmul_capacity_batch(
     group: Sequence[Tuple[MachineSpec, Mapping]],
 ) -> list:
-    """All capacities of one matmul-cache sweep from a *single* replay.
-
-    Every ``(machine, params)`` pair must share the trace identity
-    (:func:`matmul_trace_payload`) and describe a fully-associative LRU
-    cache; they may differ only in capacity.  The trace is generated (or
-    mapped from the trace store) once, fastsim's multi-capacity kernel
-    produces exact per-capacity counters in one pass, and each point gets
-    the same record :func:`kernel_matmul_cache` would have computed —
-    bit-identical, enforced by the equivalence tests.
-    """
-    from repro.machine.fastsim import simulate_lru_sweep
-
-    machine0, params0 = group[0]
-    _require_params(params0, ("n", "middle", "scheme"), "matmul-cache")
-    spec0 = matmul_trace_payload(machine0, params0)
-    caps_lines = []
-    for machine, params in group:
-        require(machine.policy == "lru" and machine.levels is None
-                and machine.associativity is None,
-                "capacity batching needs fully-associative LRU points")
-        require(matmul_trace_payload(machine, params) == spec0,
-                "capacity batch mixes different trace configurations")
-        cap_words = matmul_capacity_words(machine, params)
-        require(cap_words % machine.line_size == 0,
-                f"capacity_words={cap_words} must be a multiple of "
-                f"line_size={machine.line_size}")
-        caps_lines.append(cap_words // machine.line_size)
-    lines, writes = matmul_lines(machine0, params0)
-    sweep = simulate_lru_sweep(lines, writes, caps_lines)
-    return [
-        _matmul_record(machine, params,
-                       sweep.stats(cap, include_flush=True))
-        for (machine, params), cap in zip(group, caps_lines)
-    ]
+    """Back-compat alias: ``matmul-cache`` through
+    :func:`run_capacity_batch`."""
+    return run_capacity_batch("matmul-cache", group)
 
 
 def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
@@ -372,6 +618,9 @@ def kernel_experiment(machine: MachineSpec, params: Mapping) -> Dict:
 
 KERNELS: Dict[str, Callable[[MachineSpec, Mapping], Dict]] = {
     "matmul-cache": kernel_matmul_cache,
+    "trsm-cache": kernel_trsm_cache,
+    "cholesky-cache": kernel_cholesky_cache,
+    "nbody-cache": kernel_nbody_cache,
     "matmul-hierarchy": kernel_matmul_hierarchy,
     "experiment": kernel_experiment,
 }

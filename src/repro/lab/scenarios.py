@@ -41,6 +41,7 @@ __all__ = [
     "fig5_scenario",
     "sec6_scenario",
     "nvm_matmul_scenario",
+    "prop62_scenario",
     "experiments_scenario",
     "fig2_rows",
     "fig5_rows",
@@ -351,6 +352,64 @@ def _nvm_report(scenario: Scenario, results: List[Any]) -> str:
               "write-backs)")
 
 
+def prop62_scenario(quick: bool = False) -> Scenario:
+    """Proposition 6.2 across kernels: the TRSM, Cholesky and N-body
+    write floors vs capacity, under LRU and the offline optimum.
+
+    One point per (kernel, capacity, policy); every (kernel, policy)
+    column is a pure capacity sweep over one memoized line trace, so the
+    executor collapses the whole scenario into one batched replay per
+    kernel (LRU and Belady share it — both are stack algorithms).
+    """
+    line = 4
+    if quick:
+        geometries = (("trsm-cache", {"n": 16, "m": 8, "b": 4}),
+                      ("cholesky-cache", {"n": 16, "b": 4}),
+                      ("nbody-cache", {"n": 32, "b": 8}))
+    else:
+        geometries = (("trsm-cache", {"n": 32, "m": 16, "b": 8}),
+                      ("cholesky-cache", {"n": 32, "b": 8}),
+                      ("nbody-cache", {"n": 64, "b": 8}))
+    machine = MachineSpec(name="prop62-l3", line_size=line, policy="lru")
+    points = [
+        ScenarioPoint(kernel, machine.override(policy=policy),
+                      dict(params, cache_blocks=blocks))
+        for kernel, params in geometries
+        for blocks in (1, 2, 3, 4, 5, 6)
+        for policy in ("lru", "belady")
+    ]
+    return Scenario(
+        name="prop62",
+        kernel="trsm-cache",
+        machine=machine,
+        description="Proposition 6.2: TRSM/Cholesky/N-body write-backs "
+                    "vs the output floor across capacities and policies",
+        explicit=points,
+        report=_prop62_report,
+    )
+
+
+def _prop62_report(scenario: Scenario, results: List[Any]) -> str:
+    headers = ["kernel", "cache (blocks)", "policy", "write-backs",
+               "floor", "ratio", "fills"]
+    body = []
+    for res in results:
+        rec = res.record
+        body.append([
+            res.point.kernel,
+            res.point.params["cache_blocks"],
+            res.point.machine.policy,
+            rec["writebacks"],
+            rec["write_lb"],
+            round(rec["writebacks"] / rec["write_lb"], 2),
+            rec["fills"],
+        ])
+    return format_table(
+        headers, body,
+        title="Proposition 6.2 — write-backs vs output floor (five b-blocks "
+              "suffice for TRSM/Cholesky; three for N-body)")
+
+
 def experiments_scenario(quick: bool = False,
                          names: Optional[Sequence[str]] = None) -> Scenario:
     """Every legacy table/figure harness as one cacheable point each."""
@@ -383,6 +442,7 @@ SCENARIOS: Dict[str, Callable[[bool], Scenario]] = {
     "fig5": fig5_scenario,
     "sec6": sec6_scenario,
     "nvm-matmul": nvm_matmul_scenario,
+    "prop62": prop62_scenario,
     "experiments": experiments_scenario,
 }
 

@@ -77,7 +77,15 @@ class TraceStore:
                 shard / f"{key}.json")
 
     def get(self, payload: Dict) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Memory-mapped arrays for *payload*, or ``None`` on a miss."""
+        """Memory-mapped arrays for *payload*, or ``None`` on a miss.
+
+        Entries are validated structurally before they are served: a
+        finalized trace is a 1-D ``int64`` line array and a matching 1-D
+        ``bool`` write mask, and anything else on disk (a truncated
+        write, a foreign file under the right name, a stale format) is
+        treated as a miss — :meth:`get_or_build` then rebuilds and
+        overwrites it — rather than fed into the simulation kernels.
+        """
         if self.disabled:
             self.misses += 1
             return None
@@ -88,7 +96,9 @@ class TraceStore:
         except (OSError, ValueError):
             self.misses += 1
             return None
-        if lines.shape != writes.shape:
+        if (lines.ndim != 1 or writes.ndim != 1
+                or lines.shape != writes.shape
+                or lines.dtype != np.int64 or writes.dtype != np.bool_):
             self.misses += 1
             return None
         self.hits += 1
@@ -106,10 +116,23 @@ class TraceStore:
             blob = json.dumps(meta, sort_keys=True)
         except (TypeError, ValueError):
             return False
+        # Store the canonical trace form get() validates (1-D int64 /
+        # bool): other integer widths widen and non-bool write masks
+        # coerce exactly as the simulation kernels would; anything else
+        # (float lines, wrong ndim) is refused outright — a blob get()
+        # permanently rejects would only force a rebuild on every run.
+        lines = np.ascontiguousarray(lines)
+        if lines.dtype != np.int64 and np.issubdtype(lines.dtype,
+                                                     np.integer):
+            lines = lines.astype(np.int64)
+        writes = np.ascontiguousarray(writes, dtype=bool)
+        if (lines.dtype != np.int64 or lines.ndim != 1
+                or writes.ndim != 1 or lines.shape != writes.shape):
+            return False
         try:
             lines_p.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_npy(lines_p, np.ascontiguousarray(lines))
-            self._atomic_npy(writes_p, np.ascontiguousarray(writes))
+            self._atomic_npy(lines_p, lines)
+            self._atomic_npy(writes_p, writes)
             fd, tmp = tempfile.mkstemp(dir=str(meta_p.parent), suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:

@@ -91,13 +91,13 @@ class CacheSim:
         behaviour (every set gets its own generator seeded 0).
     fastsim_min_events:
         When set, ``run_lines`` traces of at least this many events on an
-        *empty* fully-associative LRU cache replay through the batched
-        :mod:`repro.machine.fastsim` kernel (bit-identical counters and
-        end state, no per-access loop).  ``None`` (the default) keeps the
-        tuned per-access loop: the batched kernel's stack-distance pass
-        costs ~2-4x one replay, so it only pays when amortized over two
-        or more capacities — which is the lab engine's multi-capacity
-        path, not this single-capacity entry point.
+        *empty* fully-associative LRU cache — or any offline Belady run —
+        replay through the batched :mod:`repro.machine.fastsim` kernels
+        (bit-identical counters and end state, no change to the
+        per-access semantics).  ``None`` (the default) keeps the tuned
+        per-access loops: the batched kernels only pay when amortized
+        over two or more capacities — which is the lab engine's
+        multi-capacity path, not this single-capacity entry point.
 
     Notes
     -----
@@ -203,7 +203,11 @@ class CacheSim:
         if lines.shape != writes.shape:
             raise ValueError("lines and writes must have matching shapes")
         if self._offline:
-            self._run_belady(lines, writes)
+            if (self.fastsim_min_events is not None
+                    and len(lines) >= self.fastsim_min_events):
+                self._run_belady_batched(lines, writes)
+            else:
+                self._run_belady(lines, writes)
         elif isinstance(self._sets[0], LRUPolicy) and self.num_sets == 1:
             if (self.fastsim_min_events is not None
                     and len(lines) >= self.fastsim_min_events
@@ -315,6 +319,28 @@ class CacheSim:
         for line in resident.tolist():
             order[line] = None
         self._dirty = dict(zip(resident.tolist(), dirty.tolist()))
+
+    def _run_belady_batched(self, lines: np.ndarray,
+                            writes: np.ndarray) -> None:
+        """Replay via :func:`repro.machine.fastsim.simulate_opt`.
+
+        Counters come from the single-pass multi-capacity Belady kernel
+        with its end-of-trace flush folded in, exactly as
+        :meth:`_run_belady` folds its own — offline runs hold no
+        resumable state, so the fold is the whole contract.
+        """
+        from repro.machine.fastsim import simulate_opt
+
+        res = simulate_opt(lines, writes, self.capacity_lines)
+        st = res.stats(self.capacity_lines, include_flush=True)
+        mine = self.stats
+        mine.accesses += st.accesses
+        mine.hits += st.hits
+        mine.misses += st.misses
+        mine.fills += st.fills
+        mine.victims_m += st.victims_m
+        mine.victims_e += st.victims_e
+        mine.flush_writebacks += st.flush_writebacks
 
     # ------------------------------------------------------------------ #
     # offline path: Belady / ideal cache

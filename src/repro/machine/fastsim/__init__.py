@@ -14,6 +14,9 @@ Entry points:
 * :func:`simulate_lru_sweep` — counters for a whole capacity grid from
   one replay (the engine behind the lab's multi-capacity sweep axis);
 * :func:`simulate_lru` — the same kernel for a single capacity;
+* :func:`simulate_opt_sweep` / :func:`simulate_opt` — the offline
+  Belady/MIN analogue: one replay, exact counters for every capacity
+  (OPT is a stack algorithm too — see :mod:`repro.machine.fastsim.opt`);
 * :func:`stack_distances` / :func:`count_earlier_greater` — the exact
   reuse-distance machinery, reusable for other policies built on it;
 * :func:`belady_next_use` — vectorized Belady preprocessing.
@@ -34,6 +37,11 @@ from repro.machine.fastsim.lru import (
     simulate_lru,
     simulate_lru_sweep,
 )
+from repro.machine.fastsim.opt import (
+    OPTSweepResult,
+    simulate_opt,
+    simulate_opt_sweep,
+)
 
 __all__ = [
     "belady_next_use",
@@ -44,4 +52,7 @@ __all__ = [
     "LRUSweepResult",
     "simulate_lru",
     "simulate_lru_sweep",
+    "OPTSweepResult",
+    "simulate_opt",
+    "simulate_opt_sweep",
 ]

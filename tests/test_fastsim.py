@@ -17,6 +17,8 @@ from repro.machine.fastsim import (
     prev_occurrences,
     simulate_lru,
     simulate_lru_sweep,
+    simulate_opt,
+    simulate_opt_sweep,
     stack_distances,
 )
 from repro.machine.trace import TraceBuffer
@@ -215,6 +217,105 @@ class TestThreeWayLRUParity:
         sim.run_lines(np.array([1, 2, 3]), np.array([False] * 3))
         assert sim.stats.accesses == 4
         assert sim.stats.hits == 1
+
+
+# --------------------------------------------------------------------- #
+# multi-capacity Belady sweep == CacheSim belady replayed per capacity
+# --------------------------------------------------------------------- #
+def reference_belady(lines, writes, capacity_lines):
+    """CacheSim ground truth: an offline run folds its flush internally."""
+    sim = CacheSim(capacity_lines, line_size=1, policy="belady")
+    sim.run_lines(lines, writes)
+    sim.flush()  # no-op for offline policies, kept for shape parity
+    return sim.stats
+
+
+class TestOPTSweepEquivalence:
+    def check(self, lines, writes, capacities):
+        sweep = simulate_opt_sweep(lines, writes, capacities)
+        for cap in capacities:
+            assert sweep.stats(cap) == reference_belady(lines, writes,
+                                                        cap), cap
+
+    def test_adversarial_random_traces(self):
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            lines, writes = random_trace(rng)
+            caps = sorted(set(rng.integers(
+                1, lines.max() + 6, 5).tolist()))
+            self.check(lines, writes, caps)
+
+    def test_degenerate_traces(self):
+        one = np.zeros(7, dtype=np.int64)
+        self.check(one, np.ones(7, dtype=bool), [1, 2, 3])
+        self.check(one, np.zeros(7, dtype=bool), [1, 4])
+        ramp = np.arange(50, dtype=np.int64)  # all cold, no reuse
+        self.check(ramp, np.arange(50) % 3 == 0, [1, 10, 50, 100])
+        pingpong = np.tile([5, 9], 30).astype(np.int64)
+        self.check(pingpong, np.tile([True, False], 30), [1, 2, 3])
+
+    def test_never_reused_tie_breaking(self):
+        """Many lines sharing the n+1 'never again' sentinel: victim
+        choice falls to the line-id tie-break, which must match the
+        heap's exactly (it decides the dirty/clean victim split)."""
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            n = int(rng.integers(5, 60))
+            lines = rng.permutation(n).astype(np.int64)  # every line once
+            writes = rng.random(n) < 0.5
+            self.check(lines, writes, sorted({1, 2, n // 2 + 1, n + 3}))
+
+    @pytest.mark.parametrize("scheme", ["wa2", "ab-multilevel"])
+    def test_sec6_shaped_capacity_sweep(self, scheme):
+        """The sec6 belady column: one trace, capacities 3..5 blocks."""
+        b3, line = 8, 4
+        buf = matmul_trace(16, 32, 16, scheme=scheme, b3=b3, b2=4, base=4,
+                           line_size=line)
+        lines, writes = buf.finalize()
+        caps = [(blocks * b3 * b3 + line) // line for blocks in (3, 4, 5)]
+        self.check(lines, writes, caps)
+
+    def test_exclude_flush_isolates_evictions(self):
+        rng = np.random.default_rng(9)
+        lines, writes = random_trace(rng, n_events=200, n_lines=20)
+        sweep = simulate_opt_sweep(lines, writes, [8])
+        with_flush = sweep.stats(8, include_flush=True)
+        bare = sweep.stats(8, include_flush=False)
+        assert bare.flush_writebacks == 0
+        assert bare.victims_e <= with_flush.victims_e
+        assert (with_flush.victims_e - bare.victims_e
+                + with_flush.flush_writebacks
+                == int(sweep.flush_victims_e[0]
+                       + sweep.flush_writebacks[0]))
+
+    def test_empty_trace_and_validation(self):
+        sweep = simulate_opt_sweep(np.empty(0, np.int64),
+                                   np.empty(0, bool), [4, 8])
+        assert sweep.accesses == 0
+        assert sweep.stats(4) == CacheStats()
+        with pytest.raises(ValueError):
+            simulate_opt_sweep(np.array([1]), np.array([True]), [])
+        with pytest.raises(ValueError):
+            simulate_opt_sweep(np.array([1]), np.array([True]), [0])
+        with pytest.raises(KeyError):
+            simulate_opt(np.array([1]), np.array([True]), 4).stats(5)
+
+    def test_cachesim_batched_belady_dispatch(self):
+        """fastsim_min_events routes offline runs through simulate_opt
+        with identical counters (the heap loop stays the small-trace
+        default)."""
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            lines, writes = random_trace(rng)
+            for cap in sorted({1, 5, int(lines.max()) + 2}):
+                loop = CacheSim(cap, line_size=1, policy="belady")
+                loop.run_lines(lines, writes)
+                loop.flush()
+                batched = CacheSim(cap, line_size=1, policy="belady",
+                                   fastsim_min_events=0)
+                batched.run_lines(lines, writes)
+                batched.flush()
+                assert loop.stats == batched.stats
 
 
 # --------------------------------------------------------------------- #

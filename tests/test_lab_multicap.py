@@ -118,6 +118,109 @@ class TestMultiCapacityExecution:
 
 
 # --------------------------------------------------------------------- #
+# trace-kernel protocol: every line-trace kernel batches, OPT included
+# --------------------------------------------------------------------- #
+PROTOCOL_KERNELS = [
+    ("trsm-cache", {"n": 16, "m": 8, "b": 4}),
+    ("cholesky-cache", {"n": 16, "b": 4}),
+    ("nbody-cache", {"n": 32, "b": 8}),
+]
+
+
+def kernel_sweep_points(kernel, params, blocks=(2, 3, 5),
+                        policies=("lru",)):
+    machine = MachineSpec(name="t", line_size=4, policy="lru")
+    return [
+        ScenarioPoint(kernel, machine.override(policy=policy),
+                      dict(params, cache_blocks=b))
+        for b in blocks
+        for policy in policies
+    ]
+
+
+class TestProtocolBatching:
+    @pytest.mark.parametrize("kernel,params", PROTOCOL_KERNELS)
+    def test_batched_records_equal_per_point_records(self, kernel, params):
+        """Parity for every newly batchable kernel: the batched executor
+        path and --no-multi-capacity produce identical records."""
+        pts = kernel_sweep_points(kernel, params,
+                                  policies=("lru", "belady"))
+        looped = execute(pts, cache=None, multi_capacity=False)
+        batched = execute(pts, cache=None, multi_capacity=True)
+        assert batched.batches == 1 and batched.batched_points == len(pts)
+        assert looped.records() == batched.records()
+
+    def test_opt_sweep_records_equal_per_point_records(self):
+        """The sec6 belady column: a pure Belady capacity sweep batches
+        into one simulate_opt_sweep replay, bit-identical to CacheSim."""
+        pts = sweep_points(policies=("belady",))
+        looped = execute(pts, cache=None, multi_capacity=False)
+        batched = execute(pts, cache=None, multi_capacity=True)
+        assert batched.batches == 1 and batched.batched_points == len(pts)
+        assert looped.records() == batched.records()
+
+    def test_lru_and_belady_share_one_batch(self):
+        """The policy axis is excluded from the group key: one trace
+        generation serves both stack-algorithm columns."""
+        pts = sweep_points(policies=("lru", "belady"))
+        batched = execute(pts, cache=None, multi_capacity=True)
+        assert batched.batches == 1 and batched.batched_points == 6
+        looped = execute(pts, cache=None, multi_capacity=False)
+        assert looped.records() == batched.records()
+
+    def test_prop62_scenario_batches_per_kernel(self):
+        from repro.lab.scenarios import prop62_scenario
+
+        pts = prop62_scenario(quick=True).points()
+        batched = execute(pts, cache=None, multi_capacity=True)
+        assert batched.batches == 3  # one replay per kernel family
+        assert batched.batched_points == len(pts)
+        looped = execute(pts, cache=None, multi_capacity=False)
+        assert looped.records() == batched.records()
+
+    def test_numpy_integer_capacities_batch(self):
+        """Regression: np.int64 grid axes (np.arange-built scenarios)
+        used to fail the group key's `isinstance(cap, int)` check and
+        silently fall back to per-point replay."""
+        machine = MachineSpec(name="t", line_size=4, policy="lru")
+        pts = [
+            ScenarioPoint("matmul-cache", machine,
+                          {"n": 16, "middle": 32, "scheme": "wa2",
+                           "b3": 8, "b2": 4, "base": 4,
+                           "cache_blocks": blocks})
+            for blocks in np.arange(3, 6)  # np.int64, not int
+        ]
+        assert all(isinstance(p.params["cache_blocks"], np.integer)
+                   for p in pts)
+        report = execute(pts, cache=None, multi_capacity=True)
+        assert report.batches > 0
+        assert report.batched_points == len(pts)
+        # ... and the per-point path accepts them too (CacheSim's strict
+        # capacity validation sees a canonicalized python int).
+        looped = execute(pts, cache=None, multi_capacity=False)
+        assert looped.records() == report.records()
+
+    def test_bool_capacity_never_batches(self):
+        machine = MachineSpec(name="t", line_size=4, policy="lru")
+        pt = ScenarioPoint("matmul-cache", machine,
+                           {"n": 16, "middle": 32, "scheme": "wa2",
+                            "b3": 8, "cache_blocks": True})
+        assert _capacity_group_key(pt) is None
+
+    def test_mixed_policy_batch_runner_validates(self):
+        from repro.lab.registry import run_capacity_batch
+
+        pts = sweep_points(blocks=(3,))
+        clock = pts[0].machine.override(policy="clock")
+        with pytest.raises(ValueError):
+            run_capacity_batch("matmul-cache",
+                               [(clock, pts[0].params)])
+        with pytest.raises(ValueError):
+            run_capacity_batch("experiment",
+                               [(pts[0].machine, pts[0].params)])
+
+
+# --------------------------------------------------------------------- #
 # trace store
 # --------------------------------------------------------------------- #
 class TestTraceStore:
@@ -180,6 +283,61 @@ class TestTraceStore:
         assert not (orphan_dir / "abcd0123.lines.npy").exists()
         assert not (orphan_dir / "tmpjunk.npy.tmp").exists()
         assert store.get({"n": 1}) is not None  # valid entry survives
+
+    def test_get_rejects_wrong_dtypes_and_rebuilds(self, tmp_path):
+        """A stored entry whose arrays are not (1-D int64, 1-D bool) is
+        a miss — and get_or_build overwrites it with a rebuilt trace
+        instead of feeding garbage into fastsim."""
+        store = TraceStore(tmp_path / "ts")
+        payload = {"family": "x", "n": 9}
+        good_lines = np.arange(6, dtype=np.int64)
+        good_writes = np.zeros(6, bool)
+        for bad_lines, bad_writes in (
+            (good_lines.astype(np.float64), good_writes),   # float lines
+            (good_lines, good_writes.astype(np.uint8)),     # int writes
+            (good_lines.reshape(2, 3),
+             good_writes.reshape(2, 3)),                    # 2-D arrays
+        ):
+            key = store.key_for(payload)
+            lines_p, writes_p, _ = store._paths(key)
+            lines_p.parent.mkdir(parents=True, exist_ok=True)
+            np.save(lines_p, bad_lines)
+            np.save(writes_p, bad_writes)
+            assert store.get(payload) is None  # rejected, counted a miss
+            rebuilt = store.get_or_build(
+                payload, lambda: (good_lines, good_writes))
+            assert rebuilt[0].dtype == np.int64
+            assert rebuilt[1].dtype == np.bool_
+            # the rebuild replaced the bad blobs on disk
+            again = store.get(payload)
+            assert again is not None
+            assert np.asarray(again[0]).tolist() == good_lines.tolist()
+            lines_p.unlink(), writes_p.unlink()
+
+    def test_put_canonicalizes_storable_dtypes(self, tmp_path):
+        """Builders handing int32 lines or uint8 write masks get stored
+        in the canonical (int64, bool) form get() validates, not left
+        to miss forever."""
+        store = TraceStore(tmp_path / "ts")
+        payload = {"family": "x", "n": 10}
+        assert store.put(payload, np.arange(4, dtype=np.int32),
+                         np.array([1, 0, 1, 1], dtype=np.uint8))
+        got = store.get(payload)
+        assert got is not None
+        assert got[0].dtype == np.int64 and got[1].dtype == np.bool_
+        assert np.asarray(got[1]).tolist() == [True, False, True, True]
+
+    def test_put_refuses_unservable_entries(self, tmp_path):
+        """Float lines (or mismatched shapes) are refused rather than
+        stored in a form get() would reject on every lookup."""
+        store = TraceStore(tmp_path / "ts")
+        assert not store.put({"family": "x", "n": 11},
+                             np.linspace(0.0, 1.0, 4), np.ones(4, bool))
+        assert not store.put({"family": "x", "n": 12},
+                             np.arange(4, dtype=np.int64),
+                             np.ones(3, bool))
+        assert store.stores == 0
+        assert not any((tmp_path / "ts").rglob("*.npy"))
 
     def test_unwritable_root_degrades_to_noop(self, tmp_path):
         blocker = tmp_path / "blocked"
