@@ -32,6 +32,7 @@ from repro.util import require
 __all__ = [
     "HwParams",
     "Term",
+    "hw_param_key",
     "cost_2dmml2",
     "cost_25dmml2",
     "cost_25dmml3",

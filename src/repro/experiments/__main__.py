@@ -7,8 +7,10 @@ Usage::
     python -m repro.experiments table1
     python -m repro.experiments all --quick --jobs 4
 
-``--quick`` shrinks the Figure-2/5 geometry so everything finishes in
-seconds (the structure is identical; only scale changes).
+``--quick`` shrinks every harness's geometry (Figure-2/5 blocking, the
+table1/table2/sec7/lu simulated validation runs, the sec6/sec8 problem
+sizes) so everything finishes in seconds — the structure is identical;
+only scale changes.
 
 Since the ``repro.lab`` subsystem landed, this front-end is a thin client
 of the sweep engine: experiments fan out over ``--jobs`` worker processes

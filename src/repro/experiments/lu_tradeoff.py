@@ -1,68 +1,118 @@
 """Section 7.2: LL-LUNP vs RL-LUNP — measured counters and cost formulas.
 
-Executes both parallel LU algorithms on the simulated machine, verifies
-the factorizations, and tabulates their NVM-write / network trade-off next
-to the paper's β-cost formulas (23)–(26).
+Engine-backed: the two parallel LU algorithms execute as
+``lu-ll-nonpivot`` / ``lu-rl-nonpivot`` points (verified factorizations,
+per-rank counters) and the paper's β-cost formulas (23)–(26) evaluate as
+``cost-lu-ll`` / ``cost-lu-rl`` points at model scale, all fanned out and
+cached per point.  :func:`lu_scenario` exposes the same decomposition as
+the ``repro-lab run lu-tradeoff`` preset.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.distributed import (
-    DistMachine,
-    HwParams,
-    ll_lunp_beta_cost,
-    lu_ll_nonpivot,
-    lu_rl_nonpivot,
-    rl_lunp_beta_cost,
-)
+from repro.distributed import HwParams
 from repro.util import format_table
 
-__all__ = ["run_lu", "format_lu"]
+__all__ = ["run_lu", "format_lu", "lu_scenario"]
+
+_COST_KERNELS = {"LL-LUNP": "cost-lu-ll", "RL-LUNP": "cost-lu-rl"}
+_EXEC_KERNELS = {"LL-LUNP": "lu-ll-nonpivot", "RL-LUNP": "lu-rl-nonpivot"}
+
+
+def _lu_points(n: int, b: int, P: int, seed: int,
+               hw: Optional[HwParams], model_n: int,
+               model_P: int) -> List[Any]:
+    from repro.lab.registry import MachineSpec, hw_overrides
+    from repro.lab.scenarios import ScenarioPoint
+
+    machine = MachineSpec(name="lu-hw", hw=hw_overrides(hw))
+    points = [
+        ScenarioPoint(kernel, machine,
+                      {"n": n, "b": b, "P": P, "seed": seed})
+        for kernel in _EXEC_KERNELS.values()
+    ]
+    points += [
+        ScenarioPoint(kernel, machine, {"n": model_n, "P": model_P})
+        for kernel in _COST_KERNELS.values()
+    ]
+    return points
+
+
+def _assemble_lu(results: Sequence[Any]) -> Dict:
+    by_kernel = {res.point.kernel: res for res in results}
+    p0 = results[0].point.params
+    measured = {}
+    correct = {}
+    for name, kernel in _EXEC_KERNELS.items():
+        rec = by_kernel[kernel].record
+        correct[name] = rec["correct"]
+        measured[name] = {
+            "nvm_writes": rec["l2_to_l3_total"],
+            "nvm_reads": rec["l3_to_l2_total"],
+            "network": rec["nw_recv_total"],
+        }
+    model = {}
+    for name, kernel in _COST_KERNELS.items():
+        rec = dict(by_kernel[kernel].record)
+        rec.pop("feasible", None)
+        model[name] = {"name": rec.pop("algorithm"), **rec}
+    model_params = by_kernel[_COST_KERNELS["LL-LUNP"]].point.params
+    return {
+        "n": p0["n"], "b": p0["b"], "P": p0["P"],
+        "ll_correct": correct["LL-LUNP"],
+        "rl_correct": correct["RL-LUNP"],
+        "measured": measured,
+        "model": model,
+        "model_n": model_params["n"], "model_P": model_params["P"],
+    }
 
 
 def run_lu(
-    n: int = 32,
+    n: Optional[int] = None,
     b: int = 4,
     P: int = 4,
     seed: int = 0,
     hw: Optional[HwParams] = None,
     model_n: int = 1 << 14,
     model_P: int = 256,
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Any = None,
 ) -> Dict:
-    rng = np.random.default_rng(seed)
-    A = rng.standard_normal((n, n))
-    A += np.diag(np.abs(A).sum(axis=1) + 1.0)
+    """Execute both LU algorithms and evaluate formulas (23)–(26)
+    through the engine.  ``quick`` shrinks the executed geometry."""
+    from repro.lab.executor import execute
 
-    ml, mr = DistMachine(P), DistMachine(P)
-    Lll, Ull = lu_ll_nonpivot(A, ml, b=b)
-    Lrl, Url = lu_rl_nonpivot(A, mr, b=b)
-    hw = hw or HwParams()
-    return {
-        "n": n, "b": b, "P": P,
-        "ll_correct": bool(np.allclose(Lll @ Ull, A, atol=1e-8)),
-        "rl_correct": bool(np.allclose(Lrl @ Url, A, atol=1e-8)),
-        "measured": {
-            "LL-LUNP": {
-                "nvm_writes": ml.total_over_ranks("l2_to_l3"),
-                "nvm_reads": ml.total_over_ranks("l3_to_l2"),
-                "network": ml.total_over_ranks("nw_recv"),
-            },
-            "RL-LUNP": {
-                "nvm_writes": mr.total_over_ranks("l2_to_l3"),
-                "nvm_reads": mr.total_over_ranks("l3_to_l2"),
-                "network": mr.total_over_ranks("nw_recv"),
-            },
-        },
-        "model": {
-            "LL-LUNP": ll_lunp_beta_cost(model_n, model_P, hw),
-            "RL-LUNP": rl_lunp_beta_cost(model_n, model_P, hw),
-        },
-        "model_n": model_n, "model_P": model_P,
-    }
+    n = n if n is not None else (16 if quick else 32)
+    points = _lu_points(n, b, P, seed, hw, model_n, model_P)
+    report = execute(points, jobs=jobs, cache=cache)
+    return _assemble_lu(report.results)
+
+
+def lu_scenario(quick: bool = False, *, n: Optional[int] = None,
+                b: int = 4, P: int = 4, seed: int = 0,
+                model_n: int = 1 << 14, model_P: int = 256) -> Any:
+    """Section 7.2 as a ``repro-lab`` preset (``lu-tradeoff``).  The
+    keyword parameters are the ``--set``-able knobs."""
+    from functools import partial
+
+    from repro.lab.scenarios import Scenario
+
+    n = n if n is not None else (16 if quick else 32)
+    points = _lu_points(n, b, P, seed, None, model_n, model_P)
+    return Scenario(
+        name="lu-tradeoff",
+        kernel="lu-ll-nonpivot",
+        machine=points[0].machine,
+        description="Section 7.2: executed LL vs RL LU (NVM-write / "
+                    "network trade-off) next to β-cost formulas (23)–(26)",
+        explicit=points,
+        report=lambda sc, res: format_lu(_assemble_lu(res)),
+        meta={"rebuild": partial(lu_scenario, quick)},
+    )
 
 
 def format_lu(result: Dict) -> str:

@@ -3,53 +3,105 @@
 The paper's first parallel scenario: the network attaches to each rank's
 lowest level (L2), so interprocessor CA + local WA caps local writes at
 the network volume Θ(n²/√P) — not the n²/P lower bound — unless L2 is
-over-provisioned by √P (the "hoard" variant).  We run both SUMMA flavours
-on the simulator and tabulate the three bounds W1/W2/W3 against measured
-counters.
+over-provisioned by √P (the "hoard" variant).  Engine-backed: both SUMMA
+flavours run as ``summa-2d`` points (fanned out over ``jobs`` workers,
+cached per point) and the W1/W2/W3 bounds are tabulated against the
+measured counters.  :func:`sec7_scenario` is the same decomposition as
+the ``repro-lab run sec7-nvm`` preset.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
-
-import numpy as np
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bounds import parallel_mm_bounds
-from repro.distributed import DistMachine, summa_2d
 from repro.util import format_table
 
-__all__ = ["run_sec7_model1", "format_sec7_model1"]
+__all__ = ["run_sec7_model1", "format_sec7_model1", "sec7_scenario"]
 
 
-def run_sec7_model1(n: int = 32, P: int = 16, M1: float = 3 * 16) -> Dict:
-    rng = np.random.default_rng(0)
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
+def _sec7_points(n: int, P: int, M1: float) -> List[Any]:
+    from repro.lab.registry import MachineSpec
+    from repro.lab.scenarios import ScenarioPoint
 
-    m_plain = DistMachine(P)
-    C1 = summa_2d(A, B, m_plain, M1=M1)
-    m_hoard = DistMachine(P)
-    C2 = summa_2d(A, B, m_hoard, hoard=True, M1=M1)
+    machine = MachineSpec(name="sec7-dist")
+    return [
+        ScenarioPoint("summa-2d", machine,
+                      {"n": n, "P": P, "M1": M1, "hoard": hoard, "seed": 0})
+        for hoard in (False, True)
+    ]
 
+
+def _assemble_sec7(results: Sequence[Any]) -> Dict:
+    p0 = results[0].point.params
+    n, P, M1 = p0["n"], p0["P"], p0["M1"]
     bounds = parallel_mm_bounds(n, P, c=1, M1=M1)
+    by_hoard = {bool(res.point.params["hoard"]): res.record
+                for res in results}
     q = int(math.isqrt(P))
+
+    def counters(rec: Dict) -> Dict:
+        return {
+            "nw_recv": rec["nw_recv_max"],
+            "l1_to_l2_writes": rec["l1_to_l2_max"],
+            "l2_to_l1_reads": rec["l2_to_l1_max"],
+        }
+
     return {
         "n": n, "P": P, "M1": M1,
-        "correct": bool(np.allclose(C1, A @ B) and np.allclose(C2, A @ B)),
+        "correct": bool(by_hoard[False]["correct"]
+                        and by_hoard[True]["correct"]),
         "bounds": {"W1": bounds.W1, "W2": bounds.W2, "W3": bounds.W3},
-        "plain": {
-            "nw_recv": m_plain.max_over_ranks("nw_recv"),
-            "l1_to_l2_writes": m_plain.max_over_ranks("l1_to_l2"),
-            "l2_to_l1_reads": m_plain.max_over_ranks("l2_to_l1"),
-        },
+        "plain": counters(by_hoard[False]),
         "hoard": {
-            "nw_recv": m_hoard.max_over_ranks("nw_recv"),
-            "l1_to_l2_writes": m_hoard.max_over_ranks("l1_to_l2"),
-            "l2_to_l1_reads": m_hoard.max_over_ranks("l2_to_l1"),
+            **counters(by_hoard[True]),
             "extra_l2_words": 2 * n * n // q,  # the √P memory premium
         },
     }
+
+
+def run_sec7_model1(
+    n: Optional[int] = None,
+    P: Optional[int] = None,
+    M1: float = 3 * 16,
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Any = None,
+) -> Dict:
+    """Run both SUMMA flavours through the engine and tabulate the
+    W1/W2/W3 bounds.  ``quick`` shrinks the default geometry."""
+    from repro.lab.executor import execute
+
+    n = n if n is not None else (16 if quick else 32)
+    P = P if P is not None else (4 if quick else 16)
+    report = execute(_sec7_points(n, P, M1), jobs=jobs, cache=cache)
+    return _assemble_sec7(report.results)
+
+
+def sec7_scenario(quick: bool = False, *, n: Optional[int] = None,
+                  P: Optional[int] = None, M1: float = 3 * 16) -> Any:
+    """Section 7 Model 1 as a ``repro-lab`` preset (``sec7-nvm``).  The
+    keyword parameters are the ``--set``-able knobs."""
+    from functools import partial
+
+    from repro.lab.scenarios import Scenario
+
+    n = n if n is not None else (16 if quick else 32)
+    P = P if P is not None else (4 if quick else 16)
+    points = _sec7_points(n, P, M1)
+    return Scenario(
+        name="sec7-nvm",
+        kernel="summa-2d",
+        machine=points[0].machine,
+        description="Section 7 Model 1: executed SUMMA vs the hoarding "
+                    "variant — local writes track W2, not W1, unless L2 "
+                    "is over-provisioned",
+        explicit=points,
+        report=lambda sc, res: format_sec7_model1(_assemble_sec7(res)),
+        meta={"rebuild": partial(sec7_scenario, quick)},
+    )
 
 
 def format_sec7_model1(result: Dict) -> str:

@@ -1,23 +1,91 @@
 """Table 1: communication costs of parallel matmul when data fits in L2.
 
-Two parts: (1) the paper's analytic rows, numerically evaluated
-(:func:`repro.distributed.costmodel.table1_rows`); (2) a *measured*
-cross-check — the simulated 2.5D algorithm's per-rank network words against
-the table's βNW row — so the model and the executed algorithm agree.
+A thin client of the ``repro.lab`` engine: :func:`run_table1` expands
+into point-level kernels — one ``cost-table1`` point per (row,
+algorithm) cell, one ``cost-dominance`` point, and one *executed*
+``mm-25d`` cross-check — executes them through
+:func:`repro.lab.executor.execute` (``jobs`` workers, optional result
+cache), and reassembles the exact result structure the serial harness
+always returned (the table cells pivot back into rows via
+:meth:`repro.lab.results.ResultSet.pivot`).  :func:`table1_scenario` is
+the same decomposition as a ``repro-lab run table1`` preset.
+
+The lab imports happen lazily inside the functions: ``repro.lab``
+imports this module (for :func:`format_table1`), so top-level imports
+the other way would cycle.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.distributed import DistMachine, HwParams, mm_25d
-from repro.distributed.costmodel import dom_beta_cost_model21, table1_rows
+from repro.distributed import HwParams
+from repro.distributed.costmodel import table1_rows
 from repro.util import format_table
 
-__all__ = ["run_table1", "format_table1"]
+__all__ = ["run_table1", "format_table1", "table1_scenario"]
+
+_ALGORITHMS = ("2DMML2", "2.5DMML2", "2.5DMML3")
+
+
+def _table1_points(n: int, P: int, c2: int, c3: int,
+                   hw: Optional[HwParams], validate_sim: bool,
+                   quick: bool) -> List[Any]:
+    from repro.lab.registry import MachineSpec, hw_overrides
+    from repro.lab.scenarios import ScenarioPoint
+
+    machine = MachineSpec(name="table1-hw", hw=hw_overrides(hw))
+    fixed = {"n": n, "P": P, "c2": c2, "c3": c3}
+    n_rows = len(table1_rows(n, P, c2, c3, hw or HwParams()))
+    points = [
+        ScenarioPoint("cost-table1", machine,
+                      {**fixed, "row": row, "algorithm": alg})
+        for row in range(n_rows)
+        for alg in _ALGORITHMS
+    ]
+    points.append(ScenarioPoint("cost-dominance", machine,
+                                {**fixed, "model": "2.1"}))
+    if validate_sim:
+        # Small executable configuration (the analytic n, P are far
+        # beyond simulation scale): P=8, c=2 (q=2).
+        nv = 8 if quick else 16
+        points.append(ScenarioPoint("mm-25d", machine,
+                                    {"n": nv, "P": 8, "c": 2, "seed": 0}))
+    return points
+
+
+def _assemble_table1(results: Sequence[Any]) -> Dict:
+    """Point records (in point order) -> the legacy harness result."""
+    from repro.lab.results import ResultSet
+
+    cells = [r.record for r in results if r.point.kernel == "cost-table1"]
+    rows = ResultSet(cells).pivot(
+        ("movement", "param", "common"), "algorithm", "words").rows
+    p0 = results[0].point.params
+    out: Dict = {
+        "n": p0["n"], "P": p0["P"], "c2": p0["c2"], "c3": p0["c3"],
+        "rows": rows,
+    }
+    for res in results:
+        if res.point.kernel == "cost-dominance":
+            dom = dict(res.record)
+            dom.pop("model", None)
+            out["dom_comparison"] = dom
+        elif res.point.kernel == "mm-25d":
+            pv = res.point.params
+            # Leading measured network words per rank: replication
+            # (2·nb²) + SUMMA panels (2·(q/c)·nb²) + reduction (nb²) —
+            # compare order against the model's leading term.
+            measured = res.record["nw_recv_max"]
+            model_leading = 2 * pv["n"]**2 / math.sqrt(pv["P"] * pv["c"])
+            out["validation"] = {
+                "numerically_correct": res.record["correct"],
+                "measured_max_nw_recv": measured,
+                "model_leading_words": model_leading,
+                "within_factor": measured / model_leading,
+            }
+    return out
 
 
 def run_table1(
@@ -28,42 +96,48 @@ def run_table1(
     hw: Optional[HwParams] = None,
     *,
     validate_sim: bool = True,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Any = None,
 ) -> Dict:
     """Evaluate Table 1 and optionally cross-check against a simulated run.
 
-    The validation run uses a small feasible configuration (the analytic
-    n, P are far beyond simulation scale) and compares measured per-rank
-    network words to the model's leading term.
+    Runs through the ``repro.lab`` engine: ``jobs`` fans the points out
+    over worker processes and *cache* (a
+    :class:`~repro.lab.cache.ResultCache`) serves repeats from disk.
+    ``quick`` shrinks the validation run's geometry.
     """
-    hw = hw or HwParams()
-    rows = table1_rows(n, P, c2, c3, hw)
-    out: Dict = {
-        "n": n, "P": P, "c2": c2, "c3": c3,
-        "rows": rows,
-        "dom_comparison": dom_beta_cost_model21(n, P, c2, c3, hw),
-    }
-    if validate_sim:
-        # Small executable configuration: P=8, c=2 (q=2), n=16.
-        nv, Pv, cv = 16, 8, 2
-        rng = np.random.default_rng(0)
-        A = rng.standard_normal((nv, nv))
-        B = rng.standard_normal((nv, nv))
-        m = DistMachine(Pv)
-        C = mm_25d(A, B, m, c=cv)
-        ok = bool(np.allclose(C, A @ B))
-        q = int(math.isqrt(Pv // cv))
-        nb = nv // q
-        # Leading measured network words per rank: replication (2·nb²)
-        # + SUMMA panels (2·(q/c)·nb²) + reduction (nb²) — compare order.
-        measured = m.max_over_ranks("nw_recv")
-        model_leading = 2 * nv**2 / math.sqrt(Pv * cv)
-        out["validation"] = {
-            "numerically_correct": ok,
-            "measured_max_nw_recv": measured,
-            "model_leading_words": model_leading,
-            "within_factor": measured / model_leading,
-        }
-    return out
+    from repro.lab.executor import execute
+
+    points = _table1_points(n, P, c2, c3, hw, validate_sim, quick)
+    report = execute(points, jobs=jobs, cache=cache)
+    return _assemble_table1(report.results)
+
+
+def table1_scenario(quick: bool = False, *, n: int = 1 << 14,
+                    P: int = 1 << 20, c2: int = 4, c3: int = 16) -> Any:
+    """Table 1 as a ``repro-lab`` preset: one point per table cell, plus
+    the dominance comparison and the executed 2.5D cross-check.
+
+    The keyword parameters are the preset's ``--set``-able knobs: the
+    ``rebuild`` hook regenerates the whole coupled point family from
+    them, leaving the fixed validation geometry alone.
+    """
+    from functools import partial
+
+    from repro.lab.scenarios import Scenario
+
+    points = _table1_points(n, P, c2, c3, None, True, quick)
+    return Scenario(
+        name="table1",
+        kernel="cost-table1",
+        machine=points[0].machine,
+        description="Table 1: Model-2.1 matmul cost model, one point per "
+                    "cell + dominance + executed 2.5D cross-check",
+        explicit=points,
+        report=lambda sc, res: format_table1(_assemble_table1(res)),
+        meta={"rebuild": partial(table1_scenario, quick)},
+    )
 
 
 def format_table1(result: Dict) -> str:

@@ -1,22 +1,92 @@
 """Table 2: parallel matmul when data does not fit in L2 (Model 2.2).
 
-Analytic rows plus the *measured* Theorem-4 trade-off: the simulated
-SUMMAL3ooL2 attains the NVM-write floor W1 = n²/P exactly while paying
-extra network; the simulated 2.5DMML3ooL2 does the opposite.
+Engine-backed like :mod:`repro.experiments.table1`: one ``cost-table2``
+point per table cell, a Model-2.2 ``cost-dominance`` point, and two
+*executed* validation points exhibiting the Theorem-4 trade-off — the
+simulated SUMMAL3ooL2 attains the NVM-write floor W1 = n²/P exactly
+while paying extra network; the simulated 2.5DMML3ooL2 does the
+opposite.  :func:`table2_scenario` exposes the same decomposition as a
+``repro-lab run table2`` preset.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.distributed import DistMachine, HwParams, mm_25d, summa_l3_ool2
-from repro.distributed.costmodel import dom_beta_cost_model22, table2_rows
+from repro.distributed import HwParams
+from repro.distributed.costmodel import table2_rows
 from repro.util import format_table
 
-__all__ = ["run_table2", "format_table2"]
+__all__ = ["run_table2", "format_table2", "table2_scenario"]
+
+_ALGORITHMS = ("2.5DMML3ooL2", "SUMMAL3ooL2")
+
+
+def _default_hw() -> HwParams:
+    """Table 2's regime: small L1/L2 so the data genuinely spills."""
+    return HwParams(M1=2**8, M2=2**14)
+
+
+def _table2_points(n: int, P: int, c3: int, hw: Optional[HwParams],
+                   validate_sim: bool, quick: bool) -> List[Any]:
+    from repro.lab.registry import MachineSpec, hw_overrides
+    from repro.lab.scenarios import ScenarioPoint
+
+    hw = hw or _default_hw()
+    machine = MachineSpec(name="table2-hw", hw=hw_overrides(hw))
+    fixed = {"n": n, "P": P, "c3": c3}
+    n_rows = len(table2_rows(n, P, c3, hw))
+    points = [
+        ScenarioPoint("cost-table2", machine,
+                      {**fixed, "row": row, "algorithm": alg})
+        for row in range(n_rows)
+        for alg in _ALGORITHMS
+    ]
+    points.append(ScenarioPoint("cost-dominance", machine,
+                                {**fixed, "model": "2.2"}))
+    if validate_sim:
+        # Model-2.2 regime at simulation scale: n²/P ≫ M2 so the SUMMA
+        # variant's n³/(P√M2) network term genuinely dominates W2.
+        nv, Pv, M2v = (16, 4, 3 * 2 * 2) if quick else (32, 16, 3 * 4 * 4)
+        points.append(ScenarioPoint(
+            "summa-l3-ool2", machine,
+            {"n": nv, "P": Pv, "M2": M2v, "seed": 1}))
+        points.append(ScenarioPoint(
+            "mm-25d", machine,
+            {"n": nv, "P": Pv, "c": 1, "storage": "L3-ooL2", "M2": M2v,
+             "seed": 1}))
+    return points
+
+
+def _assemble_table2(results: Sequence[Any]) -> Dict:
+    from repro.lab.results import ResultSet
+
+    cells = [r.record for r in results if r.point.kernel == "cost-table2"]
+    rows = ResultSet(cells).pivot(
+        ("movement", "param", "common"), "algorithm", "words").rows
+    p0 = results[0].point.params
+    out: Dict = {"n": p0["n"], "P": p0["P"], "c3": p0["c3"], "rows": rows}
+    summa = mm25d = None
+    for res in results:
+        if res.point.kernel == "cost-dominance":
+            dom = dict(res.record)
+            dom.pop("model", None)
+            out["dom_comparison"] = dom
+        elif res.point.kernel == "summa-l3-ool2":
+            summa = res.record
+        elif res.point.kernel == "mm-25d":
+            mm25d = res.record
+    if summa is not None and mm25d is not None:
+        out["validation"] = {
+            "summa_correct": summa["correct"],
+            "mm25d_correct": mm25d["correct"],
+            "summa_nvm_writes_per_rank": summa["l2_to_l3_max"],
+            "w1_floor": summa["w1_floor"],
+            "summa_nw_recv": summa["nw_recv_max"],
+            "mm25d_nvm_writes_per_rank": mm25d["l2_to_l3_max"],
+            "mm25d_nw_recv": mm25d["nw_recv_max"],
+        }
+    return out
 
 
 def run_table2(
@@ -26,35 +96,41 @@ def run_table2(
     hw: Optional[HwParams] = None,
     *,
     validate_sim: bool = True,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Any = None,
 ) -> Dict:
-    hw = hw or HwParams(M1=2**8, M2=2**14)
-    rows = table2_rows(n, P, c3, hw)
-    out: Dict = {
-        "n": n, "P": P, "c3": c3,
-        "rows": rows,
-        "dom_comparison": dom_beta_cost_model22(n, P, c3, hw),
-    }
-    if validate_sim:
-        # Model-2.2 regime at simulation scale: n²/P ≫ M2 so the SUMMA
-        # variant's n³/(P√M2) network term genuinely dominates W2.
-        nv, Pv, M2v = 32, 16, 3 * 4 * 4
-        rng = np.random.default_rng(1)
-        A = rng.standard_normal((nv, nv))
-        B = rng.standard_normal((nv, nv))
-        ms = DistMachine(Pv, M2=M2v)
-        Cs = summa_l3_ool2(A, B, ms, M2=M2v)
-        m25 = DistMachine(Pv, M2=M2v)
-        C25 = mm_25d(A, B, m25, c=1, storage="L3-ooL2", M2=M2v)
-        out["validation"] = {
-            "summa_correct": bool(np.allclose(Cs, A @ B)),
-            "mm25d_correct": bool(np.allclose(C25, A @ B)),
-            "summa_nvm_writes_per_rank": ms.max_over_ranks("l2_to_l3"),
-            "w1_floor": nv * nv // Pv,
-            "summa_nw_recv": ms.max_over_ranks("nw_recv"),
-            "mm25d_nvm_writes_per_rank": m25.max_over_ranks("l2_to_l3"),
-            "mm25d_nw_recv": m25.max_over_ranks("nw_recv"),
-        }
-    return out
+    """Evaluate Table 2 through the sweep engine and (optionally)
+    measure the Theorem-4 trade-off on the simulator.  ``quick``
+    shrinks the validation geometry."""
+    from repro.lab.executor import execute
+
+    points = _table2_points(n, P, c3, hw, validate_sim, quick)
+    report = execute(points, jobs=jobs, cache=cache)
+    return _assemble_table2(report.results)
+
+
+def table2_scenario(quick: bool = False, *, n: int = 1 << 15,
+                    P: int = 512, c3: int = 4) -> Any:
+    """Table 2 as a ``repro-lab`` preset.  The keyword parameters are
+    the ``--set``-able knobs (the ``rebuild`` hook keeps the coupled
+    cell/dominance/validation family consistent)."""
+    from functools import partial
+
+    from repro.lab.scenarios import Scenario
+
+    points = _table2_points(n, P, c3, None, True, quick)
+    return Scenario(
+        name="table2",
+        kernel="cost-table2",
+        machine=points[0].machine,
+        description="Table 2: Model-2.2 matmul cost model + executed "
+                    "Theorem-4 trade-off (SUMMA vs 2.5D, NVM writes vs "
+                    "network)",
+        explicit=points,
+        report=lambda sc, res: format_table2(_assemble_table2(res)),
+        meta={"rebuild": partial(table2_scenario, quick)},
+    )
 
 
 def format_table2(result: Dict) -> str:

@@ -7,10 +7,17 @@ subpackage turns those grids into first-class objects:
 * :mod:`repro.lab.registry` — every kernel, machine model and replacement
   policy under a string key (:data:`KERNELS`, :data:`MACHINES`,
   :data:`POLICIES`, :data:`EXPERIMENTS`), including NVM-style machines
-  with asymmetric read/write costs;
+  with asymmetric read/write costs and ``hw-*`` analytic cost-model
+  presets (:class:`MachineSpec.hw_params`);
+* :mod:`repro.lab.modelkernels` — point-level kernels for the Section-7
+  cost models (``cost-*``), the executed distributed algorithms
+  (``summa-2d``, ``mm-25d``, ``lu-*-nonpivot``) and the Section-8
+  Krylov methods (``krylov-*``);
 * :mod:`repro.lab.scenarios` — declarative :class:`Scenario` grids with
-  cartesian expansion and presets for the paper's figures (``fig2``,
-  ``fig5``, ``sec6``) plus new sweeps (``nvm-matmul``);
+  cartesian expansion and presets for the paper's figures and tables
+  (``fig2``, ``fig5``, ``sec6``, ``table1``, ``table2``, ``sec7-nvm``,
+  ``lu-tradeoff``) plus new sweeps (``nvm-matmul``, ``prop62``,
+  ``distributed``, ``krylov``);
 * :mod:`repro.lab.executor` — :func:`execute` fans points out over
   ``multiprocessing`` workers;
 * :mod:`repro.lab.cache` — :class:`ResultCache`, a content-addressed

@@ -5,9 +5,13 @@ Subcommands::
     repro-lab list                     # scenarios, kernels, machines, policies
     repro-lab run fig2 --quick --jobs 4
     repro-lab run nvm-matmul --csv out.csv
+    repro-lab run table1 --jobs 4      # Table 1, one point per cell
+    repro-lab run sec6 --set middle=64 --set machine.line_size=8
     repro-lab sweep --kernel matmul-cache --machine nvm-pcm \\
         --set n=32 --set middle=64 --set b3=8 --set b2=4 --set base=4 \\
         --grid scheme=co,wa2 --grid machine.write_slow=2,30 --jobs 2
+    repro-lab sweep --kernel cost-25d-mm-l3 \\
+        --grid c3=1,2,4,8 --grid P=64,256 --hw beta_23=30
     repro-lab report fig2 --quick      # re-render from cache, compute nothing
     repro-lab cache stats              # result-cache + trace-store inventory
     repro-lab cache gc                 # prune superseded code versions
@@ -138,8 +142,28 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_unknown_sets(scenario: Scenario, sets: Dict[str, Any]) -> None:
+    """A typo'd --set key is otherwise silently inert (it still changes
+    every cache key); flag it but keep going — optional kernel params a
+    preset doesn't spell out are legitimate.  Rebuild-backed presets
+    hard-reject unknown keys in with_overrides, so no warning there."""
+    if scenario.meta.get("rebuild") is not None:
+        return
+    known = scenario.known_param_keys()
+    unknown = sorted(k for k in sets
+                     if not k.startswith("machine.") and k not in known)
+    if unknown:
+        print(f"[repro.lab] note: --set key(s) {unknown} are not "
+              f"parameters of any {scenario.name!r} point; applying "
+              f"anyway", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario, quick=args.quick)
+    sets = _parse_kv(args.set, grid=False)
+    _warn_unknown_sets(scenario, sets)
+    scenario = scenario.with_overrides(sets,
+                                       hw=_parse_kv(args.hw, grid=False))
     cache = _make_cache(args)
     _setup_trace_store(args)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
@@ -149,6 +173,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     machine = resolve_machine(args.machine)
+    hw = _parse_kv(args.hw, grid=False)
+    if hw:
+        machine = machine.with_hw(**hw)
     scenario = Scenario(
         name="adhoc",
         kernel=args.kernel,
@@ -166,6 +193,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario, quick=args.quick)
+    sets = _parse_kv(args.set, grid=False)
+    _warn_unknown_sets(scenario, sets)
+    scenario = scenario.with_overrides(sets,
+                                       hw=_parse_kv(args.hw, grid=False))
     cache = ResultCache(args.cache_dir)
     try:
         report = execute(scenario.points(), cache=cache, require_cached=True)
@@ -276,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller geometry, seconds instead of minutes")
     p_run.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for uncached points")
+    p_run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a preset parameter on every point; "
+                            "'machine.<field>=..' edits the machine spec, "
+                            "a grid-axis key pins that axis (repeatable)")
+    p_run.add_argument("--hw", action="append", metavar="KEY=VALUE",
+                       help="override an HwParams cost parameter (e.g. "
+                            "beta_23=30) on every point (repeatable)")
     _add_cache_args(p_run)
     _add_engine_args(p_run)
     _add_export_args(p_run)
@@ -292,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--grid", action="append", metavar="KEY=V1,V2,..",
                          help="swept axis; 'machine.<field>=..' overrides "
                               "the machine spec (repeatable)")
+    p_sweep.add_argument("--hw", action="append", metavar="KEY=VALUE",
+                         help="override an HwParams cost parameter of the "
+                              "machine (e.g. beta_23=30, M2=16384) for the "
+                              "cost-* kernels (repeatable)")
     p_sweep.add_argument("--jobs", type=int, default=1, metavar="N")
     _add_cache_args(p_sweep)
     _add_engine_args(p_sweep)
@@ -302,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
                                           "cached results")
     p_rep.add_argument("scenario", choices=sorted(SCENARIOS))
     p_rep.add_argument("--quick", action="store_true")
+    p_rep.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="same overrides as the `run` that filled the "
+                            "cache (repeatable)")
+    p_rep.add_argument("--hw", action="append", metavar="KEY=VALUE",
+                       help="same HwParams overrides as the `run` that "
+                            "filled the cache (repeatable)")
     _add_cache_args(p_rep, allow_disable=False)
     _add_export_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)

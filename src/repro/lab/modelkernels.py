@@ -1,0 +1,530 @@
+"""Point-level kernels for the NVM cost-model, distributed and Krylov
+subsystems.
+
+Three families, all registered into :data:`repro.lab.registry.KERNELS`
+(this module deliberately imports nothing from the registry, so the
+registry can import it without a cycle):
+
+* ``cost-*`` — Section 7's analytic communication cost models
+  (:mod:`repro.distributed.costmodel`), one algorithm evaluation per
+  point.  The :class:`~repro.distributed.costmodel.HwParams` machine
+  description comes from the machine spec's ``hw`` overrides
+  (``MachineSpec.hw_params()``): start from an ``hw-*`` machine preset
+  and/or override individual rates with ``--hw KEY=VALUE`` (sweeping
+  ``machine.hw`` as a grid axis is not supported).  Grid points outside
+  an algorithm's feasible regime (e.g. ``c3 > P^(1/3)``) report
+  ``feasible: False`` instead of failing the sweep — provisioning
+  questions are exactly about walking past those edges.
+
+* ``summa-2d`` / ``summa-l3-ool2`` / ``mm-25d`` / ``lu-ll-nonpivot`` /
+  ``lu-rl-nonpivot`` — the *executed* distributed algorithms
+  (:mod:`repro.distributed`) on the simulated Section-7 machine: inputs
+  are generated from a seeded RNG, results are numerically verified, and
+  the record carries per-rank max/total word **and message** counters
+  for every channel the paper charges.
+
+* ``krylov-*`` — the Section-8 Krylov methods (:mod:`repro.krylov`)
+  with their slow-memory read/write/flop counters.
+
+Every kernel is a deterministic pure function of ``(machine, params)``,
+so points cache and fan out like any other registry kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.distributed import (
+    DistMachine,
+    lu_ll_nonpivot,
+    lu_rl_nonpivot,
+    mm_25d,
+    summa_2d,
+    summa_l3_ool2,
+)
+from repro.distributed.costmodel import (
+    HwParams,
+    cost_25dmml2,
+    cost_25dmml3,
+    cost_25dmml3_ool2,
+    cost_2dmml2,
+    cost_summal3_ool2,
+    dom_beta_cost_model21,
+    dom_beta_cost_model22,
+    hw_param_key,
+    ll_lunp_beta_cost,
+    replication_break_even,
+    rl_lunp_beta_cost,
+    table1_rows,
+    table2_rows,
+)
+from repro.krylov import (
+    ca_gmres,
+    cacg,
+    cg,
+    gmres,
+    matrix_powers,
+    matrix_powers_blocked,
+    matrix_powers_streaming,
+    spd_stencil_system,
+    streaming_basis_r,
+    tsqr,
+)
+from repro.util import canonical_int, require
+
+__all__ = ["MODEL_KERNELS", "COST_KERNELS", "DISTRIBUTED_KERNELS",
+           "KRYLOV_KERNELS"]
+
+
+# --------------------------------------------------------------------- #
+# parameter plumbing
+# --------------------------------------------------------------------- #
+def _geti(params: Mapping, name: str, default: Any = None) -> int:
+    """An integer parameter (numpy grid scalars canonicalized)."""
+    value = params.get(name, default)
+    require(value is not None,
+            f"missing required parameter {name!r} "
+            f"(pass it via --set or the scenario's fixed/grid)")
+    return canonical_int(value, name)
+
+
+def _getf(params: Mapping, name: str, default: Any = None) -> float:
+    value = params.get(name, default)
+    require(value is not None,
+            f"missing required parameter {name!r} "
+            f"(pass it via --set or the scenario's fixed/grid)")
+    return float(value)
+
+
+def _hw(machine: Any) -> HwParams:
+    """The analytic machine of a cost point (validated up front so bad
+    ``--hw`` overrides fail loudly, not as 'infeasible' rows)."""
+    hw = machine.hw_params()
+    hw.validate()
+    return hw
+
+
+# --------------------------------------------------------------------- #
+# cost-model kernels
+# --------------------------------------------------------------------- #
+#: every HwParams rate a Term can reference, in table order.
+_COST_COLUMNS = ("alpha_nw", "beta_nw", "alpha_23", "beta_23", "alpha_32",
+                 "beta_32", "alpha_12", "beta_12", "alpha_21", "beta_21")
+
+
+def _cost_record(cost: Dict) -> Dict:
+    """Flatten a ``cost_*`` result: per-rate word/message counts + total.
+
+    β columns count words, α columns count messages, summed over every
+    term the formula charges to that rate.
+    """
+    rec: Dict[str, Any] = {"algorithm": cost["name"], "feasible": True}
+    agg = {key: 0.0 for key in _COST_COLUMNS}
+    for term in cost["terms"]:
+        agg[hw_param_key(term.param)] += term.count
+    rec.update(agg)
+    rec["total_seconds"] = cost["total"]
+    return rec
+
+
+def _infeasible(name: str, exc: Exception) -> Dict:
+    return {"algorithm": name, "feasible": False, "reason": str(exc),
+            "total_seconds": None}
+
+
+def kernel_cost_2d_mm(machine, params: Mapping) -> Dict:
+    """Analytic cost of 2DMML2 (Table 1, c=1).  Params: n, P."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    try:
+        return _cost_record(cost_2dmml2(n, P, hw))
+    except ValueError as exc:
+        return _infeasible("2DMML2", exc)
+
+
+def kernel_cost_25d_mm_l2(machine, params: Mapping) -> Dict:
+    """Analytic cost of 2.5DMML2 (Table 1).  Params: n, P, c2."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    c2 = _geti(params, "c2", 1)
+    try:
+        return _cost_record(cost_25dmml2(n, P, c2, hw))
+    except ValueError as exc:
+        return _infeasible("2.5DMML2", exc)
+
+
+def kernel_cost_25d_mm_l3(machine, params: Mapping) -> Dict:
+    """Analytic cost of 2.5DMML3 (Table 1, NVM-staged replicas).
+    Params: n, P, c2, c3."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    c2, c3 = _geti(params, "c2", 1), _geti(params, "c3", 4)
+    try:
+        return _cost_record(cost_25dmml3(n, P, c2, c3, hw))
+    except ValueError as exc:
+        return _infeasible("2.5DMML3", exc)
+
+
+def kernel_cost_25d_mm_l3_ool2(machine, params: Mapping) -> Dict:
+    """Analytic cost of 2.5DMML3ooL2 (Table 2, Model 2.2).
+    Params: n, P, c3."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    c3 = _geti(params, "c3", 4)
+    try:
+        return _cost_record(cost_25dmml3_ool2(n, P, c3, hw))
+    except ValueError as exc:
+        return _infeasible("2.5DMML3ooL2", exc)
+
+
+def kernel_cost_summa_l3_ool2(machine, params: Mapping) -> Dict:
+    """Analytic cost of SUMMAL3ooL2 (Table 2, attains the W1 write
+    floor).  Params: n, P."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    try:
+        return _cost_record(cost_summal3_ool2(n, P, hw))
+    except ValueError as exc:
+        return _infeasible("SUMMAL3ooL2", exc)
+
+
+def kernel_cost_lu_ll(machine, params: Mapping) -> Dict:
+    """LL-LUNP dominant β-costs (formulas (23)/(24)).  Params: n, P."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    cost = ll_lunp_beta_cost(n, P, hw)
+    return {"algorithm": cost.pop("name"), "feasible": True, **cost}
+
+
+def kernel_cost_lu_rl(machine, params: Mapping) -> Dict:
+    """RL-LUNP dominant β-costs (formulas (25)/(26)).  Params: n, P."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    cost = rl_lunp_beta_cost(n, P, hw)
+    return {"algorithm": cost.pop("name"), "feasible": True, **cost}
+
+
+def kernel_cost_break_even(machine, params: Mapping) -> Dict:
+    """Replication break-even: smallest c3/c2 ratio at which NVM-staged
+    replication (2.5DMML3) beats 2.5DMML2.  No params — the ratio
+    depends only on the machine's β rates (sweep those via --hw)."""
+    hw = _hw(machine)
+    return {
+        "c3_over_c2": replication_break_even(hw, 1),
+        "beta_nw": hw.beta_nw,
+        "beta_23": hw.beta_23,
+        "beta_32": hw.beta_32,
+    }
+
+
+def kernel_cost_dominance(machine, params: Mapping) -> Dict:
+    """Dominant-β-cost comparison: which algorithm the paper predicts
+    wins.  Params: model ("2.1" or "2.2"), n, P, c2 (2.1 only), c3."""
+    hw = _hw(machine)
+    model = str(params.get("model", "2.1"))
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 256)
+    c3 = _geti(params, "c3", 4)
+    if model == "2.1":
+        c2 = _geti(params, "c2", 1)
+        return {"model": model,
+                **dom_beta_cost_model21(n, P, c2, c3, hw)}
+    require(model == "2.2", f"model must be '2.1' or '2.2', got {model!r}")
+    return {"model": model, **dom_beta_cost_model22(n, P, c3, hw)}
+
+
+def _table_cell(params: Mapping, rows: list, table: str) -> Dict:
+    """One (row, algorithm) cell of an evaluated table-row list."""
+    row = _geti(params, "row")
+    require(0 <= row < len(rows),
+            f"row must be in 0..{len(rows) - 1}, got {row}")
+    require("algorithm" in params,
+            "missing required parameter 'algorithm' "
+            "(pass it via --set or the scenario's fixed/grid)")
+    algorithm = str(params["algorithm"])
+    r = rows[row]
+    require(algorithm in r and algorithm not in ("movement", "param",
+                                                 "common"),
+            f"unknown {table} algorithm {algorithm!r}")
+    return {"movement": r["movement"], "param": r["param"],
+            "common": r["common"], "algorithm": algorithm,
+            "feasible": True, "words": r[algorithm]}
+
+
+def kernel_cost_table1(machine, params: Mapping) -> Dict:
+    """One (row, algorithm) cell of the paper's Table 1, numerically
+    evaluated.  Params: n, P, c2, c3, row (0-based), algorithm."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 14), _geti(params, "P", 1 << 20)
+    c2, c3 = _geti(params, "c2", 4), _geti(params, "c3", 16)
+    try:
+        rows = table1_rows(n, P, c2, c3, hw)
+    except ValueError as exc:
+        return _infeasible(str(params.get("algorithm", "Table-1")), exc)
+    return _table_cell(params, rows, "Table-1")
+
+
+def kernel_cost_table2(machine, params: Mapping) -> Dict:
+    """One (row, algorithm) cell of the paper's Table 2, numerically
+    evaluated.  Params: n, P, c3, row (0-based), algorithm."""
+    hw = _hw(machine)
+    n, P = _geti(params, "n", 1 << 15), _geti(params, "P", 512)
+    c3 = _geti(params, "c3", 4)
+    try:
+        rows = table2_rows(n, P, c3, hw)
+    except ValueError as exc:
+        return _infeasible(str(params.get("algorithm", "Table-2")), exc)
+    return _table_cell(params, rows, "Table-2")
+
+
+COST_KERNELS: Dict[str, Callable] = {
+    "cost-2d-mm": kernel_cost_2d_mm,
+    "cost-25d-mm-l2": kernel_cost_25d_mm_l2,
+    "cost-25d-mm-l3": kernel_cost_25d_mm_l3,
+    "cost-25d-mm-l3-ool2": kernel_cost_25d_mm_l3_ool2,
+    "cost-summa-l3-ool2": kernel_cost_summa_l3_ool2,
+    "cost-lu-ll": kernel_cost_lu_ll,
+    "cost-lu-rl": kernel_cost_lu_rl,
+    "cost-break-even": kernel_cost_break_even,
+    "cost-dominance": kernel_cost_dominance,
+    "cost-table1": kernel_cost_table1,
+    "cost-table2": kernel_cost_table2,
+}
+
+
+# --------------------------------------------------------------------- #
+# executed distributed algorithms
+# --------------------------------------------------------------------- #
+#: per-rank counters every execution record reports (max and total).
+_RANK_CHANNELS = ("nw_sent", "nw_recv", "nw_msgs_sent", "nw_msgs_recv",
+                  "l2_to_l3", "l3_to_l2", "l2_to_l3_msgs", "l3_to_l2_msgs",
+                  "l2_to_l1", "l1_to_l2")
+
+
+def _dist_record(m: DistMachine) -> Dict:
+    rec: Dict[str, int] = {}
+    for attr in _RANK_CHANNELS:
+        rec[f"{attr}_max"] = m.max_over_ranks(attr)
+        rec[f"{attr}_total"] = m.total_over_ranks(attr)
+    return rec
+
+
+def _random_matrices(n: int, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def kernel_summa_2d(machine, params: Mapping) -> Dict:
+    """Executed 2D SUMMA (Model 1) with per-rank traffic counters.
+    Params: n, P; optional hoard (the √P-L2 variant), M1, seed."""
+    n, P = _geti(params, "n", 32), _geti(params, "P", 16)
+    hoard = bool(params.get("hoard", False))
+    M1 = None if params.get("M1") is None else _getf(params, "M1")
+    A, B = _random_matrices(n, _geti(params, "seed", 0))
+    m = DistMachine(P)
+    C = summa_2d(A, B, m, hoard=hoard, M1=M1)
+    return {"correct": bool(np.allclose(C, A @ B)), "hoard": hoard,
+            **_dist_record(m)}
+
+
+def kernel_summa_l3_ool2(machine, params: Mapping) -> Dict:
+    """Executed SUMMAL3ooL2 (Model 2.2): attains the NVM write floor
+    W1 = n²/P.  Params: n, P, M2; optional seed."""
+    n, P = _geti(params, "n", 32), _geti(params, "P", 16)
+    M2 = _getf(params, "M2")
+    A, B = _random_matrices(n, _geti(params, "seed", 0))
+    m = DistMachine(P, M2=M2)
+    C = summa_l3_ool2(A, B, m, M2=M2)
+    return {"correct": bool(np.allclose(C, A @ B)),
+            "w1_floor": n * n // P, **_dist_record(m)}
+
+
+def kernel_mm_25d(machine, params: Mapping) -> Dict:
+    """Executed 2.5D matmul (replication factor c, optional NVM
+    staging).  Params: n, P, c; optional storage (L2|L3|L3-ooL2), M2,
+    seed."""
+    n, P = _geti(params, "n", 16), _geti(params, "P", 8)
+    c = _geti(params, "c", 2)
+    storage = str(params.get("storage", "L2"))
+    M2 = None if params.get("M2") is None else _getf(params, "M2")
+    A, B = _random_matrices(n, _geti(params, "seed", 0))
+    m = DistMachine(P, M2=M2)
+    C = mm_25d(A, B, m, c=c, storage=storage, M2=M2)
+    return {"correct": bool(np.allclose(C, A @ B)), "c": c,
+            "storage": storage, **_dist_record(m)}
+
+
+def _lu_problem(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A += np.diag(np.abs(A).sum(axis=1) + 1.0)
+    return A
+
+
+def kernel_lu_ll(machine, params: Mapping) -> Dict:
+    """Executed left-looking LU without pivoting (LL-LUNP, Alg. 5):
+    O(n²/P) NVM writes per rank.  Params: n, b, P; optional seed."""
+    n, b = _geti(params, "n", 32), _geti(params, "b", 4)
+    P = _geti(params, "P", 4)
+    A = _lu_problem(n, _geti(params, "seed", 0))
+    m = DistMachine(P)
+    L, U = lu_ll_nonpivot(A, m, b=b)
+    return {"correct": bool(np.allclose(L @ U, A, atol=1e-8)),
+            **_dist_record(m)}
+
+
+def kernel_lu_rl(machine, params: Mapping) -> Dict:
+    """Executed right-looking LU without pivoting (RL-LUNP): fewer
+    network words, more NVM writes.  Params: n, b, P; optional seed."""
+    n, b = _geti(params, "n", 32), _geti(params, "b", 4)
+    P = _geti(params, "P", 4)
+    A = _lu_problem(n, _geti(params, "seed", 0))
+    m = DistMachine(P)
+    L, U = lu_rl_nonpivot(A, m, b=b)
+    return {"correct": bool(np.allclose(L @ U, A, atol=1e-8)),
+            **_dist_record(m)}
+
+
+DISTRIBUTED_KERNELS: Dict[str, Callable] = {
+    "summa-2d": kernel_summa_2d,
+    "summa-l3-ool2": kernel_summa_l3_ool2,
+    "mm-25d": kernel_mm_25d,
+    "lu-ll-nonpivot": kernel_lu_ll,
+    "lu-rl-nonpivot": kernel_lu_rl,
+}
+
+
+# --------------------------------------------------------------------- #
+# Krylov kernels
+# --------------------------------------------------------------------- #
+def _stencil_system(params: Mapping):
+    mesh = _geti(params, "mesh", 256)
+    d = _geti(params, "d", 1)
+    b = _geti(params, "b", 1)
+    return spd_stencil_system(mesh, d=d, b=b)
+
+
+def _traffic_record(traffic, steps: int) -> Dict:
+    return {
+        "reads": traffic.reads,
+        "writes": traffic.writes,
+        "flops": traffic.flops,
+        "writes_per_step": traffic.writes / max(1, steps),
+    }
+
+
+def kernel_krylov_cg(machine, params: Mapping) -> Dict:
+    """Conventional CG (Alg. 6): the Ω(N·n) write baseline.
+    Params: mesh; optional d, b, tol."""
+    A, rhs = _stencil_system(params)
+    res = cg(A, rhs, tol=_getf(params, "tol", 1e-8))
+    return {"method": "CG", "converged": res.converged,
+            "steps": res.iterations,
+            **_traffic_record(res.traffic, res.iterations)}
+
+
+def kernel_krylov_cacg(machine, params: Mapping) -> Dict:
+    """s-step CA-CG (Alg. 7); streaming=True is the WA variant that
+    cuts writes by Θ(s).  Params: mesh, s; optional streaming, block,
+    d, b, tol."""
+    A, rhs = _stencil_system(params)
+    s = _geti(params, "s")
+    streaming = bool(params.get("streaming", False))
+    block = params.get("block")
+    res = cacg(A, rhs, s=s, tol=_getf(params, "tol", 1e-8),
+               streaming=streaming,
+               block=None if block is None else _geti(params, "block"))
+    return {"method": "CA-CG" + (" streaming" if streaming else ""),
+            "s": s, "converged": res.converged, "steps": res.inner_steps,
+            "outer_iterations": res.outer_iterations,
+            **_traffic_record(res.traffic, res.inner_steps)}
+
+
+def kernel_krylov_gmres(machine, params: Mapping) -> Dict:
+    """GMRES: variant='restarted' is GMRES(s); variant='ca' is s-step
+    CA-GMRES (optionally streaming).  Params: mesh, s; optional
+    variant, streaming, block, d, b, tol."""
+    A, rhs = _stencil_system(params)
+    s = _geti(params, "s")
+    variant = str(params.get("variant", "restarted"))
+    tol = _getf(params, "tol", 1e-8)
+    if variant == "restarted":
+        res = gmres(A, rhs, restart=s, tol=tol)
+        method = "GMRES"
+    else:
+        require(variant == "ca",
+                f"variant must be 'restarted' or 'ca', got {variant!r}")
+        block = params.get("block")
+        streaming = bool(params.get("streaming", False))
+        res = ca_gmres(A, rhs, s=s, tol=tol, streaming=streaming,
+                       block=None if block is None else _geti(params,
+                                                              "block"))
+        method = "CA-GMRES" + (" streaming" if streaming else "")
+    return {"method": method, "s": s, "converged": res.converged,
+            "steps": res.inner_steps, "cycles": res.cycles,
+            **_traffic_record(res.traffic, res.inner_steps)}
+
+
+def kernel_krylov_matrix_powers(machine, params: Mapping) -> Dict:
+    """The matrix-powers kernel: variant in naive (s SpMVs), blocked
+    (CA), streaming (WA — zero basis writes).  Params: mesh, s;
+    optional variant, block, d, b."""
+    A, rhs = _stencil_system(params)
+    s = _geti(params, "s")
+    variant = str(params.get("variant", "blocked"))
+    block = _geti(params, "block", max(1, -(-A.shape[0] // 8)))
+    if variant == "naive":
+        _, t = matrix_powers(A, rhs, s)
+    elif variant == "blocked":
+        _, t = matrix_powers_blocked(A, rhs, s, block=block)
+    else:
+        require(variant == "streaming",
+                "variant must be 'naive', 'blocked' or 'streaming', "
+                f"got {variant!r}")
+        t = matrix_powers_streaming(A, rhs, s, lambda r0, r1, K: 0,
+                                    block=block)
+    return {"method": f"matrix-powers {variant}", "s": s,
+            **_traffic_record(t, s)}
+
+
+def kernel_krylov_tsqr(machine, params: Mapping) -> Dict:
+    """TSQR of the Krylov basis: variant='stored' builds the basis then
+    factors it (Θ(s·n) writes); variant='streaming' interleaves TSQR
+    with matrix powers (§8 — only R is written).  Params: mesh, s;
+    optional variant, block, d, b."""
+    A, rhs = _stencil_system(params)
+    s = _geti(params, "s")
+    variant = str(params.get("variant", "stored"))
+    block = _geti(params, "block", max(s + 1, -(-A.shape[0] // 8)))
+    require(block >= s + 1,
+            f"block ({block}) must be >= s+1 ({s + 1}) for the QR tree")
+    if variant == "stored":
+        K, t = matrix_powers_blocked(A, rhs, s, block=block)
+        _, R, t_qr = tsqr(K, block=block)
+        t.add(t_qr)
+    else:
+        require(variant == "streaming",
+                f"variant must be 'stored' or 'streaming', got {variant!r}")
+        R, t = streaming_basis_r(A, rhs, s, block=block)
+    return {"method": f"tsqr {variant}", "s": s,
+            "r_norm": float(np.linalg.norm(R)),
+            **_traffic_record(t, s)}
+
+
+KRYLOV_KERNELS: Dict[str, Callable] = {
+    "krylov-cg": kernel_krylov_cg,
+    "krylov-cacg": kernel_krylov_cacg,
+    "krylov-gmres": kernel_krylov_gmres,
+    "krylov-matrix-powers": kernel_krylov_matrix_powers,
+    "krylov-tsqr": kernel_krylov_tsqr,
+}
+
+
+#: everything this module registers, by registry name.
+MODEL_KERNELS: Dict[str, Callable] = {
+    **COST_KERNELS,
+    **DISTRIBUTED_KERNELS,
+    **KRYLOV_KERNELS,
+}

@@ -17,7 +17,6 @@ scenario file (or a CLI invocation) is pure data:
 
 from __future__ import annotations
 
-import operator
 from dataclasses import asdict, dataclass, field, replace
 from typing import (Any, Callable, Dict, Mapping, Optional, Sequence, Tuple,
                     Union)
@@ -53,12 +52,14 @@ from repro.core.traces import (
     nbody_trace,
     trsm_trace,
 )
+from repro.distributed.costmodel import HwParams, hw_param_key
+from repro.lab.modelkernels import MODEL_KERNELS
 from repro.lab.tracestore import active_store
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
 from repro.machine.multicache import CacheHierarchySim
 from repro.machine.policies import POLICIES
-from repro.util import require
+from repro.util import canonical_int, require
 
 __all__ = [
     "MachineSpec",
@@ -66,6 +67,8 @@ __all__ = [
     "KERNELS",
     "POLICIES",
     "EXPERIMENTS",
+    "HwParams",
+    "hw_overrides",
     "TraceKernel",
     "TRACE_KERNELS",
     "BATCHABLE_POLICIES",
@@ -92,6 +95,13 @@ class MachineSpec:
     energy fields model the boundary below the simulated level(s);
     asymmetric ``read_slow``/``write_slow`` are the NVM machines of the
     paper's Section 7.
+
+    ``hw`` carries the Section-7 analytic cost model: a tuple of sorted
+    ``(field, value)`` overrides applied on top of the
+    :class:`~repro.distributed.costmodel.HwParams` defaults.  ``None``
+    means "the defaults"; the cost-model kernels (``cost-*``) resolve it
+    via :meth:`hw_params`, and ``repro-lab sweep --hw KEY=VALUE`` edits it
+    via :meth:`with_hw`.
     """
 
     name: str = "custom"
@@ -105,11 +115,14 @@ class MachineSpec:
     write_fast: float = 1.0
     read_slow: float = 2.0
     write_slow: float = 2.0
+    hw: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         d = asdict(self)
         if d["levels"] is not None:
             d["levels"] = list(d["levels"])
+        if d["hw"] is not None:
+            d["hw"] = {k: v for k, v in d["hw"]}
         return d
 
     @classmethod
@@ -117,9 +130,17 @@ class MachineSpec:
         d = dict(d)
         if d.get("levels") is not None:
             d["levels"] = tuple(d["levels"])
+        if d.get("hw") is not None:
+            hw = d["hw"]
+            items = hw.items() if isinstance(hw, Mapping) else hw
+            d["hw"] = tuple(sorted((str(k), float(v)) for k, v in items))
         return cls(**d)
 
     def override(self, **changes: Any) -> "MachineSpec":
+        require("hw" not in changes,
+                "machine.hw cannot be overridden directly; adjust cost "
+                "model parameters with --hw KEY=VALUE "
+                "(MachineSpec.with_hw)")
         try:
             return replace(self, **changes)
         except TypeError:
@@ -128,6 +149,26 @@ class MachineSpec:
             raise ValueError(
                 f"unknown machine field(s) {bad}; available: {fields}"
             ) from None
+
+    def hw_params(self) -> HwParams:
+        """The analytic :class:`HwParams` this spec describes: the 2015
+        defaults with this spec's ``hw`` overrides applied."""
+        return HwParams(**dict(self.hw or ()))
+
+    def with_hw(self, **changes: float) -> "MachineSpec":
+        """A copy with *changes* merged into the ``hw`` override set.
+
+        Keys accept either ``HwParams`` attribute names (``beta_23``) or
+        the paper's table labels (``β23``)."""
+        merged = dict(self.hw or ())
+        valid = set(HwParams.__dataclass_fields__)
+        for key, value in changes.items():
+            attr = hw_param_key(key)
+            require(attr in valid,
+                    f"unknown hw parameter {key!r}; available: "
+                    f"{sorted(valid)}")
+            merged[attr] = float(value)
+        return replace(self, hw=tuple(sorted(merged.items())))
 
     def energy_model(self) -> EnergyModel:
         return EnergyModel(
@@ -172,7 +213,25 @@ MACHINES: Dict[str, MachineSpec] = {
     # A small three-level hierarchy for multi-level WA studies.
     "three-level": MachineSpec(name="three-level",
                                levels=(256, 1024, 4096), line_size=4),
+    # Section-7 analytic cost models (HwParams presets) for the cost-*
+    # kernels: the paper's 2015-era node (NVM writes 20x the network),
+    # the Model-2.2 out-of-L2 regime (small M1/M2, Table 2's default),
+    # and a symmetric battery-backed-DRAM control.
+    "hw-2015": MachineSpec(name="hw-2015", hw=()),
+    "hw-ool2": MachineSpec(name="hw-ool2",
+                           hw=(("M1", 2.0**8), ("M2", 2.0**14))),
+    "hw-sym": MachineSpec(name="hw-sym",
+                          hw=(("beta_23", 4.0), ("beta_32", 4.0))),
 }
+
+
+def hw_overrides(hw: Optional[HwParams]
+                 ) -> Optional[Tuple[Tuple[str, float], ...]]:
+    """A :attr:`MachineSpec.hw` override tuple pinning every field of
+    *hw* (``None`` passes through: the machine keeps the defaults)."""
+    if hw is None:
+        return None
+    return tuple(sorted((k, float(v)) for k, v in asdict(hw).items()))
 
 
 def resolve_machine(machine: Union[str, MachineSpec, Mapping[str, Any]],
@@ -207,22 +266,9 @@ def _require_params(params: Mapping, names: Tuple[str, ...],
             f"(pass them via --set or the scenario's fixed/grid)")
 
 
-def _as_int(value: Any, name: str) -> int:
-    """Canonicalize a trace parameter to a plain python int.
-
-    Grid axes frequently arrive as ``np.int64`` (``np.arange``-built
-    scenarios); canonicalizing here keeps trace payloads JSON-able, cache
-    keys stable across int flavours, and ``CacheSim``'s strict
-    ``capacity_words`` validation satisfied.  Non-integral values are
-    rejected loudly rather than truncated.
-    """
-    try:
-        if not isinstance(value, bool):  # True is Integral, not a size
-            return operator.index(value)
-    except TypeError:
-        pass
-    raise ValueError(
-        f"parameter {name!r} must be an integer, got {value!r}")
+# Trace-parameter canonicalization (np.int64 grid axes -> plain int, so
+# payloads stay JSON-able and CacheSim validation is satisfied).
+_as_int = canonical_int
 
 
 @dataclass(frozen=True)
@@ -624,6 +670,9 @@ KERNELS: Dict[str, Callable[[MachineSpec, Mapping], Dict]] = {
     "matmul-hierarchy": kernel_matmul_hierarchy,
     "experiment": kernel_experiment,
 }
+# Point-level cost-model, distributed-execution and Krylov kernels
+# (repro.lab.modelkernels) register alongside the trace kernels.
+KERNELS.update(MODEL_KERNELS)
 
 
 # --------------------------------------------------------------------- #
@@ -641,15 +690,15 @@ def fig2_config(quick: bool) -> Fig2Config:
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig2": lambda q: format_fig2(run_fig2(fig2_config(q))),
     "fig5": lambda q: format_fig5(run_fig5(fig2_config(q))),
-    "table1": lambda q: format_table1(run_table1()),
-    "table2": lambda q: format_table2(run_table2()),
+    "table1": lambda q: format_table1(run_table1(quick=q)),
+    "table2": lambda q: format_table2(run_table2(quick=q)),
     "sec3": lambda q: format_sec3(run_sec3()),
     "sec4": lambda q: format_sec4(run_sec4()),
     "sec5": lambda q: format_sec5(run_sec5()),
     "sec6": lambda q: format_sec6(
         run_sec6(n=32 if q else 64, middle=32 if q else 128)),
-    "sec7": lambda q: format_sec7_model1(run_sec7_model1()),
+    "sec7": lambda q: format_sec7_model1(run_sec7_model1(quick=q)),
     "sec8": lambda q: format_sec8(
         run_sec8(mesh=128 if q else 256, block=32 if q else 64)),
-    "lu": lambda q: format_lu(run_lu()),
+    "lu": lambda q: format_lu(run_lu(quick=q)),
 }

@@ -91,6 +91,32 @@ class ResultSet:
         body = [[row.get(c, "") for c in cols] for row in self.rows]
         return format_table(cols, body, title=title)
 
+    def pivot(self, index: Sequence[str], column: str,
+              value: str) -> "ResultSet":
+        """Long-to-wide reshape: rows sharing *index* collapse to one row
+        with a new column per distinct *column* value, holding *value*.
+
+        Output rows keep the first-seen order of their index tuples, and
+        pivoted columns the first-seen order of the *column* values — so
+        a grid swept row-major reassembles in grid order (the Table-1/2
+        idiom: one record per (row, algorithm) cell, pivoted back into
+        the paper's layout).  ``None`` values survive the reshape;
+        duplicate (index, column) cells are rejected.
+        """
+        index = list(index)
+        out: Dict[Tuple, Dict[str, Any]] = {}
+        for row in self.rows:
+            key = tuple(row.get(k) for k in index)
+            target = out.setdefault(key, dict(zip(index, key)))
+            col = row.get(column)
+            require(col is not None,
+                    f"pivot column {column!r} missing from a row")
+            col = str(col)
+            require(col not in target,
+                    f"duplicate pivot cell {key} x {col!r}")
+            target[col] = row.get(value)
+        return ResultSet(list(out.values()))
+
     # ------------------------------------------------------------------ #
     # aggregation / comparison
     # ------------------------------------------------------------------ #

@@ -16,12 +16,17 @@ harnesses in :mod:`repro.experiments` return, so the formatted output of
 
 from __future__ import annotations
 
+import inspect
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import Fig2Config, format_fig2, format_fig5, format_sec6
 from repro.experiments.fig2 import fig2_ideal_misses, fig2_variants
+from repro.experiments.lu_tradeoff import lu_scenario
+from repro.experiments.sec7_model1 import sec7_scenario
+from repro.experiments.table1 import table1_scenario
+from repro.experiments.table2 import table2_scenario
 from repro.lab.registry import (
     EXPERIMENTS,
     KERNELS,
@@ -42,6 +47,8 @@ __all__ = [
     "sec6_scenario",
     "nvm_matmul_scenario",
     "prop62_scenario",
+    "distributed_scenario",
+    "krylov_scenario",
     "experiments_scenario",
     "fig2_rows",
     "fig5_rows",
@@ -134,6 +141,89 @@ class Scenario:
         if self.report is not None:
             return self.report(self, results)
         return _default_report(self, results)
+
+    def known_param_keys(self) -> set:
+        """Every kernel-parameter name this scenario's points carry —
+        the CLI warns when a ``--set`` key matches none of them (a typo
+        is silently inert otherwise, while still changing cache keys).
+        Rebuild-backed presets don't consult this: their ``--set`` keys
+        are validated against the factory signature in
+        :meth:`with_overrides` instead."""
+        if self.explicit is not None:
+            keys: set = set()
+            for pt in self.explicit:
+                keys |= set(pt.params)
+            return keys
+        return set(self.fixed) | set(self.grid)
+
+    def with_overrides(self, sets: Optional[Mapping[str, Any]] = None,
+                       hw: Optional[Mapping[str, float]] = None,
+                       ) -> "Scenario":
+        """A copy with ``--set``-style overrides applied.
+
+        *sets* keys become fixed kernel parameters (``machine.<field>``
+        keys override the machine spec instead); a key that names a grid
+        axis pins it, removing the axis.  *hw* merges
+        :class:`~repro.distributed.costmodel.HwParams` overrides into
+        every machine (see :meth:`MachineSpec.with_hw`).
+
+        Presets whose points are a *coupled* family (the table1/table2/
+        sec7-nvm/lu-tradeoff decompositions, where e.g. ``P`` means one
+        thing to the analytic cells and another to the small executed
+        cross-check) carry a ``rebuild`` hook in :attr:`meta`; parameter
+        overrides are routed through it so the whole family — headline
+        cells, dominance point, validation geometry — stays consistent.
+        Elsewhere parameter overrides merge into every point; reports
+        may assume the preset's geometry — overriding it is a power
+        tool.
+        """
+        sets = dict(sets or {})
+        hw = dict(hw or {})
+        if not sets and not hw:
+            return self
+        machine_over = {k[len("machine."):]: v for k, v in sets.items()
+                        if k.startswith("machine.")}
+        param_over = {k: v for k, v in sets.items()
+                      if not k.startswith("machine.")}
+
+        rebuild = self.meta.get("rebuild")
+        if param_over and rebuild is not None:
+            try:
+                # Bind first so only genuinely unsupported *keys* are
+                # reported here; a bad *value* raises from the factory
+                # body with its own (accurate) error.
+                inspect.signature(rebuild).bind(**param_over)
+            except TypeError:
+                raise ValueError(
+                    f"scenario {self.name!r} does not accept override(s) "
+                    f"{sorted(param_over)}; see its factory signature for "
+                    f"the supported keys") from None
+            rebuilt = rebuild(**param_over)
+            machine_sets = {k: v for k, v in sets.items()
+                            if k.startswith("machine.")}
+            return rebuilt.with_overrides(machine_sets, hw)
+
+        def patch(spec: MachineSpec) -> MachineSpec:
+            if machine_over:
+                spec = spec.override(**machine_over)
+            if hw:
+                spec = spec.with_hw(**hw)
+            return spec
+
+        if self.explicit is not None:
+            points = [
+                ScenarioPoint(pt.kernel, patch(pt.machine),
+                              {**pt.params, **param_over})
+                for pt in self.explicit
+            ]
+            return replace(self, machine=patch(self.machine),
+                           explicit=points)
+        return replace(
+            self,
+            machine=patch(self.machine),
+            fixed={**self.fixed, **param_over},
+            grid={k: v for k, v in self.grid.items() if k not in sets},
+        )
 
 
 def _default_report(scenario: Scenario, results: List[Any]) -> str:
@@ -410,6 +500,121 @@ def _prop62_report(scenario: Scenario, results: List[Any]) -> str:
               "suffice for TRSM/Cholesky; three for N-body)")
 
 
+def distributed_scenario(quick: bool = False) -> Scenario:
+    """Every executed distributed algorithm as one verified, counted
+    point: both SUMMA flavours (Model 1), the Model-2.2 pair exhibiting
+    the Theorem-4 trade-off, 2.5D replication, and both LU variants."""
+    machine = MachineSpec(name="dist-sim")
+    if quick:
+        n, P, M1, M2 = 16, 4, 3 * 16, 3 * 2 * 2
+    else:
+        n, P, M1, M2 = 32, 16, 3 * 16, 3 * 4 * 4
+    points = [
+        ScenarioPoint("summa-2d", machine,
+                      {"n": n, "P": P, "M1": M1, "hoard": False, "seed": 0}),
+        ScenarioPoint("summa-2d", machine,
+                      {"n": n, "P": P, "M1": M1, "hoard": True, "seed": 0}),
+        ScenarioPoint("summa-l3-ool2", machine,
+                      {"n": n, "P": P, "M2": M2, "seed": 1}),
+        ScenarioPoint("mm-25d", machine,
+                      {"n": n, "P": P, "c": 1, "storage": "L3-ooL2",
+                       "M2": M2, "seed": 1}),
+        ScenarioPoint("mm-25d", machine,
+                      {"n": 8 if quick else 16, "P": 8, "c": 2, "seed": 0}),
+        ScenarioPoint("lu-ll-nonpivot", machine,
+                      {"n": n, "b": 4, "P": 4, "seed": 0}),
+        ScenarioPoint("lu-rl-nonpivot", machine,
+                      {"n": n, "b": 4, "P": 4, "seed": 0}),
+    ]
+    return Scenario(
+        name="distributed",
+        kernel="summa-2d",
+        machine=machine,
+        description="Executed distributed kernels: SUMMA / 2.5D / LU, "
+                    "verified, with per-rank channel counters",
+        explicit=points,
+        report=_distributed_report,
+    )
+
+
+def _distributed_report(scenario: Scenario, results: List[Any]) -> str:
+    headers = ["kernel", "n", "P", "correct", "net recv (max)",
+               "NVM writes (max)", "NVM reads (max)", "L1→L2 (max)"]
+    body = []
+    for res in results:
+        p, rec = res.point.params, res.record
+        body.append([
+            res.point.kernel, p["n"], p["P"], rec["correct"],
+            rec["nw_recv_max"], rec["l2_to_l3_max"], rec["l3_to_l2_max"],
+            rec["l1_to_l2_max"],
+        ])
+    return format_table(
+        headers, body,
+        title="Distributed kernels — executed and verified, per-rank "
+              "maxima on the paper's channels")
+
+
+def krylov_scenario(quick: bool = False) -> Scenario:
+    """Section 8 as a sweep: CG vs (streaming) CA-CG vs (CA-)GMRES plus
+    the matrix-powers and TSQR building blocks, one point per method
+    configuration with slow-memory read/write/flop counters."""
+    machine = MachineSpec(name="krylov-sim")
+    mesh = 128 if quick else 256
+    block = 32 if quick else 64
+    s_values = (2, 4) if quick else (2, 4, 8)
+    fixed = {"mesh": mesh, "block": block}
+    points = [ScenarioPoint("krylov-cg", machine, {"mesh": mesh})]
+    points += [
+        ScenarioPoint("krylov-cacg", machine,
+                      {**fixed, "s": s, "streaming": streaming})
+        for s in s_values
+        for streaming in (False, True)
+    ]
+    points += [
+        ScenarioPoint("krylov-gmres", machine,
+                      {**fixed, "s": 4, "variant": variant})
+        for variant in ("restarted", "ca")
+    ]
+    points += [
+        ScenarioPoint("krylov-matrix-powers", machine,
+                      {**fixed, "s": 4, "variant": variant})
+        for variant in ("naive", "blocked", "streaming")
+    ]
+    points += [
+        ScenarioPoint("krylov-tsqr", machine,
+                      {**fixed, "s": 4, "variant": variant})
+        for variant in ("stored", "streaming")
+    ]
+    return Scenario(
+        name="krylov",
+        kernel="krylov-cacg",
+        machine=machine,
+        description="Krylov methods: write traffic of CG / CA-CG / "
+                    "GMRES and the matrix-powers / TSQR kernels",
+        explicit=points,
+        report=_krylov_report,
+    )
+
+
+def _krylov_report(scenario: Scenario, results: List[Any]) -> str:
+    headers = ["method", "s", "steps", "reads", "writes", "writes/step",
+               "flops", "converged"]
+    body = []
+    for res in results:
+        rec = res.record
+        body.append([
+            rec["method"], rec.get("s", 1), rec.get("steps", ""),
+            rec["reads"], rec["writes"],
+            round(rec["writes_per_step"], 1), rec["flops"],
+            rec.get("converged", ""),
+        ])
+    return format_table(
+        headers, body,
+        title=f"Krylov sweep — slow-memory traffic "
+              f"(mesh={scenario.explicit[0].params['mesh']}); streaming "
+              f"variants cut writes by Θ(s)")
+
+
 def experiments_scenario(quick: bool = False,
                          names: Optional[Sequence[str]] = None) -> Scenario:
     """Every legacy table/figure harness as one cacheable point each."""
@@ -443,6 +648,12 @@ SCENARIOS: Dict[str, Callable[[bool], Scenario]] = {
     "sec6": sec6_scenario,
     "nvm-matmul": nvm_matmul_scenario,
     "prop62": prop62_scenario,
+    "table1": table1_scenario,
+    "table2": table2_scenario,
+    "sec7-nvm": sec7_scenario,
+    "lu-tradeoff": lu_scenario,
+    "distributed": distributed_scenario,
+    "krylov": krylov_scenario,
     "experiments": experiments_scenario,
 }
 

@@ -7,6 +7,7 @@ them without import cycles.
 from __future__ import annotations
 
 import math
+import operator
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "is_power_of_two",
     "next_power_of_two",
     "block_count",
+    "canonical_int",
     "format_table",
     "format_si",
     "pairwise_ratios",
@@ -41,6 +43,24 @@ def check_positive_int(value: int, name: str) -> int:
     if value <= 0:
         raise ValueError(f"{name} must be positive, got {value}")
     return value
+
+
+def canonical_int(value, name: str) -> int:
+    """Canonicalize *value* to a plain python int.
+
+    Sweep-grid parameters frequently arrive as ``np.int64``
+    (``np.arange``-built scenarios); canonicalizing keeps payloads
+    JSON-able, cache keys stable across int flavours, and strict
+    simulator validation satisfied.  Bools and non-integral values are
+    rejected loudly rather than truncated.
+    """
+    try:
+        if not isinstance(value, bool):  # True is Integral, not a size
+            return operator.index(value)
+    except TypeError:
+        pass
+    raise ValueError(
+        f"parameter {name!r} must be an integer, got {value!r}")
 
 
 def check_multiple(n: int, b: int, what: str = "dimension") -> None:
