@@ -32,6 +32,8 @@ from repro.util import require
 __all__ = [
     "HwParams",
     "Term",
+    "TABLE1_ROW_COUNT",
+    "TABLE2_ROW_COUNT",
     "hw_param_key",
     "cost_2dmml2",
     "cost_25dmml2",
@@ -334,6 +336,14 @@ def rl_lunp_beta_cost(n: int, P: int, hw: HwParams) -> Dict:
 # ===================================================================== #
 # Tables 1 and 2, row for row
 # ===================================================================== #
+#: The tables' row counts are structural (fixed literal row lists below,
+#: independent of n/P/c/hw) — consumers sizing a per-cell grid can use
+#: these instead of evaluating a whole table to measure it.
+TABLE1_ROW_COUNT = 15
+TABLE2_ROW_COUNT = 10
+
+
+
 def table1_rows(n: int, P: int, c2: int, c3: int, hw: HwParams) -> List[Dict]:
     """Numerically evaluated rows of the paper's Table 1.
 

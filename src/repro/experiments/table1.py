@@ -21,8 +21,8 @@ import math
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distributed import HwParams
-from repro.distributed.costmodel import table1_rows
-from repro.util import format_table
+from repro.distributed.costmodel import TABLE1_ROW_COUNT
+from repro.util import canonical_int, format_table, require
 
 __all__ = ["run_table1", "format_table1", "table1_scenario"]
 
@@ -36,12 +36,18 @@ def _table1_points(n: int, P: int, c2: int, c3: int,
     from repro.lab.scenarios import ScenarioPoint
 
     machine = MachineSpec(name="table1-hw", hw=hw_overrides(hw))
-    fixed = {"n": n, "P": P, "c2": c2, "c3": c3}
-    n_rows = len(table1_rows(n, P, c2, c3, hw or HwParams()))
+    # Fail fast on a broken size override: the per-cell kernels would
+    # only emit feasible:False records the table assembler cannot
+    # pivot, so enforce the table's own rules here, up front.
+    fixed = {name: canonical_int(value, name)
+             for name, value in (("n", n), ("P", P), ("c2", c2),
+                                 ("c3", c3))}
+    require(fixed["c3"] > fixed["c2"] >= 1, "need c3 > c2 >= 1")
+    require(fixed["P"] > 0, "P must be positive")
     points = [
         ScenarioPoint("cost-table1", machine,
                       {**fixed, "row": row, "algorithm": alg})
-        for row in range(n_rows)
+        for row in range(TABLE1_ROW_COUNT)
         for alg in _ALGORITHMS
     ]
     points.append(ScenarioPoint("cost-dominance", machine,

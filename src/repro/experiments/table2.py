@@ -14,8 +14,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distributed import HwParams
-from repro.distributed.costmodel import table2_rows
-from repro.util import format_table
+from repro.distributed.costmodel import TABLE2_ROW_COUNT
+from repro.util import canonical_int, format_table, require
 
 __all__ = ["run_table2", "format_table2", "table2_scenario"]
 
@@ -34,12 +34,17 @@ def _table2_points(n: int, P: int, c3: int, hw: Optional[HwParams],
 
     hw = hw or _default_hw()
     machine = MachineSpec(name="table2-hw", hw=hw_overrides(hw))
-    fixed = {"n": n, "P": P, "c3": c3}
-    n_rows = len(table2_rows(n, P, c3, hw))
+    # Fail fast on a broken size override: the per-cell kernels would
+    # only emit feasible:False records the table assembler cannot
+    # pivot, so enforce the table's own rules here, up front.
+    fixed = {name: canonical_int(value, name)
+             for name, value in (("n", n), ("P", P), ("c3", c3))}
+    require(fixed["P"] > 0, "P must be positive")
+    require(fixed["c3"] >= 1, "c3 must be >= 1")
     points = [
         ScenarioPoint("cost-table2", machine,
                       {**fixed, "row": row, "algorithm": alg})
-        for row in range(n_rows)
+        for row in range(TABLE2_ROW_COUNT)
         for alg in _ALGORITHMS
     ]
     points.append(ScenarioPoint("cost-dominance", machine,

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 import repro
+from repro.util import json_number_default
 
 __all__ = ["ResultCache", "code_fingerprint", "default_cache_root",
            "point_key"]
@@ -49,9 +50,16 @@ def default_cache_root() -> Path:
 
 
 def point_key(payload: Mapping[str, Any], code_version: str) -> str:
-    """Deterministic content address of one scenario point."""
+    """Deterministic content address of one scenario point.
+
+    Numpy scalars in the payload (``np.int64`` grid axes) key
+    identically to their python twins — a numpy-built scenario must
+    neither crash the key derivation nor split cache entries from an
+    equivalent plain-int sweep.
+    """
     blob = json.dumps({"point": payload, "code": code_version},
-                      sort_keys=True, separators=(",", ":"))
+                      sort_keys=True, separators=(",", ":"),
+                      default=json_number_default)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -114,7 +122,10 @@ class ResultCache:
         doc = {"key": key, "code_version": self.code_version,
                "point": dict(payload), "record": dict(record)}
         try:
-            blob = json.dumps(doc, sort_keys=True)
+            # numpy scalars store in canonical python form, matching how
+            # point_key hashed them.
+            blob = json.dumps(doc, sort_keys=True,
+                              default=json_number_default)
         except (TypeError, ValueError):
             return False
         path = self._path(key)

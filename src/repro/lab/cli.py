@@ -19,9 +19,11 @@ Subcommands::
 Every ``run``/``sweep`` prints a final accounting line reporting how many
 points were served from the persistent result cache.  Capacity sweeps
 over fully-associative LRU machines are collapsed into single-replay
-fastsim batches unless ``--no-multi-capacity`` is given, and generated
-traces are memoized in an on-disk trace store (``--no-trace-store`` or
-``REPRO_LAB_TRACES=off`` opts out).
+fastsim batches unless ``--no-multi-capacity`` is given, analytic
+``cost-*`` grids are collapsed into vectorized batch evaluations unless
+``--no-batch`` is given, and generated traces are memoized in an
+on-disk trace store (``--no-trace-store`` or ``REPRO_LAB_TRACES=off``
+opts out).
 """
 
 from __future__ import annotations
@@ -167,7 +169,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     _setup_trace_store(args)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
-                     multi_capacity=not args.no_multi_capacity)
+                     multi_capacity=not args.no_multi_capacity,
+                     batch=not args.no_batch)
     return _finish(scenario, report, cache, args)
 
 
@@ -187,7 +190,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     _setup_trace_store(args)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
-                     multi_capacity=not args.no_multi_capacity)
+                     multi_capacity=not args.no_multi_capacity,
+                     batch=not args.no_batch)
     return _finish(scenario, report, cache, args)
 
 
@@ -276,6 +280,9 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-multi-capacity", action="store_true",
                    help="replay capacity sweeps point by point instead of "
                         "batching them through the fastsim kernel")
+    p.add_argument("--no-batch", action="store_true",
+                   help="evaluate analytic cost-* grids point by point "
+                        "instead of as vectorized batches")
     p.add_argument("--no-trace-store", action="store_true",
                    help="regenerate traces instead of memoizing them "
                         "on disk")

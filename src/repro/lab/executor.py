@@ -9,36 +9,44 @@ with a trace store installed (:mod:`repro.lab.tracestore`) they do share
 memoized traces through it (memory-mapped reads, atomic writes — safe
 under concurrency, and purely an accelerator: records are unaffected).
 
-**Multi-capacity batching** (on by default): uncached points that differ
-*only* in cache capacity and batchable policy — same registered
-line-trace kernel (:data:`repro.lab.registry.TRACE_KERNELS`), same trace
-parameters, fully-associative LRU or Belady machine — are collapsed into
-one task that replays the trace once through the single-pass fastsim
-sweeps (:func:`repro.machine.fastsim.simulate_lru_sweep` for LRU points,
-:func:`repro.machine.fastsim.simulate_opt_sweep` for Belady ones) and
-emits exact per-point records, which are then fanned back out into the
-result cache under each point's own key.  A K-capacity sweep thus costs
-one trace generation and one sweep pass per policy instead of K full
-replays, while reports, caching and record contents stay bit-identical
-to the per-point path.
+**Batching** (on by default): uncached points whose kernel registers a
+:class:`~repro.lab.registry.BatchKernel` entry and that share the
+entry's group key are collapsed into one task that evaluates the whole
+group at once and emits exact per-point records, which are then fanned
+back out into the result cache under each point's own key.  Batching is
+purely an execution strategy: reports, caching and record contents stay
+bit-identical to the per-point path.  Two batch families exist today:
+
+* **multi-capacity trace batches** — points of one line-trace kernel
+  (:data:`repro.lab.registry.TRACE_KERNELS`) differing only in cache
+  capacity and batchable policy replay the trace once through the
+  single-pass fastsim sweeps (``multi_capacity=False`` /
+  ``--no-multi-capacity`` opts out);
+* **cost-grid batches** — points of one analytic ``cost-*`` family
+  under the same ``HwParams`` evaluate as a single numpy-vectorized
+  grid, infeasible points masked to ``feasible: False`` records
+  (``batch=False`` / ``--no-batch`` opts out).
+
+**Cache identity**: records are keyed on
+:meth:`~repro.lab.scenarios.ScenarioPoint.cache_payload` — the machine
+spec projected to the fields the kernel declares it reads
+(:data:`repro.lab.registry.MACHINE_FIELDS`) — so same-params points
+under differently named (or irrelevantly differing) machines share one
+cache entry.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
-import numbers
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lab.cache import ResultCache
-from repro.lab.registry import (
-    BATCHABLE_POLICIES,
-    TRACE_KERNELS,
-    run_capacity_batch,
-)
+from repro.lab.registry import BATCH_KERNELS, run_batch
 from repro.lab.scenarios import ScenarioPoint
+from repro.util import json_number_default
 
 __all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError"]
 
@@ -73,7 +81,7 @@ class SweepReport:
     misses: int = 0
     elapsed: float = 0.0
     jobs: int = 1
-    #: points computed through multi-capacity batches / batch count.
+    #: points computed through batched tasks / batch count.
     batched_points: int = 0
     batches: int = 0
 
@@ -91,7 +99,7 @@ class SweepReport:
     def cache_line(self, cache: Optional[ResultCache]) -> str:
         """The one-line cache summary the CLIs print."""
         batched = (f", {self.batched_points} via {self.batches} "
-                   f"multi-capacity batch(es)" if self.batches else "")
+                   f"batch(es)" if self.batches else "")
         if cache is None or cache.disabled:
             return (f"[repro.lab] cache disabled; computed "
                     f"{self.total} points in {self.elapsed:.2f}s "
@@ -103,75 +111,68 @@ class SweepReport:
 
 
 # --------------------------------------------------------------------- #
-# multi-capacity grouping
+# batch grouping
 # --------------------------------------------------------------------- #
-def _json_canonical(value: Any) -> Any:
-    """``json.dumps`` fallback so numpy scalars (``np.int64`` grid axes,
-    ``np.float64`` costs) key identically to their python twins."""
-    if isinstance(value, numbers.Integral):
-        return int(value)
-    if isinstance(value, numbers.Real):
-        return float(value)
-    raise TypeError(f"not JSON-serializable: {value!r}")
+def _batch_key(point: ScenarioPoint, *, multi_capacity: bool,
+               batch: bool,
+               memo: Optional[Dict[Any, Optional[str]]] = None
+               ) -> Optional[str]:
+    """A key shared exactly by points that may ride one batched task
+    (``None`` marks a point that must run on its own).
+
+    Grouping is driven by the batch-kernel protocol
+    (:data:`repro.lab.registry.BATCH_KERNELS`); each entry's gate flag
+    (``multi_capacity`` for trace-capacity batches, ``batch`` for grid
+    batches) must be on.  The group identity is serialized with
+    numpy-canonical JSON, so ``np.int64``/``np.float64`` grid values
+    neither split nor duplicate batch groups.  Entries whose identity
+    ignores params (``machine_only``) are memoized per (kernel,
+    machine) in *memo* — a 10^4-point grid derives its key once.
+    """
+    bk = BATCH_KERNELS.get(point.kernel)
+    if bk is None:
+        return None
+    if not (multi_capacity if bk.toggle == "multi_capacity" else batch):
+        return None
+    memo_key = None
+    if bk.machine_only and memo is not None:
+        # id() is stable here: the planner's point list keeps every
+        # machine object alive for the memo's whole lifetime.
+        memo_key = (point.kernel, id(point.machine))
+        try:
+            return memo[memo_key]
+        except KeyError:
+            pass
+    group = bk.group_key(point.machine, point.params)
+    if group is None:
+        key = None
+    else:
+        try:
+            key = json.dumps({"kernel": point.kernel, "group": group},
+                             sort_keys=True, default=json_number_default)
+        except (TypeError, ValueError):
+            key = None
+    if memo_key is not None:
+        memo[memo_key] = key
+    return key
 
 
 def _capacity_group_key(point: ScenarioPoint) -> Optional[str]:
-    """A key shared exactly by points that may ride one trace replay
-    (``None`` marks a point that must run on its own).
-
-    Grouping is driven by the trace-kernel protocol
-    (:data:`repro.lab.registry.TRACE_KERNELS`): any registered line-trace
-    kernel qualifies when its point describes a fully-associative cache
-    under a batchable policy.  The policy axis itself is *excluded* from
-    the key — LRU and Belady points of one trace ride the same replay,
-    each through its own single-pass sweep kernel.
-    """
-    tk = TRACE_KERNELS.get(point.kernel)
-    if tk is None:
-        return None
-    machine = point.machine
-    if (machine.policy not in BATCHABLE_POLICIES
-            or machine.levels is not None
-            or machine.associativity is not None):
-        return None
-    params = point.params
-    if not all(name in params for name in tk.required):
-        return None
-    try:
-        cap_words = tk.capacity_words(machine, params)
-        trace_id = tk.payload(machine, params)
-    except (KeyError, TypeError, ValueError):
-        return None
-    # numpy integer capacities (np.int64 grids) batch like python ints;
-    # bools are excluded (True is Integral but never a capacity).
-    if (not isinstance(cap_words, numbers.Integral)
-            or isinstance(cap_words, bool) or cap_words <= 0
-            or cap_words % machine.line_size != 0):
-        return None
-    # Identity = the full payload minus the capacity and policy axes.
-    machine_d = machine.as_dict()
-    machine_d.pop("cache_words")
-    machine_d.pop("policy")
-    params_d = {k: v for k, v in params.items()
-                if k not in tk.capacity_params}
-    try:
-        return json.dumps({"kernel": point.kernel, "machine": machine_d,
-                           "params": params_d, "trace": trace_id},
-                          sort_keys=True, default=_json_canonical)
-    except (TypeError, ValueError):
-        return None
+    """Back-compat alias: the trace-capacity view of :func:`_batch_key`."""
+    return _batch_key(point, multi_capacity=True, batch=False)
 
 
 def _plan_tasks(points: Sequence[ScenarioPoint], pending: Sequence[int],
-                multi_capacity: bool) -> List[List[int]]:
-    """Partition pending point indices into tasks (singletons or capacity
+                multi_capacity: bool, batch: bool = True
+                ) -> List[List[int]]:
+    """Partition pending point indices into tasks (singletons or
     batches), preserving first-appearance order."""
-    if not multi_capacity:
-        return [[i] for i in pending]
     groups: Dict[str, List[int]] = {}
     tasks: List[List[int]] = []
+    memo: Dict[Any, Optional[str]] = {}
     for i in pending:
-        key = _capacity_group_key(points[i])
+        key = _batch_key(points[i], multi_capacity=multi_capacity,
+                         batch=batch, memo=memo)
         if key is None:
             tasks.append([i])
         elif key in groups:
@@ -183,14 +184,21 @@ def _plan_tasks(points: Sequence[ScenarioPoint], pending: Sequence[int],
     return tasks
 
 
-def _run_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
-    """Pool worker: run one point or one capacity batch, records in
-    task order."""
-    pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
+def _run_points(pts: Sequence[ScenarioPoint]) -> List[Dict[str, Any]]:
+    """Run one planned task — a single point or one batch — returning
+    records in task order."""
     if len(pts) == 1:
         return [pts[0].run()]
-    return run_capacity_batch(pts[0].kernel,
-                              [(pt.machine, pt.params) for pt in pts])
+    return run_batch(pts[0].kernel,
+                     [(pt.machine, pt.params) for pt in pts])
+
+
+def _run_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Pool worker: :func:`_run_points` after payload-transport
+    reconstruction (kernels are pure functions of the payload, so this
+    is bit-identical to the in-process path)."""
+    return _run_points([ScenarioPoint.from_payload(p)
+                        for p in task["points"]])
 
 
 def execute(
@@ -200,6 +208,7 @@ def execute(
     cache: Optional[ResultCache] = None,
     require_cached: bool = False,
     multi_capacity: bool = True,
+    batch: bool = True,
 ) -> SweepReport:
     """Run every point, serving repeats from *cache* when provided.
 
@@ -212,21 +221,27 @@ def execute(
         (bit-identical to the workers — kernels are deterministic pure
         functions of the payload).
     cache:
-        A :class:`ResultCache`; hits skip simulation entirely.
+        A :class:`ResultCache`; hits skip simulation entirely.  Records
+        key on the machine-projected :meth:`ScenarioPoint.cache_payload`.
     require_cached:
         Report-only mode: raise :class:`MissingResultsError` instead of
         computing anything.
     multi_capacity:
-        Collapse same-trace LRU capacity sweeps into single-replay
-        batches (see the module docstring).  Purely an execution
-        strategy: records and cache contents are identical either way.
+        Collapse same-trace LRU/Belady capacity sweeps into
+        single-replay batches (see the module docstring).  Purely an
+        execution strategy: records and cache contents are identical
+        either way.
+    batch:
+        Collapse same-machine analytic grids (the ``cost-*`` families)
+        into vectorized batch evaluations — the grid analogue of
+        ``multi_capacity``, with the same bit-identity guarantee.
     """
     t0 = time.perf_counter()
     points = list(points)
     results: List[Optional[PointResult]] = [None] * len(points)
     pending: List[int] = []
     for i, pt in enumerate(points):
-        record = cache.get(pt.payload()) if cache is not None else None
+        record = cache.get(pt.cache_payload()) if cache is not None else None
         if record is not None:
             results[i] = PointResult(pt, record, cached=True)
         else:
@@ -237,22 +252,30 @@ def execute(
 
     batches = batched_points = 0
     if pending:
-        tasks = _plan_tasks(points, pending, multi_capacity)
-        payloads = [{"points": [points[i].payload() for i in task]}
-                    for task in tasks]
+        tasks = _plan_tasks(points, pending, multi_capacity, batch)
         for task in tasks:
             if len(task) > 1:
                 batches += 1
                 batched_points += len(task)
         if jobs > 1 and len(tasks) > 1:
+            payloads = [{"points": [points[i].payload() for i in task]}
+                        for task in tasks]
             with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
                 record_lists = pool.map(_run_task, payloads)
         else:
-            record_lists = [_run_task(p) for p in payloads]
+            record_lists = [_run_points([points[i] for i in task])
+                            for task in tasks]
         for task, records in zip(tasks, record_lists):
+            if len(records) != len(task):
+                # A broken BatchKernel.run must fail attributably, not
+                # silently drop points from the report.
+                raise RuntimeError(
+                    f"batch evaluator for kernel "
+                    f"{points[task[0]].kernel!r} returned "
+                    f"{len(records)} record(s) for {len(task)} points")
             for i, record in zip(task, records):
                 if cache is not None:
-                    cache.put(points[i].payload(), record)
+                    cache.put(points[i].cache_payload(), record)
                 results[i] = PointResult(points[i], record, cached=False)
 
     return SweepReport(

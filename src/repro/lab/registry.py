@@ -17,6 +17,7 @@ scenario file (or a CLI invocation) is pure data:
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import asdict, dataclass, field, replace
 from typing import (Any, Callable, Dict, Mapping, Optional, Sequence, Tuple,
                     Union)
@@ -53,7 +54,14 @@ from repro.core.traces import (
     trsm_trace,
 )
 from repro.distributed.costmodel import HwParams, hw_param_key
-from repro.lab.modelkernels import MODEL_KERNELS
+from repro.lab.modelkernels import (
+    COST_BATCH_EVALUATORS,
+    COST_KERNELS,
+    DISTRIBUTED_KERNELS,
+    KRYLOV_KERNELS,
+    MODEL_KERNELS,
+    run_cost_batch,
+)
 from repro.lab.tracestore import active_store
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
@@ -71,12 +79,19 @@ __all__ = [
     "hw_overrides",
     "TraceKernel",
     "TRACE_KERNELS",
+    "BatchKernel",
+    "BATCH_KERNELS",
     "BATCHABLE_POLICIES",
+    "MACHINE_FIELDS",
+    "machine_fields",
+    "project_machine",
     "fig2_config",
     "resolve_machine",
     "matmul_trace_payload",
     "matmul_lines",
     "matmul_capacity_words",
+    "capacity_group_payload",
+    "run_batch",
     "run_capacity_batch",
     "run_matmul_capacity_batch",
 ]
@@ -117,8 +132,25 @@ class MachineSpec:
     write_slow: float = 2.0
     hw: Optional[Tuple[Tuple[str, float], ...]] = None
 
+    def __post_init__(self):
+        # Canonicalize the structured fields exactly as from_dict would,
+        # so a hand-built spec (list levels, int hw rates, dict hw) is
+        # indistinguishable from its payload round-trip — in-process
+        # execution and pool workers must produce identical records.
+        if self.levels is not None and type(self.levels) is not tuple:
+            object.__setattr__(self, "levels", tuple(self.levels))
+        if self.hw is not None:
+            items = (self.hw.items() if isinstance(self.hw, Mapping)
+                     else self.hw)
+            object.__setattr__(
+                self, "hw",
+                tuple(sorted((str(k), float(v)) for k, v in items)))
+
     def as_dict(self) -> Dict[str, Any]:
-        d = asdict(self)
+        # A manual flat copy: every field is a scalar or tuple, and
+        # dataclasses.asdict's recursive deepcopy is measurable when a
+        # 10^4-point sweep serializes every point's machine.
+        d = dict(self.__dict__)
         if d["levels"] is not None:
             d["levels"] = list(d["levels"])
         if d["hw"] is not None:
@@ -673,6 +705,183 @@ KERNELS: Dict[str, Callable[[MachineSpec, Mapping], Dict]] = {
 # Point-level cost-model, distributed-execution and Krylov kernels
 # (repro.lab.modelkernels) register alongside the trace kernels.
 KERNELS.update(MODEL_KERNELS)
+
+
+# --------------------------------------------------------------------- #
+# machine relevance: which MachineSpec fields a kernel reads
+# --------------------------------------------------------------------- #
+#: every spec field a single-level trace kernel consumes: the simulated
+#: geometry and policy plus the four boundary energies of its record
+#: (``levels`` is read to *reject* hierarchies, so it stays relevant).
+_TRACE_MACHINE_FIELDS: Tuple[str, ...] = (
+    "associativity", "cache_words", "levels", "line_size", "policy",
+    "read_fast", "read_slow", "seed", "write_fast", "write_slow",
+)
+
+#: Declared machine relevance per kernel: the ``MachineSpec`` fields the
+#: kernel's record actually depends on.  The result cache keys each
+#: point on the machine *projected* to these fields
+#: (:func:`project_machine`), so same-params points under differently
+#: named — or differing only in irrelevant fields — machines share one
+#: cache entry, and scenario validation rejects grid axes over fields a
+#: kernel never reads.  A kernel absent from this registry is keyed on
+#: the full spec (the conservative legacy behaviour).
+MACHINE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "matmul-cache": _TRACE_MACHINE_FIELDS,
+    "trsm-cache": _TRACE_MACHINE_FIELDS,
+    "cholesky-cache": _TRACE_MACHINE_FIELDS,
+    "nbody-cache": _TRACE_MACHINE_FIELDS,
+    "matmul-hierarchy": ("levels", "line_size", "policy", "read_slow",
+                         "seed", "write_slow"),
+    # The legacy harness wrapper ignores its machine entirely.
+    "experiment": (),
+    # Analytic cost kernels read only the HwParams override set.
+    **{name: ("hw",) for name in COST_KERNELS},
+    # Executed distributed / krylov kernels simulate their own machine
+    # (DistMachine / traffic counters) and read no spec field at all.
+    **{name: () for name in DISTRIBUTED_KERNELS},
+    **{name: () for name in KRYLOV_KERNELS},
+}
+
+
+def machine_fields(kernel: str) -> Optional[Tuple[str, ...]]:
+    """The declared machine relevance of *kernel*, or ``None`` when the
+    kernel has not declared one (full spec assumed relevant)."""
+    return MACHINE_FIELDS.get(kernel)
+
+
+def project_machine(spec: MachineSpec, kernel: str) -> Dict[str, Any]:
+    """*spec* reduced to the fields *kernel* reads, as a JSON-able dict.
+
+    This is the machine half of a point's cache identity: fields the
+    kernel never reads (always including ``name``, for every declared
+    kernel) drop out, and an ``hw`` of ``None`` canonicalizes to the
+    empty override set — :meth:`MachineSpec.hw_params` treats the two
+    identically, so they must key identically too.
+    """
+    d = spec.as_dict()
+    fields = machine_fields(kernel)
+    if fields is None:
+        return d
+    proj = {name: d[name] for name in sorted(fields)}
+    if "hw" in proj and proj["hw"] is None:
+        proj["hw"] = {}
+    return proj
+
+
+# --------------------------------------------------------------------- #
+# batch-kernel protocol
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BatchKernel:
+    """Declarative entry for executor-level point batching.
+
+    A batch kernel tells the executor how to collapse many uncached
+    points of one registry kernel into a single task: ``group_key``
+    yields the JSON-able identity points must share to ride one
+    evaluation, ``run`` evaluates a whole group and returns one record
+    per point in group order — the executor then fans the records back
+    out into per-point result-cache entries, so batching stays a pure
+    execution strategy (records and cache contents are bit-identical to
+    the per-point path).
+
+    Two families register today: every trace kernel's capacity sweep
+    (one fastsim replay per group, gated by the executor's
+    ``multi_capacity`` flag) and every analytic ``cost-*`` family (one
+    numpy-vectorized grid evaluation, gated by ``batch``).
+    """
+
+    name: str
+    #: which executor flag gates this entry: ``"multi_capacity"`` for
+    #: the trace-kernel capacity batches, ``"batch"`` for grid batches.
+    toggle: str
+    #: ``(machine, params) -> identity dict`` — ``None`` means the
+    #: point cannot batch and must run on its own.
+    group_key: Callable[[MachineSpec, Mapping], Optional[Dict]]
+    #: ``group -> [record, ...]`` in group order.
+    run: Callable[[Sequence[Tuple[MachineSpec, Mapping]]], list]
+    #: ``group_key`` ignores ``params`` entirely (true for the cost
+    #: grids: any two same-machine points batch) — lets the planner
+    #: memoize the serialized key per (kernel, machine) instead of
+    #: recomputing it for every one of 10^4+ grid points.
+    machine_only: bool = False
+
+
+def capacity_group_payload(tk: TraceKernel, machine: MachineSpec,
+                           params: Mapping) -> Optional[Dict]:
+    """The identity shared by trace-kernel points that may ride one
+    replay: the projected machine minus the capacity and policy axes,
+    the non-capacity params, and the trace identity (``None`` marks a
+    point the capacity batcher cannot take)."""
+    if (machine.policy not in BATCHABLE_POLICIES
+            or machine.levels is not None
+            or machine.associativity is not None):
+        return None
+    if not all(name in params for name in tk.required):
+        return None
+    try:
+        cap_words = tk.capacity_words(machine, params)
+        trace_id = tk.payload(machine, params)
+    except (KeyError, TypeError, ValueError):
+        return None
+    # numpy integer capacities (np.int64 grids) batch like python ints;
+    # bools are excluded (True is Integral but never a capacity).
+    if (not isinstance(cap_words, numbers.Integral)
+            or isinstance(cap_words, bool) or cap_words <= 0
+            or cap_words % machine.line_size != 0):
+        return None
+    # Identity = the projected machine minus the capacity and policy
+    # axes (the group's free dimensions).
+    machine_d = project_machine(machine, tk.name)
+    machine_d.pop("cache_words")
+    machine_d.pop("policy")
+    params_d = {k: v for k, v in params.items()
+                if k not in tk.capacity_params}
+    return {"machine": machine_d, "params": params_d, "trace": trace_id}
+
+
+def _trace_batch_entry(tk: TraceKernel) -> BatchKernel:
+    return BatchKernel(
+        name=tk.name,
+        toggle="multi_capacity",
+        group_key=lambda machine, params, _tk=tk: capacity_group_payload(
+            _tk, machine, params),
+        run=lambda group, _name=tk.name: run_capacity_batch(_name, group),
+    )
+
+
+def _cost_batch_entry(name: str) -> BatchKernel:
+    # Any two points of one cost family batch as soon as their machines
+    # project identically (same HwParams override set) — the grid
+    # params are the batch's free dimensions.
+    return BatchKernel(
+        name=name,
+        toggle="batch",
+        group_key=lambda machine, params, _name=name: {
+            "machine": project_machine(machine, _name)},
+        run=lambda group, _name=name: run_cost_batch(_name, group),
+        machine_only=True,
+    )
+
+
+#: Every kernel the executor can batch, by registry name.
+BATCH_KERNELS: Dict[str, BatchKernel] = {
+    **{name: _trace_batch_entry(tk) for name, tk in TRACE_KERNELS.items()},
+    **{name: _cost_batch_entry(name) for name in COST_BATCH_EVALUATORS},
+}
+
+
+def run_batch(kernel: str, group: Sequence[Tuple[MachineSpec, Mapping]]
+              ) -> list:
+    """Evaluate one planned batch through its registered protocol entry."""
+    try:
+        bk = BATCH_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"kernel {kernel!r} has no batch evaluator; "
+            f"available: {sorted(BATCH_KERNELS)}"
+        ) from None
+    return bk.run(group)
 
 
 # --------------------------------------------------------------------- #

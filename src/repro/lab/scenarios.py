@@ -33,6 +33,8 @@ from repro.lab.registry import (
     MACHINES,
     MachineSpec,
     fig2_config,
+    machine_fields,
+    project_machine,
     resolve_machine,
 )
 from repro.util import format_table, require
@@ -49,6 +51,7 @@ __all__ = [
     "prop62_scenario",
     "distributed_scenario",
     "krylov_scenario",
+    "costmap_scenario",
     "experiments_scenario",
     "fig2_rows",
     "fig5_rows",
@@ -68,11 +71,23 @@ class ScenarioPoint:
     params: Dict[str, Any]
 
     def payload(self) -> Dict[str, Any]:
-        """JSON-serializable identity of this point (also the cache key
-        material, together with the code version)."""
+        """JSON-serializable identity of this point — the full machine
+        spec, as workers need to reconstruct it (:meth:`from_payload`)."""
         return {
             "kernel": self.kernel,
             "machine": self.machine.as_dict(),
+            "params": dict(self.params),
+        }
+
+    def cache_payload(self) -> Dict[str, Any]:
+        """The result-cache identity of this point: the payload with the
+        machine projected to the fields this point's kernel declares it
+        reads (:data:`repro.lab.registry.MACHINE_FIELDS`), so renaming a
+        machine — or changing a field the kernel never looks at — does
+        not cold-start the cache."""
+        return {
+            "kernel": self.kernel,
+            "machine": project_machine(self.machine, self.kernel),
             "params": dict(self.params),
         }
 
@@ -121,6 +136,7 @@ class Scenario:
     def points(self) -> List[ScenarioPoint]:
         if self.explicit is not None:
             return list(self.explicit)
+        self._check_machine_axes()
         keys = list(self.grid)
         pts: List[ScenarioPoint] = []
         for values in itertools.product(*(self.grid[k] for k in keys)):
@@ -136,6 +152,31 @@ class Scenario:
                 spec = spec.override(**overrides)
             pts.append(ScenarioPoint(self.kernel, spec, params))
         return pts
+
+    def _check_machine_axes(self) -> None:
+        """Reject grid axes over machine fields the kernel never reads.
+
+        A kernel with declared machine relevance
+        (:data:`repro.lab.registry.MACHINE_FIELDS`) produces the same
+        record for every value of an unread field, so such an axis
+        would sweep identical points (and, under projected cache keys,
+        collapse onto one cache entry) — a silent no-op grid.  Failing
+        at scenario validation keeps the mistake loud.
+        """
+        fields = machine_fields(self.kernel)
+        if fields is None:
+            return
+        for key in self.grid:
+            if not key.startswith("machine."):
+                continue
+            name = key[len("machine."):]
+            hint = ("; use --hw KEY=VALUE to sweep cost-model rates"
+                    if "hw" in fields else "")
+            require(
+                name in fields,
+                f"kernel {self.kernel!r} does not read machine.{name}; "
+                f"sweeping it would produce identical points (relevant "
+                f"machine fields: {sorted(fields) or 'none'}{hint})")
 
     def render(self, results: List[Any]) -> str:
         if self.report is not None:
@@ -615,6 +656,30 @@ def _krylov_report(scenario: Scenario, results: List[Any]) -> str:
               f"variants cut writes by Θ(s)")
 
 
+def costmap_scenario(quick: bool = False) -> Scenario:
+    """NEW: an analytic provisioning map over (P, c3) for the Model-2.2
+    NVM-staged 2.5D matmul.
+
+    Pure closed-form arithmetic, so the executor evaluates the whole
+    grid as one vectorized ``cost-*`` batch (``--no-batch`` opts out);
+    the c3 axis deliberately runs past each P's ``c3 <= P^(1/3)`` edge,
+    where points report ``feasible: False`` — provisioning questions
+    are exactly about walking past those edges.
+    """
+    machine = MACHINES["hw-2015"]
+    P_axis = [64, 256, 1024] if quick else [64, 256, 1024, 4096, 16384]
+    c3_axis = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
+    return Scenario(
+        name="cost-map",
+        kernel="cost-25d-mm-l3-ool2",
+        machine=machine,
+        description="Provisioning map: 2.5DMML3ooL2 analytic cost over "
+                    "(P, c3), one vectorized batch",
+        fixed={"n": 1 << 14},
+        grid={"P": P_axis, "c3": c3_axis},
+    )
+
+
 def experiments_scenario(quick: bool = False,
                          names: Optional[Sequence[str]] = None) -> Scenario:
     """Every legacy table/figure harness as one cacheable point each."""
@@ -654,6 +719,7 @@ SCENARIOS: Dict[str, Callable[[bool], Scenario]] = {
     "lu-tradeoff": lu_scenario,
     "distributed": distributed_scenario,
     "krylov": krylov_scenario,
+    "cost-map": costmap_scenario,
     "experiments": experiments_scenario,
 }
 

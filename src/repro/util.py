@@ -7,6 +7,7 @@ them without import cycles.
 from __future__ import annotations
 
 import math
+import numbers
 import operator
 from typing import Iterable, Sequence
 
@@ -20,6 +21,7 @@ __all__ = [
     "next_power_of_two",
     "block_count",
     "canonical_int",
+    "json_number_default",
     "format_table",
     "format_si",
     "pairwise_ratios",
@@ -61,6 +63,26 @@ def canonical_int(value, name: str) -> int:
         pass
     raise ValueError(
         f"parameter {name!r} must be an integer, got {value!r}")
+
+
+def json_number_default(value):
+    """``json.dumps`` fallback canonicalizing numpy scalars to python
+    values, so ``np.int64`` grid axes, ``np.float64`` costs and
+    ``np.bool_`` flags key identically to their python twins in cache
+    keys and batch-group keys (``np.float64`` already serializes
+    natively as a ``float`` subclass; this covers the integer flavours,
+    any other Real, and — via ``.item()``, numpy-free — scalars outside
+    the numbers ABCs like ``np.bool_``)."""
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    item = getattr(value, "item", None)
+    if item is not None:
+        value = item()
+        if isinstance(value, (bool, int, float)):
+            return value
+    raise TypeError(f"not JSON-serializable: {value!r}")
 
 
 def check_multiple(n: int, b: int, what: str = "dimension") -> None:

@@ -154,8 +154,20 @@ class TestRunSetOverrides:
         # A supported key with a broken value must surface the real
         # error, not the "does not accept override(s)" message.
         from repro.lab.scenarios import get_scenario
-        with pytest.raises(TypeError):
+        with pytest.raises(ValueError, match="'n' must be an integer"):
             get_scenario("table1", quick=True).with_overrides({"n": "foo"})
+
+    def test_infeasible_table_geometry_fails_at_build_time(self):
+        # c3 <= c2 makes every analytic cell infeasible — the factory
+        # must say so up front, not leave the table assembler to choke
+        # on feasible:False records.
+        from repro.lab.scenarios import get_scenario
+        with pytest.raises(ValueError, match="need c3 > c2 >= 1"):
+            get_scenario("table1", quick=True).with_overrides({"c3": 2})
+        with pytest.raises(ValueError, match="P must be positive"):
+            get_scenario("table2", quick=True).with_overrides({"P": -4})
+        with pytest.raises(ValueError, match="c3 must be >= 1"):
+            get_scenario("table2", quick=True).with_overrides({"c3": -1})
 
     def test_report_accepts_run_overrides(self, capsys, tmp_path):
         argv = ["table1", "--quick", "--hw", "beta_23=30",

@@ -409,7 +409,7 @@ class TestCacheCLI:
         monkeypatch.setenv("REPRO_LAB_TRACES", str(tmp_path / "ts"))
         assert self.run_sweep(tmp_path) == 0
         out = capsys.readouterr().out
-        assert "multi-capacity batch" in out
+        assert "via 1 batch(es)" in out
 
         args = ["--cache-dir", str(tmp_path / "rc"),
                 "--trace-dir", str(tmp_path / "ts")]
@@ -442,7 +442,7 @@ class TestCacheCLI:
         assert self.run_sweep(tmp_path, "--no-multi-capacity",
                               "--no-trace-store") == 0
         out = capsys.readouterr().out
-        assert "multi-capacity batch" not in out
+        assert "batch(es)" not in out
 
     def test_no_trace_store_flag_keeps_disk_clean(self, tmp_path,
                                                   monkeypatch):

@@ -1,0 +1,212 @@
+"""Property-based parity layer (hypothesis).
+
+Two equivalence claims the engine's batching rests on, attacked with
+random inputs instead of hand-picked geometries:
+
+* **fastsim == CacheSim**: for random small line traces and random
+  capacity grids, the single-pass multi-capacity LRU and Belady sweeps
+  report exactly the counters of a per-capacity ``CacheSim`` replay
+  plus ``flush()``.
+* **vectorized == scalar**: for random ``HwParams`` machines and random
+  (including infeasible) grid points, every ``cost-*`` family's
+  vectorized batch evaluator emits records bit-identical — compared as
+  canonical JSON, the cache's own serialization — to the scalar kernel.
+
+Runs under the slim ``ci`` hypothesis profile by default (see
+``tests/conftest.py``); ``HYPOTHESIS_PROFILE=dev`` or ``thorough``
+widens the search locally.
+
+Grid integers are drawn well past the vectorized evaluators' float64
+exactness domain (``|n|, c <= 2**16``, ``P <= 2**32``): points inside
+it vectorize, points beyond it must hit the enforced scalar fallback —
+bit-identity is unconditional either way, and these tests prove it on
+both sides of the boundary.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.distributed.costmodel import (  # noqa: E402
+    TABLE1_ROW_COUNT,
+    TABLE2_ROW_COUNT,
+    table1_rows,
+    table2_rows,
+)
+from repro.lab.modelkernels import (  # noqa: E402
+    COST_BATCH_EVALUATORS,
+    COST_KERNELS,
+    run_cost_batch,
+)
+from repro.lab.registry import MachineSpec  # noqa: E402
+from repro.machine.cache import CacheSim  # noqa: E402
+from repro.machine.fastsim import simulate_lru_sweep, simulate_opt_sweep  # noqa: E402
+
+
+# --------------------------------------------------------------------- #
+# fastsim sweeps vs CacheSim + flush
+# --------------------------------------------------------------------- #
+traces = st.lists(
+    st.tuples(st.integers(0, 12), st.booleans()),
+    min_size=1, max_size=100,
+)
+capacity_grids = st.lists(st.integers(1, 16), min_size=1, max_size=4,
+                          unique=True)
+
+
+def _replay(lines, writes, cap, policy):
+    sim = CacheSim(cap, line_size=1, policy=policy)
+    sim.run_lines(lines, writes)
+    sim.flush()
+    return sim.stats
+
+
+@given(events=traces, caps=capacity_grids)
+def test_lru_sweep_counters_equal_cachesim(events, caps):
+    lines = np.array([line for line, _ in events], dtype=np.int64)
+    writes = np.array([w for _, w in events], dtype=bool)
+    sweep = simulate_lru_sweep(lines, writes, caps)
+    for cap in caps:
+        assert sweep.stats(cap) == _replay(lines, writes, cap, "lru")
+
+
+@given(events=traces, caps=capacity_grids)
+def test_opt_sweep_counters_equal_cachesim(events, caps):
+    lines = np.array([line for line, _ in events], dtype=np.int64)
+    writes = np.array([w for _, w in events], dtype=bool)
+    sweep = simulate_opt_sweep(lines, writes, caps)
+    for cap in caps:
+        assert sweep.stats(cap) == _replay(lines, writes, cap, "belady")
+
+
+# --------------------------------------------------------------------- #
+# vectorized cost batches vs the scalar kernels
+# --------------------------------------------------------------------- #
+_rate = st.floats(min_value=1e-3, max_value=1e4,
+                  allow_nan=False, allow_infinity=False)
+# Mostly in-domain values, sometimes far beyond the vectorized
+# exactness bounds (2**16 / 2**32) to exercise the scalar fallback.
+_size = st.one_of(st.integers(1, 1 << 16),
+                  st.integers(1, 1 << 40))
+_replication = st.one_of(st.integers(1, 40),
+                         st.integers(1, 1 << 20))
+
+
+@st.composite
+def hw_machines(draw):
+    """A MachineSpec whose ``hw`` override set randomly pins rates and
+    (consistently ordered) level sizes."""
+    overrides = {}
+    for name in ("beta_nw", "beta_23", "beta_32", "beta_12", "beta_21",
+                 "alpha_nw", "alpha_23"):
+        if draw(st.booleans()):
+            overrides[name] = draw(_rate)
+    if draw(st.booleans()):
+        overrides["M1"] = float(2 ** draw(st.integers(8, 18)))
+        overrides["M2"] = float(2 ** draw(st.integers(20, 26)))
+    name = draw(st.sampled_from(["hw-a", "a-very-different-name"]))
+    return MachineSpec(name=name, hw=tuple(sorted(overrides.items())))
+
+
+def _maybe(strategy):
+    """Sometimes omit the parameter, exercising the kernel default."""
+    return st.one_of(st.none(), strategy)
+
+
+_FAMILY_PARAMS = {
+    "cost-2d-mm": {"n": _maybe(_size), "P": _maybe(_size)},
+    "cost-25d-mm-l2": {"n": _maybe(_size), "P": _maybe(_size),
+                       "c2": _maybe(_replication)},
+    "cost-25d-mm-l3": {"n": _maybe(_size), "P": _maybe(_size),
+                       "c2": _maybe(_replication),
+                       "c3": _maybe(_replication)},
+    "cost-25d-mm-l3-ool2": {"n": _maybe(_size), "P": _maybe(_size),
+                            "c3": _maybe(_replication)},
+    "cost-summa-l3-ool2": {"n": _maybe(_size), "P": _maybe(_size)},
+    "cost-lu-ll": {"n": _maybe(_size), "P": _maybe(_size)},
+    "cost-lu-rl": {"n": _maybe(_size), "P": _maybe(_size)},
+    "cost-break-even": {},
+    "cost-dominance": {"model": _maybe(st.sampled_from(["2.1", "2.2"])),
+                       "n": _maybe(_size), "P": _maybe(_size),
+                       "c2": _maybe(_replication),
+                       "c3": _maybe(_replication)},
+    "cost-table1": {"n": _maybe(_size), "P": _maybe(_size),
+                    "c2": _maybe(_replication),
+                    "c3": _maybe(_replication),
+                    "row": st.integers(0, TABLE1_ROW_COUNT - 1),
+                    "algorithm": st.sampled_from(
+                        ["2DMML2", "2.5DMML2", "2.5DMML3"])},
+    "cost-table2": {"n": _maybe(_size), "P": _maybe(_size),
+                    "c3": _maybe(_replication),
+                    "row": st.integers(0, TABLE2_ROW_COUNT - 1),
+                    "algorithm": st.sampled_from(
+                        ["2.5DMML3ooL2", "SUMMAL3ooL2"])},
+}
+
+assert sorted(_FAMILY_PARAMS) == sorted(COST_BATCH_EVALUATORS)
+
+
+def test_table_row_count_constants_match_the_tables():
+    """The structural row counts the grids are sized from must track
+    the literal row lists."""
+    from repro.distributed.costmodel import HwParams
+
+    hw = HwParams()
+    assert len(table1_rows(64, 4096, 2, 4, hw)) == TABLE1_ROW_COUNT
+    assert len(table2_rows(64, 4096, 4, hw)) == TABLE2_ROW_COUNT
+
+
+def _family_points(kernel):
+    fields = _FAMILY_PARAMS[kernel]
+    point = st.fixed_dictionaries(fields).map(
+        lambda d: {k: v for k, v in d.items() if v is not None})
+    return st.lists(point, min_size=1, max_size=5)
+
+
+def _canon(records):
+    """The cache's own serialization: equality here is what 'the batched
+    path fans out bit-identical records' means on disk."""
+    return json.dumps(records, sort_keys=True)
+
+
+@pytest.mark.parametrize("kernel", sorted(COST_BATCH_EVALUATORS))
+@given(data=st.data())
+def test_vectorized_cost_rows_equal_scalar(kernel, data):
+    machine = data.draw(hw_machines())
+    params_list = data.draw(_family_points(kernel))
+    group = [(machine, params) for params in params_list]
+    batched = run_cost_batch(kernel, group)
+    scalar = [COST_KERNELS[kernel](machine, params)
+              for params in params_list]
+    assert _canon(batched) == _canon(scalar)
+
+
+@given(data=st.data())
+def test_vectorized_cost_rows_survive_mixed_feasibility(data):
+    """Grids straddling the c3 <= P^(1/3) edge — including non-positive
+    P and c3 = 0, where python pow goes complex and the scalar chained
+    require may either short-circuit (infeasible record) or crash
+    (TypeError): the batch matches the scalar outcome point for point,
+    records and crashes alike."""
+    machine = data.draw(hw_machines())
+    P = data.draw(st.integers(-4096, 4096))
+    c3s = data.draw(st.lists(st.integers(0, 64), min_size=2, max_size=6))
+    group = [(machine, {"n": 4096, "P": P, "c3": c3}) for c3 in c3s]
+    try:
+        scalar = [COST_KERNELS["cost-25d-mm-l3-ool2"](machine, p)
+                  for _, p in group]
+    except (TypeError, ZeroDivisionError) as exc:
+        # Crash parity: whatever kills the pointwise sweep must kill
+        # the batched one identically.
+        with pytest.raises(type(exc)):
+            run_cost_batch("cost-25d-mm-l3-ool2", group)
+        return
+    batched = run_cost_batch("cost-25d-mm-l3-ool2", group)
+    assert _canon(batched) == _canon(scalar)
+    if P > 0:
+        for rec, c3 in zip(batched, c3s):
+            assert rec["feasible"] == (1 <= c3 <= P ** (1 / 3) + 1e-9)
