@@ -25,7 +25,13 @@ subpackage turns those grids into first-class objects:
   sweeps skip already-simulated points across processes and sessions;
 * :mod:`repro.lab.results` — :class:`ResultSet` flat records with
   CSV/JSON export, aggregation and sweep-vs-sweep comparison;
-* :mod:`repro.lab.cli` — ``python -m repro.lab {list,run,sweep,report}``.
+* :mod:`repro.lab.telemetry` — :class:`RunTrace` structured run traces
+  (spans, per-point path tags, cache/trace-store counters, fastsim
+  phase timings) streaming to JSONL, aggregated by
+  :class:`MetricsRegistry` and rendered by ``repro-lab ... --trace`` /
+  ``repro-lab trace {show,diff}``;
+* :mod:`repro.lab.cli` — ``python -m repro.lab
+  {list,run,sweep,report,trace,cache}``.
 
 Quickstart::
 
@@ -40,6 +46,7 @@ Quickstart::
 from repro.lab.cache import ResultCache, code_fingerprint, default_cache_root
 from repro.lab.executor import (
     MissingResultsError,
+    PointExecutionError,
     PointResult,
     SweepReport,
     execute,
@@ -54,12 +61,20 @@ from repro.lab.registry import (
 )
 from repro.lab.results import ResultSet
 from repro.lab.scenarios import SCENARIOS, Scenario, ScenarioPoint, get_scenario
+from repro.lab.telemetry import (
+    MetricsRegistry,
+    RunTrace,
+    active_trace,
+    render_attribution,
+    tracing,
+)
 
 __all__ = [
     "ResultCache",
     "code_fingerprint",
     "default_cache_root",
     "MissingResultsError",
+    "PointExecutionError",
     "PointResult",
     "SweepReport",
     "execute",
@@ -74,4 +89,9 @@ __all__ = [
     "Scenario",
     "ScenarioPoint",
     "get_scenario",
+    "MetricsRegistry",
+    "RunTrace",
+    "active_trace",
+    "render_attribution",
+    "tracing",
 ]

@@ -11,6 +11,16 @@ Records are single JSON files sharded by key prefix under the cache root
 (tempfile + ``os.replace``) so concurrent sweeps can share a cache; reads
 treat any unreadable or non-JSON file as a miss.  A cache that cannot
 create its root degrades to a no-op rather than failing the sweep.
+
+With a run trace active (:mod:`repro.lab.telemetry`) every lookup emits
+a ``cache.hit`` / ``cache.miss`` counter — misses tagged with their
+reason (``absent`` / ``stale-fingerprint`` / ``unreadable`` /
+``disabled``) — and every store a ``cache.write``.  Stale-fingerprint
+classification distinguishes "never computed" from "invalidated by a
+code change": the first absent lookup of a traced run builds a lazy
+index of code-version-independent point identities present under
+*other* fingerprints, which is exactly the set a gc would drop.
+Untraced lookups skip all of this.
 """
 
 from __future__ import annotations
@@ -21,9 +31,10 @@ import os
 import tempfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, Mapping, Optional, Set, Union
 
 import repro
+from repro.lab import telemetry
 from repro.util import json_number_default
 
 __all__ = ["ResultCache", "code_fingerprint", "default_cache_root",
@@ -85,6 +96,8 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.disabled = False
+        #: lazy stale-fingerprint index (see :meth:`_is_stale`).
+        self._stale_index: Optional[Set[str]] = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError:
@@ -97,20 +110,53 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _is_stale(self, payload: Mapping[str, Any]) -> bool:
+        """Whether an absent *payload* exists under another code
+        fingerprint — i.e. the miss is a code-change invalidation, not
+        a never-computed point.  Keys fold payload and code version
+        into one hash, so this is answered through a one-time scan of
+        the store building version-independent point identities for
+        every other-fingerprint document.  Only telemetry consults
+        this; plain lookups never pay the scan."""
+        if self._stale_index is None:
+            index: Set[str] = set()
+            for doc in self.entries():
+                if doc.get("code_version") == self.code_version:
+                    continue
+                point = doc.get("point")
+                if isinstance(point, dict):
+                    index.add(point_key(point, ""))
+            self._stale_index = index
+        return point_key(payload, "") in self._stale_index
+
+    def _count_miss(self, payload: Mapping[str, Any], reason: str) -> None:
+        self.misses += 1
+        trace = telemetry.active_trace()
+        if trace is not None:
+            if reason == "absent" and self._is_stale(payload):
+                reason = "stale-fingerprint"
+            trace.counter("cache.miss", reason=reason)
+
     def get(self, payload: Mapping[str, Any]) -> Optional[Dict]:
         """Return the cached record for *payload*, or ``None`` on a miss."""
         if self.disabled:
-            self.misses += 1
+            self._count_miss(payload, "disabled")
             return None
         path = self._path(self.key_for(payload))
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
             record = doc["record"]
+        except FileNotFoundError:
+            self._count_miss(payload, "absent")
+            return None
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            self._count_miss(payload, "unreadable")
             return None
         self.hits += 1
+        trace = telemetry.active_trace()
+        if trace is not None:
+            trace.counter("cache.hit")
         return record
 
     def put(self, payload: Mapping[str, Any], record: Mapping) -> bool:
@@ -145,6 +191,9 @@ class ResultCache:
         except OSError:
             return False
         self.stores += 1
+        trace = telemetry.active_trace()
+        if trace is not None:
+            trace.counter("cache.write")
         return True
 
     # ------------------------------------------------------------------ #

@@ -12,7 +12,10 @@ Subcommands::
         --grid scheme=co,wa2 --grid machine.write_slow=2,30 --jobs 2
     repro-lab sweep --kernel cost-25d-mm-l3 \\
         --grid c3=1,2,4,8 --grid P=64,256 --hw beta_23=30
+    repro-lab sweep --preset sec6 --quick --trace   # preset sweep, traced
     repro-lab report fig2 --quick      # re-render from cache, compute nothing
+    repro-lab trace show RUN.jsonl     # attribution table of a saved trace
+    repro-lab trace diff A.jsonl B.jsonl
     repro-lab cache stats              # result-cache + trace-store inventory
     repro-lab cache gc                 # prune superseded code versions
 
@@ -24,6 +27,13 @@ fastsim batches unless ``--no-multi-capacity`` is given, analytic
 ``--no-batch`` is given, and generated traces are memoized in an
 on-disk trace store (``--no-trace-store`` or ``REPRO_LAB_TRACES=off``
 opts out).
+
+With ``--trace`` (``run``/``sweep``) the engine records a structured run
+trace (:mod:`repro.lab.telemetry`): a JSONL event stream written beside
+the result cache (``<cache root>/runs/`` unless ``--trace-out`` names a
+file) plus a post-run attribution table — execution path per point,
+batch efficiency, cache hit rate with miss reasons, fastsim phase
+timings.  Tracing never changes records or cache contents.
 """
 
 from __future__ import annotations
@@ -34,11 +44,13 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.lab.cache import ResultCache
+from repro.lab import telemetry
+from repro.lab.cache import ResultCache, default_cache_root
 from repro.lab.executor import MissingResultsError, execute
 from repro.lab.registry import KERNELS, MACHINES, POLICIES, resolve_machine
 from repro.lab.results import ResultSet
 from repro.lab.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.lab.telemetry import RunTrace
 from repro.lab.tracestore import (
     _OFF_VALUES,
     TRACES_ENV,
@@ -112,7 +124,25 @@ def _setup_trace_store(args: argparse.Namespace) -> None:
     set_active_store(None if store.disabled else store)
 
 
-def _finish(scenario: Scenario, report, cache, args) -> int:
+def _make_run_trace(args: argparse.Namespace,
+                    label: str) -> Optional[RunTrace]:
+    """The :class:`RunTrace` this invocation should record into, or
+    ``None``.  ``--trace-out FILE`` picks the sink explicitly; bare
+    ``--trace`` writes a timestamped JSONL under ``<cache root>/runs``
+    (beside the result cache, scoped by ``--cache-dir`` like it)."""
+    out = getattr(args, "trace_out", None)
+    if not getattr(args, "trace", False) and not out:
+        return None
+    if not out:
+        root = (Path(args.cache_dir) if getattr(args, "cache_dir", None)
+                else default_cache_root())
+        out = telemetry.default_trace_path(root / "runs", label)
+    return RunTrace(out, meta={"command": args.command, "scenario": label,
+                               "jobs": getattr(args, "jobs", 1)})
+
+
+def _finish(scenario: Scenario, report, cache, args,
+            trace: Optional[RunTrace] = None) -> int:
     print(scenario.render(report.results))
     rs = ResultSet.from_report(report)
     if getattr(args, "csv", None):
@@ -122,6 +152,11 @@ def _finish(scenario: Scenario, report, cache, args) -> int:
         rs.to_json(args.json)
         print(f"[repro.lab] wrote {len(rs)} rows to {args.json}")
     print(report.cache_line(cache))
+    if trace is not None:
+        trace.finish(hits=report.hits, misses=report.misses,
+                     elapsed=report.elapsed)
+        print(telemetry.render_attribution(trace))
+        print(f"[repro.lab] run trace written to {trace.path}")
     return 0
 
 
@@ -168,31 +203,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                        hw=_parse_kv(args.hw, grid=False))
     cache = _make_cache(args)
     _setup_trace_store(args)
+    trace = _make_run_trace(args, scenario.name)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
                      multi_capacity=not args.no_multi_capacity,
-                     batch=not args.no_batch)
-    return _finish(scenario, report, cache, args)
+                     batch=not args.no_batch, trace=trace)
+    return _finish(scenario, report, cache, args, trace=trace)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    machine = resolve_machine(args.machine)
-    hw = _parse_kv(args.hw, grid=False)
-    if hw:
-        machine = machine.with_hw(**hw)
-    scenario = Scenario(
-        name="adhoc",
-        kernel=args.kernel,
-        machine=machine,
-        description="ad-hoc CLI sweep",
-        fixed=_parse_kv(args.set, grid=False),
-        grid=_parse_kv(args.grid, grid=True),
-    )
+    if args.preset:
+        if args.grid:
+            raise SystemExit("repro-lab sweep: --grid cannot be combined "
+                             "with --preset (the preset defines the grid; "
+                             "pin axes with --set)")
+        scenario = get_scenario(args.preset, quick=args.quick)
+        sets = _parse_kv(args.set, grid=False)
+        _warn_unknown_sets(scenario, sets)
+        scenario = scenario.with_overrides(
+            sets, hw=_parse_kv(args.hw, grid=False))
+    else:
+        machine = resolve_machine(args.machine)
+        hw = _parse_kv(args.hw, grid=False)
+        if hw:
+            machine = machine.with_hw(**hw)
+        scenario = Scenario(
+            name="adhoc",
+            kernel=args.kernel,
+            machine=machine,
+            description="ad-hoc CLI sweep",
+            fixed=_parse_kv(args.set, grid=False),
+            grid=_parse_kv(args.grid, grid=True),
+        )
     cache = _make_cache(args)
     _setup_trace_store(args)
+    trace = _make_run_trace(args, scenario.name)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
                      multi_capacity=not args.no_multi_capacity,
-                     batch=not args.no_batch)
-    return _finish(scenario, report, cache, args)
+                     batch=not args.no_batch, trace=trace)
+    return _finish(scenario, report, cache, args, trace=trace)
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    trace = RunTrace.load(args.file)
+    print(telemetry.render_attribution(trace))
+    if args.metrics:
+        print(trace.metrics().format(title=f"metrics — {args.file}"))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    a = RunTrace.load(args.a)
+    b = RunTrace.load(args.b)
+    print(telemetry.render_diff(a, b, labels=(Path(args.a).stem,
+                                              Path(args.b).stem)))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -286,6 +350,12 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-trace-store", action="store_true",
                    help="regenerate traces instead of memoizing them "
                         "on disk")
+    p.add_argument("--trace", action="store_true",
+                   help="record a structured run trace (JSONL under "
+                        "<cache root>/runs) and print the attribution "
+                        "table; never changes records")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write the run trace to FILE (implies --trace)")
 
 
 def _add_export_args(p: argparse.ArgumentParser) -> None:
@@ -327,7 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="ad-hoc cartesian sweep over a "
-                                           "registered kernel")
+                                           "registered kernel, or a named "
+                                           "preset via --preset")
+    p_sweep.add_argument("--preset", default=None, metavar="NAME",
+                         choices=sorted(SCENARIOS),
+                         help="sweep a scenario preset instead of an "
+                              "ad-hoc grid (ignores --kernel/--machine; "
+                              "--set/--hw apply as overrides)")
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="with --preset: the preset's quick geometry")
     p_sweep.add_argument("--kernel", default="matmul-cache",
                          choices=sorted(KERNELS))
     p_sweep.add_argument("--machine", default="sim-l3",
@@ -361,6 +439,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_export_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
+    p_trace = sub.add_parser("trace", help="render or compare saved run "
+                                           "traces (--trace JSONL files)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tshow = trace_sub.add_parser(
+        "show", help="attribution table of one saved run trace")
+    p_tshow.add_argument("file", help="run-trace JSONL file")
+    p_tshow.add_argument("--metrics", action="store_true",
+                         help="also dump the aggregated metrics registry")
+    p_tshow.set_defaults(func=_cmd_trace_show)
+    p_tdiff = trace_sub.add_parser(
+        "diff", help="compare two saved run traces side by side")
+    p_tdiff.add_argument("a", help="baseline run-trace JSONL file")
+    p_tdiff.add_argument("b", help="candidate run-trace JSONL file")
+    p_tdiff.set_defaults(func=_cmd_trace_diff)
+
     p_cache = sub.add_parser("cache", help="inspect or prune the result "
                                            "cache and trace store")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -390,6 +483,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # values) surface as ValueError; report them CLI-style.
         print(f"repro-lab: error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro-lab trace show ... | head` closes stdout early; exit
+        # quietly instead of tracebacking.  Detach stdout so the
+        # interpreter's shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

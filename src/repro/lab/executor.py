@@ -33,6 +33,20 @@ spec projected to the fields the kernel declares it reads
 (:data:`repro.lab.registry.MACHINE_FIELDS`) — so same-params points
 under differently named (or irrelevantly differing) machines share one
 cache entry.
+
+**Telemetry** (:mod:`repro.lab.telemetry`): with a
+:class:`~repro.lab.telemetry.RunTrace` active (``--trace`` or an
+explicit ``trace=`` argument) the executor emits a ``sweep`` span, one
+``task`` span per planned task (tagged with its kind, venue —
+``in_process`` or ``pool-worker-N`` — and queue-vs-compute seconds),
+and one ``point`` event per point tagged with its execution path
+(``cache``/``batch``/``multi_capacity``/``scalar``), cache key and
+whether it was batchable.  Pool workers capture their own events
+(fastsim phases, trace-store counters) into an in-memory subtrace that
+the parent splices back in; kernels listed in
+:data:`~repro.lab.registry.METRIC_FIELDS` additionally fold the named
+record fields into trace metrics.  Tracing never changes records —
+the untraced path pays one ``None`` check per site.
 """
 
 from __future__ import annotations
@@ -40,15 +54,20 @@ from __future__ import annotations
 import json
 import multiprocessing
 import time
+import traceback as tb
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.lab import telemetry
 from repro.lab.cache import ResultCache
-from repro.lab.registry import BATCH_KERNELS, run_batch
+from repro.lab.registry import BATCH_KERNELS, METRIC_FIELDS, run_batch
 from repro.lab.scenarios import ScenarioPoint
+from repro.machine.fastsim import profile as fs_profile
 from repro.util import json_number_default
 
-__all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError"]
+__all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError",
+           "PointExecutionError"]
 
 
 class MissingResultsError(RuntimeError):
@@ -61,6 +80,26 @@ class MissingResultsError(RuntimeError):
         )
         self.missing = missing
         self.total = total
+
+
+class PointExecutionError(RuntimeError):
+    """A pool worker failed while evaluating a task.
+
+    ``multiprocessing`` re-raises worker exceptions after a round trip
+    that can lose the original traceback (and always loses which point
+    was being evaluated), so workers catch failures themselves and ship
+    a structured error record home; the parent raises this with the
+    worker-side traceback attached as :attr:`remote_traceback` and
+    included in the message.
+    """
+
+    def __init__(self, message: str,
+                 remote_traceback: Optional[str] = None):
+        if remote_traceback:
+            message = (f"{message}\n--- remote traceback ---\n"
+                       f"{remote_traceback.rstrip()}")
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
 
 
 @dataclass
@@ -162,26 +201,37 @@ def _capacity_group_key(point: ScenarioPoint) -> Optional[str]:
     return _batch_key(point, multi_capacity=True, batch=False)
 
 
-def _plan_tasks(points: Sequence[ScenarioPoint], pending: Sequence[int],
-                multi_capacity: bool, batch: bool = True
-                ) -> List[List[int]]:
-    """Partition pending point indices into tasks (singletons or
-    batches), preserving first-appearance order."""
+def _plan(points: Sequence[ScenarioPoint], pending: Sequence[int],
+          multi_capacity: bool, batch: bool = True
+          ) -> List[Tuple[List[int], Optional[str]]]:
+    """Partition pending point indices into ``(indices, kind)`` tasks,
+    preserving first-appearance order.  *kind* is the batch family's
+    toggle name (``"multi_capacity"`` / ``"batch"``) for points that
+    matched a batch group, else ``None`` — which is also the telemetry
+    notion of "batchable": a ``None``-kind point had no batch path."""
     groups: Dict[str, List[int]] = {}
-    tasks: List[List[int]] = []
+    tasks: List[Tuple[List[int], Optional[str]]] = []
     memo: Dict[Any, Optional[str]] = {}
     for i in pending:
         key = _batch_key(points[i], multi_capacity=multi_capacity,
                          batch=batch, memo=memo)
         if key is None:
-            tasks.append([i])
+            tasks.append(([i], None))
         elif key in groups:
             groups[key].append(i)
         else:
             group = [i]
             groups[key] = group
-            tasks.append(group)
+            tasks.append((group, BATCH_KERNELS[points[i].kernel].toggle))
     return tasks
+
+
+def _plan_tasks(points: Sequence[ScenarioPoint], pending: Sequence[int],
+                multi_capacity: bool, batch: bool = True
+                ) -> List[List[int]]:
+    """Back-compat view of :func:`_plan`: just the index partition."""
+    return [task for task, _ in _plan(points, pending, multi_capacity,
+                                      batch)]
 
 
 def _run_points(pts: Sequence[ScenarioPoint]) -> List[Dict[str, Any]]:
@@ -193,12 +243,81 @@ def _run_points(pts: Sequence[ScenarioPoint]) -> List[Dict[str, Any]]:
                      [(pt.machine, pt.params) for pt in pts])
 
 
-def _run_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
+# --------------------------------------------------------------------- #
+# telemetry plumbing
+# --------------------------------------------------------------------- #
+@contextmanager
+def _phase_capture(trace: Optional[telemetry.RunTrace]):
+    """Route fastsim profiling phases into *trace* for the duration
+    (no-op without a trace, so untraced runs keep the free fast path)."""
+    if trace is None:
+        yield
+        return
+    previous = fs_profile.set_phase_hook(trace.phase)
+    try:
+        yield
+    finally:
+        fs_profile.set_phase_hook(previous)
+
+
+def _worker_venue(name: str) -> str:
+    """``ForkPoolWorker-3`` → ``pool-worker-3`` (the trace's venue tag)."""
+    digits = "".join(c for c in name if c.isdigit())
+    return f"pool-worker-{digits}" if digits else "pool-worker"
+
+
+def _fold_metrics(trace: telemetry.RunTrace, kernel: str,
+                  record: Dict[str, Any]) -> None:
+    """Fold the record fields *kernel* declared in
+    :data:`~repro.lab.registry.METRIC_FIELDS` into trace metrics."""
+    for field in METRIC_FIELDS.get(kernel, ()):
+        value = record.get(field)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        trace.metric(f"{kernel}.{field}", float(value))
+
+
+def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     """Pool worker: :func:`_run_points` after payload-transport
     reconstruction (kernels are pure functions of the payload, so this
-    is bit-identical to the in-process path)."""
-    return _run_points([ScenarioPoint.from_payload(p)
-                        for p in task["points"]])
+    is bit-identical to the in-process path).
+
+    Returns ``{"records", "worker", "t0", "t1"}`` plus, when the parent
+    is tracing (``task["telemetry"]``), the worker's captured
+    ``"events"``/``"epoch"`` — or, on failure, a structured ``"error"``
+    record carrying the worker-side traceback (the parent re-raises it
+    as :class:`PointExecutionError`)."""
+    pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
+    out: Dict[str, Any] = {
+        "worker": multiprocessing.current_process().name,
+    }
+    subtrace = telemetry.RunTrace() if task.get("telemetry") else None
+    out["t0"] = time.monotonic()
+    try:
+        with telemetry.tracing(subtrace), _phase_capture(subtrace):
+            out["records"] = _run_points(pts)
+    except Exception as exc:  # shipped home; parent re-raises
+        out["error"] = {
+            "exc_type": type(exc).__name__,
+            "message": str(exc),
+            "kernel": pts[0].kernel,
+            "points": len(pts),
+            "traceback": tb.format_exc(),
+        }
+    out["t1"] = time.monotonic()
+    if subtrace is not None:
+        out["events"] = subtrace.events
+        out["epoch"] = subtrace.epoch
+    return out
+
+
+def _raise_remote(out: Dict[str, Any]) -> None:
+    err = out["error"]
+    raise PointExecutionError(
+        f"worker {out['worker']} failed on kernel {err['kernel']!r} "
+        f"({err['points']} point task): "
+        f"{err['exc_type']}: {err['message']}",
+        remote_traceback=err.get("traceback"))
 
 
 def execute(
@@ -209,6 +328,7 @@ def execute(
     require_cached: bool = False,
     multi_capacity: bool = True,
     batch: bool = True,
+    trace: Optional[telemetry.RunTrace] = None,
 ) -> SweepReport:
     """Run every point, serving repeats from *cache* when provided.
 
@@ -235,48 +355,139 @@ def execute(
         Collapse same-machine analytic grids (the ``cost-*`` families)
         into vectorized batch evaluations — the grid analogue of
         ``multi_capacity``, with the same bit-identity guarantee.
+    trace:
+        A :class:`~repro.lab.telemetry.RunTrace` to record attribution
+        events into; defaults to the process-wide
+        :func:`~repro.lab.telemetry.active_trace` (usually ``None``).
+        Tracing never changes records or cache contents.
     """
+    if trace is None:
+        trace = telemetry.active_trace()
+    with telemetry.tracing(trace), _phase_capture(trace):
+        return _execute(points, jobs=jobs, cache=cache,
+                        require_cached=require_cached,
+                        multi_capacity=multi_capacity, batch=batch,
+                        trace=trace)
+
+
+def _execute(
+    points: Sequence[ScenarioPoint],
+    *,
+    jobs: int,
+    cache: Optional[ResultCache],
+    require_cached: bool,
+    multi_capacity: bool,
+    batch: bool,
+    trace: Optional[telemetry.RunTrace],
+) -> SweepReport:
     t0 = time.perf_counter()
     points = list(points)
     results: List[Optional[PointResult]] = [None] * len(points)
     pending: List[int] = []
-    for i, pt in enumerate(points):
-        record = cache.get(pt.cache_payload()) if cache is not None else None
-        if record is not None:
-            results[i] = PointResult(pt, record, cached=True)
-        else:
-            pending.append(i)
+    sweep_cm = (trace.span("sweep", points=len(points), jobs=jobs)
+                if trace is not None else nullcontext())
+    with sweep_cm as sweep_span:
+        for i, pt in enumerate(points):
+            payload = pt.cache_payload() if cache is not None else None
+            record = cache.get(payload) if cache is not None else None
+            if record is not None:
+                results[i] = PointResult(pt, record, cached=True)
+                if trace is not None:
+                    trace.point(index=i, kernel=pt.kernel, path="cache",
+                                venue="in_process", cached=True,
+                                key=cache.key_for(payload))
+            else:
+                pending.append(i)
 
-    if pending and require_cached:
-        raise MissingResultsError(len(pending), len(points))
+        if pending and require_cached:
+            raise MissingResultsError(len(pending), len(points))
 
-    batches = batched_points = 0
-    if pending:
-        tasks = _plan_tasks(points, pending, multi_capacity, batch)
-        for task in tasks:
-            if len(task) > 1:
-                batches += 1
-                batched_points += len(task)
-        if jobs > 1 and len(tasks) > 1:
-            payloads = [{"points": [points[i].payload() for i in task]}
-                        for task in tasks]
-            with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
-                record_lists = pool.map(_run_task, payloads)
-        else:
-            record_lists = [_run_points([points[i] for i in task])
-                            for task in tasks]
-        for task, records in zip(tasks, record_lists):
-            if len(records) != len(task):
-                # A broken BatchKernel.run must fail attributably, not
-                # silently drop points from the report.
-                raise RuntimeError(
-                    f"batch evaluator for kernel "
-                    f"{points[task[0]].kernel!r} returned "
-                    f"{len(records)} record(s) for {len(task)} points")
-            for i, record in zip(task, records):
-                if cache is not None:
-                    cache.put(points[i].cache_payload(), record)
-                results[i] = PointResult(points[i], record, cached=False)
+        batches = batched_points = 0
+        if pending:
+            plan = _plan(points, pending, multi_capacity, batch)
+            for task, _kind in plan:
+                if len(task) > 1:
+                    batches += 1
+                    batched_points += len(task)
+            record_lists: List[List[Dict[str, Any]]] = []
+            venues: List[str] = []
+            if jobs > 1 and len(plan) > 1:
+                payloads = [{"points": [points[i].payload() for i in task],
+                             "telemetry": trace is not None}
+                            for task, _kind in plan]
+                submitted = time.monotonic()
+                with multiprocessing.Pool(min(jobs, len(plan))) as pool:
+                    outs = pool.map(_run_task, payloads)
+                for (task, kind), out in zip(plan, outs):
+                    if "error" in out:
+                        _raise_remote(out)
+                    record_lists.append(out["records"])
+                    venue = _worker_venue(out["worker"])
+                    venues.append(venue)
+                    if trace is not None:
+                        compute_s = round(out["t1"] - out["t0"], 6)
+                        span_id = trace.emit_span(
+                            "task", start_monotonic=out["t0"],
+                            duration=out["t1"] - out["t0"],
+                            parent=sweep_span.id,
+                            kernel=points[task[0]].kernel,
+                            kind=kind or "scalar", points=len(task),
+                            venue=venue,
+                            queue_s=round(
+                                max(0.0, out["t0"] - submitted), 6),
+                            compute_s=compute_s)
+                        if out.get("events"):
+                            trace.merge_subtrace(out["events"],
+                                                 out["epoch"],
+                                                 parent_id=span_id)
+            else:
+                for task, kind in plan:
+                    pts = [points[i] for i in task]
+                    if trace is not None:
+                        with trace.span("task", kernel=pts[0].kernel,
+                                        kind=kind or "scalar",
+                                        points=len(task),
+                                        venue="in_process",
+                                        queue_s=0.0) as tspan:
+                            tc0 = time.perf_counter()
+                            recs = _run_points(pts)
+                            tspan.tag(compute_s=round(
+                                time.perf_counter() - tc0, 6))
+                    else:
+                        recs = _run_points(pts)
+                    record_lists.append(recs)
+                    venues.append("in_process")
+            for (task, kind), records, venue in zip(plan, record_lists,
+                                                    venues):
+                if len(records) != len(task):
+                    # A broken BatchKernel.run must fail attributably,
+                    # not silently drop points from the report.
+                    raise RuntimeError(
+                        f"batch evaluator for kernel "
+                        f"{points[task[0]].kernel!r} returned "
+                        f"{len(records)} record(s) for {len(task)} points")
+                path = kind if (kind is not None and len(task) > 1) \
+                    else "scalar"
+                for i, record in zip(task, records):
+                    if cache is not None:
+                        cache.put(points[i].cache_payload(), record)
+                    results[i] = PointResult(points[i], record,
+                                             cached=False)
+                    if trace is not None:
+                        tags: Dict[str, Any] = dict(
+                            index=i, kernel=points[i].kernel, path=path,
+                            venue=venue, cached=False,
+                            batchable=kind is not None)
+                        if cache is not None:
+                            tags["key"] = cache.key_for(
+                                points[i].cache_payload())
+                        trace.point(**tags)
+                        _fold_metrics(trace, points[i].kernel, record)
+
+        if trace is not None:
+            sweep_span.tag(hits=len(points) - len(pending),
+                           misses=len(pending), batches=batches,
+                           batched_points=batched_points)
 
     return SweepReport(
         results=[r for r in results if r is not None],

@@ -65,6 +65,7 @@ from repro.lab.modelkernels import (
 from repro.lab.tracestore import active_store
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
+from repro.machine.fastsim.profile import phase as fs_phase
 from repro.machine.multicache import CacheHierarchySim
 from repro.machine.policies import POLICIES
 from repro.util import canonical_int, require
@@ -83,6 +84,7 @@ __all__ = [
     "BATCH_KERNELS",
     "BATCHABLE_POLICIES",
     "MACHINE_FIELDS",
+    "METRIC_FIELDS",
     "machine_fields",
     "project_machine",
     "fig2_config",
@@ -344,7 +346,8 @@ class TraceKernel:
         spec = self.payload(machine, params)
         store = active_store()
         if store is None:
-            return self.build(spec)
+            with fs_phase("trace_build"):
+                return self.build(spec)
         return store.get_or_build(spec, lambda: self.build(spec))
 
     def record(self, machine: MachineSpec, params: Mapping,
@@ -748,6 +751,33 @@ def machine_fields(kernel: str) -> Optional[Tuple[str, ...]]:
     """The declared machine relevance of *kernel*, or ``None`` when the
     kernel has not declared one (full spec assumed relevant)."""
     return MACHINE_FIELDS.get(kernel)
+
+
+#: the headline counters of a single-level trace-kernel record.
+_TRACE_METRIC_FIELDS: Tuple[str, ...] = ("misses", "writebacks", "fills",
+                                         "energy")
+
+#: Declared telemetry relevance per kernel: the *record* fields worth
+#: folding into run-trace metrics (:meth:`repro.lab.telemetry.RunTrace
+#: .metric`) when a sweep runs traced — the headline numbers a digest
+#: or regression diff should histogram, as opposed to every column of
+#: the record.  Kernels absent here simply contribute no metrics; the
+#: executor skips fields a record happens not to carry (e.g. the
+#: ``feasible: False`` cost records have no ``total_seconds``).
+METRIC_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "matmul-cache": _TRACE_METRIC_FIELDS,
+    "trsm-cache": _TRACE_METRIC_FIELDS,
+    "cholesky-cache": _TRACE_METRIC_FIELDS,
+    "nbody-cache": _TRACE_METRIC_FIELDS,
+    "matmul-hierarchy": _TRACE_METRIC_FIELDS,
+    # Analytic cost models: the modeled runtime.
+    **{name: ("total_seconds",) for name in COST_KERNELS},
+    # Executed distributed algorithms: the per-level traffic maxima.
+    **{name: ("nw_recv_max", "l3_to_l2_max", "l2_to_l3_max")
+       for name in DISTRIBUTED_KERNELS},
+    # Krylov methods: the paper's read/write/flop accounting.
+    **{name: ("reads", "writes", "flops") for name in KRYLOV_KERNELS},
+}
 
 
 def project_machine(spec: MachineSpec, kernel: str) -> Dict[str, Any]:

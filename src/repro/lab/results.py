@@ -18,6 +18,21 @@ from repro.util import format_table, require
 
 __all__ = ["ResultSet"]
 
+#: row fields that identify a point to a human, in preference order
+#: (used by the missing-column errors below).
+_IDENTITY_KEYS = ("kernel", "machine", "scheme", "policy", "algorithm",
+                  "method", "cache_blocks", "n")
+
+
+def _describe_row(i: int, row: Dict[str, Any]) -> str:
+    """``row 3 (kernel='matmul-cache', scheme='wa2', ...)`` — enough to
+    find the offending point without dumping the whole record."""
+    ident = {k: row[k] for k in _IDENTITY_KEYS if k in row}
+    if not ident:  # fall back to the first few columns, whatever they are
+        ident = dict(list(row.items())[:4])
+    parts = ", ".join(f"{k}={v!r}" for k, v in ident.items())
+    return f"row {i} ({parts})"
+
 _AGGREGATORS: Dict[str, Callable[[List[float]], float]] = {
     "sum": sum,
     "mean": lambda xs: sum(xs) / len(xs),
@@ -100,21 +115,29 @@ class ResultSet:
         pivoted columns the first-seen order of the *column* values — so
         a grid swept row-major reassembles in grid order (the Table-1/2
         idiom: one record per (row, algorithm) cell, pivoted back into
-        the paper's layout).  ``None`` values survive the reshape;
-        duplicate (index, column) cells are rejected.
+        the paper's layout).  ``None`` *values* survive the reshape, but
+        a row missing any index/column/value key outright is an error
+        naming the row — silently reshaping around it would fabricate a
+        hole in the grid.  Duplicate (index, column) cells are rejected.
         """
         index = list(index)
         out: Dict[Tuple, Dict[str, Any]] = {}
-        for row in self.rows:
-            key = tuple(row.get(k) for k in index)
+        for i, row in enumerate(self.rows):
+            for k in index:
+                require(k in row, f"pivot index key {k!r} missing from "
+                                  f"{_describe_row(i, row)}")
+            require(column in row and row[column] is not None,
+                    f"pivot column {column!r} missing from "
+                    f"{_describe_row(i, row)}")
+            require(value in row,
+                    f"pivot value {value!r} missing from "
+                    f"{_describe_row(i, row)}")
+            key = tuple(row[k] for k in index)
             target = out.setdefault(key, dict(zip(index, key)))
-            col = row.get(column)
-            require(col is not None,
-                    f"pivot column {column!r} missing from a row")
-            col = str(col)
+            col = str(row[column])
             require(col not in target,
                     f"duplicate pivot cell {key} x {col!r}")
-            target[col] = row.get(value)
+            target[col] = row[value]
         return ResultSet(list(out.values()))
 
     # ------------------------------------------------------------------ #
@@ -129,14 +152,23 @@ class ResultSet:
 
     def aggregate(self, keys: Sequence[str], value: str,
                   how: str = "mean") -> "ResultSet":
-        """Collapse rows sharing *keys* to one row with ``how(value)``."""
+        """Collapse rows sharing *keys* to one row with ``how(value)``.
+
+        Every row must carry *value*: a point whose record lacks the
+        aggregated column is an error naming that point, not a silent
+        drop from the mean.
+        """
         require(how in _AGGREGATORS,
                 f"unknown aggregator {how!r}; choose from "
                 f"{sorted(_AGGREGATORS)}")
         fn = _AGGREGATORS[how]
+        for i, row in enumerate(self.rows):
+            require(value in row,
+                    f"aggregate value {value!r} missing from "
+                    f"{_describe_row(i, row)}")
         out = []
         for gkey, group in self.group_by(*keys).items():
-            values = [row[value] for row in group.rows if value in row]
+            values = [row[value] for row in group.rows]
             require(len(values) > 0, f"no values for column {value!r}")
             row = dict(zip(keys, gkey))
             row[f"{how}_{value}"] = fn(values)

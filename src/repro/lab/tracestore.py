@@ -31,7 +31,9 @@ from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.lab import telemetry
 from repro.lab.cache import code_fingerprint, default_cache_root, point_key
+from repro.machine.fastsim.profile import phase as fs_phase
 
 __all__ = ["TraceStore", "active_store", "set_active_store",
            "default_trace_root", "store_from_env"]
@@ -87,22 +89,32 @@ class TraceStore:
         overwrites it — rather than fed into the simulation kernels.
         """
         if self.disabled:
-            self.misses += 1
+            self._count_miss("disabled")
             return None
         lines_p, writes_p, _ = self._paths(self.key_for(payload))
         try:
             lines = np.load(lines_p, mmap_mode="r")
             writes = np.load(writes_p, mmap_mode="r")
         except (OSError, ValueError):
-            self.misses += 1
+            self._count_miss("absent")
             return None
         if (lines.ndim != 1 or writes.ndim != 1
                 or lines.shape != writes.shape
                 or lines.dtype != np.int64 or writes.dtype != np.bool_):
-            self.misses += 1
+            self._count_miss("invalid")
             return None
         self.hits += 1
+        trace = telemetry.active_trace()
+        if trace is not None:
+            # build-vs-reuse attribution: a hit is a mmap reuse.
+            trace.counter("tracestore.hit")
         return lines, writes
+
+    def _count_miss(self, reason: str) -> None:
+        self.misses += 1
+        trace = telemetry.active_trace()
+        if trace is not None:
+            trace.counter("tracestore.miss", reason=reason)
 
     def put(self, payload: Dict, lines: np.ndarray,
             writes: np.ndarray) -> bool:
@@ -172,7 +184,8 @@ class TraceStore:
         cached = self.get(payload)
         if cached is not None:
             return cached
-        lines, writes = builder()
+        with fs_phase("trace_build"):
+            lines, writes = builder()
         self.put(payload, lines, writes)
         return lines, writes
 

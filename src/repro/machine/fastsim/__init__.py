@@ -19,7 +19,13 @@ Entry points:
   (OPT is a stack algorithm too — see :mod:`repro.machine.fastsim.opt`);
 * :func:`stack_distances` / :func:`count_earlier_greater` — the exact
   reuse-distance machinery, reusable for other policies built on it;
-* :func:`belady_next_use` — vectorized Belady preprocessing.
+* :func:`belady_next_use` — vectorized Belady preprocessing;
+* :func:`set_phase_hook` / :func:`phase` — the profiling-hook protocol
+  (:mod:`repro.machine.fastsim.profile`): the lab's run tracer installs
+  a hook to capture per-phase timings (``trace_build`` /
+  ``distance_pass`` / ``radix_partition`` / ``capacity_fold`` /
+  ``next_use`` / ``opt_replay``); without one every phase site is a
+  shared no-op.
 
 Everything here is exact: parity with :class:`CacheSim` is enforced
 bit-for-bit by the test suite (``tests/test_fastsim.py``).
@@ -42,6 +48,7 @@ from repro.machine.fastsim.opt import (
     simulate_opt,
     simulate_opt_sweep,
 )
+from repro.machine.fastsim.profile import phase, phase_hook, set_phase_hook
 
 __all__ = [
     "belady_next_use",
@@ -55,4 +62,7 @@ __all__ = [
     "OPTSweepResult",
     "simulate_opt",
     "simulate_opt_sweep",
+    "phase",
+    "phase_hook",
+    "set_phase_hook",
 ]

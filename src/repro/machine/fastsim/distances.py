@@ -29,6 +29,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.machine.fastsim.profile import phase
+
 __all__ = [
     "prev_occurrences",
     "next_occurrences",
@@ -93,6 +95,12 @@ def count_earlier_greater(values: np.ndarray) -> np.ndarray:
         return counts
     if values.min() < 0 or int(values.max()) >= (1 << 31):
         raise ValueError("count_earlier_greater needs 0 <= values < 2**31")
+    with phase("radix_partition"):
+        return _radix_inversions(values, counts)
+
+
+def _radix_inversions(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    n = len(values)
     nbits = max(1, int(values.max()).bit_length())
     packed = (values.astype(np.int64) << 31) | np.arange(n, dtype=np.int64)
     slot_counts = np.zeros(n, dtype=np.int64)  # rides the permutation
@@ -146,27 +154,28 @@ def reuse_profile(
       capacity, however large — clamp against your capacity grid before
       comparing.
     """
-    lines = np.ascontiguousarray(lines)
-    n = len(lines)
-    order = np.argsort(lines, kind="stable")
-    sorted_lines = lines[order]
-    first = np.empty(n, dtype=bool)
-    prev = np.full(n, -1, dtype=np.int64)
-    if n:
-        first[0] = True
-        np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=first[1:])
-        repeat = ~first[1:]
-        prev[order[1:][repeat]] = order[:-1][repeat]
-    distances = np.full(n, n + 1, dtype=np.int64)
-    warm = prev >= 0
-    if warm.any():
-        # Cold entries can never satisfy prev[s] > prev[t] >= 0, so they
-        # are dropped from the inversion count entirely.
-        warm_prev = prev[warm]
-        repeats = count_earlier_greater(warm_prev)
-        t = np.flatnonzero(warm)
-        distances[warm] = t - warm_prev - 1 - repeats
-    return order, sorted_lines, first, prev, distances
+    with phase("distance_pass"):
+        lines = np.ascontiguousarray(lines)
+        n = len(lines)
+        order = np.argsort(lines, kind="stable")
+        sorted_lines = lines[order]
+        first = np.empty(n, dtype=bool)
+        prev = np.full(n, -1, dtype=np.int64)
+        if n:
+            first[0] = True
+            np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=first[1:])
+            repeat = ~first[1:]
+            prev[order[1:][repeat]] = order[:-1][repeat]
+        distances = np.full(n, n + 1, dtype=np.int64)
+        warm = prev >= 0
+        if warm.any():
+            # Cold entries can never satisfy prev[s] > prev[t] >= 0, so
+            # they are dropped from the inversion count entirely.
+            warm_prev = prev[warm]
+            repeats = count_earlier_greater(warm_prev)
+            t = np.flatnonzero(warm)
+            distances[warm] = t - warm_prev - 1 - repeats
+        return order, sorted_lines, first, prev, distances
 
 
 def stack_distances(lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

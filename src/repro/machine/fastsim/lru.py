@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.machine.cache import CacheStats
 from repro.machine.fastsim.distances import reuse_profile
+from repro.machine.fastsim.profile import phase
 
 __all__ = ["LRUSweepResult", "simulate_lru_sweep", "simulate_lru"]
 
@@ -152,88 +153,92 @@ def simulate_lru_sweep(
 
     # ---------------- reuse profile (grouped by line) ----------------- #
     order, sorted_lines, first, prev, dist = reuse_profile(lines)
-    repeat = ~first
-    # Cold accesses must miss at every capacity, however large.
-    warm = prev >= 0
-    big = np.int64(max(int(caps[-1]), n) + 1)
-    dist_c = np.where(warm, dist, big)
+    with phase("capacity_fold"):
+        repeat = ~first
+        # Cold accesses must miss at every capacity, however large.
+        warm = prev >= 0
+        big = np.int64(max(int(caps[-1]), n) + 1)
+        dist_c = np.where(warm, dist, big)
 
-    def ub(x):  # number of capacities <= x, i.e. index bound for "C <= x"
-        return np.searchsorted(caps, x, side="right").astype(np.int64)
+        def ub(x):  # number of capacities <= x: index bound for "C <= x"
+            return np.searchsorted(caps, x, side="right").astype(np.int64)
 
-    # ---------------- hits / misses / fills --------------------------- #
-    # An access of distance d misses capacities C <= d: indices [0, ub(d)).
-    diff = -np.bincount(ub(dist_c), minlength=K + 1)
-    diff[0] += n
-    misses = np.cumsum(diff)[:K]
-    hits = n - misses
-    fills = misses.copy()
+        # ---------------- hits / misses / fills ----------------------- #
+        # An access of distance d misses capacities C <= d: [0, ub(d)).
+        diff = -np.bincount(ub(dist_c), minlength=K + 1)
+        diff[0] += n
+        misses = np.cumsum(diff)[:K]
+        hits = n - misses
+        fills = misses.copy()
 
-    # ---------------- per-line write state ---------------------------- #
-    dist_g = dist_c[order]
-    w_g = writes[order]
-    w_int = w_g.astype(np.int64)
-    starts = np.flatnonzero(first)
-    gid = np.cumsum(first) - 1
-    cum_w_excl = np.cumsum(w_int) - w_int
-    has_write = (np.cumsum(w_int) - cum_w_excl[starts][gid]) > 0
-    # M: max stack distance at the line's own accesses since its last
-    # write (0 at the write itself), via offset-segmented cummax.  The
-    # raw (unclamped) distances keep values < BIG; cold entries can only
-    # appear in segments where has_write is False (a line's first access
-    # cannot follow a write to it), where M is never consulted.
-    seg_val = np.where(w_g | first, 0, dist[order])
-    seg_id = np.cumsum((w_g | first).astype(np.int64))
-    seg_big = np.int64(n + 3)
-    m_state = (np.maximum.accumulate(seg_val + seg_id * seg_big)
-               - seg_id * seg_big)
+        # ---------------- per-line write state ------------------------ #
+        dist_g = dist_c[order]
+        w_g = writes[order]
+        w_int = w_g.astype(np.int64)
+        starts = np.flatnonzero(first)
+        gid = np.cumsum(first) - 1
+        cum_w_excl = np.cumsum(w_int) - w_int
+        has_write = (np.cumsum(w_int) - cum_w_excl[starts][gid]) > 0
+        # M: max stack distance at the line's own accesses since its last
+        # write (0 at the write itself), via offset-segmented cummax.
+        # The raw (unclamped) distances keep values < BIG; cold entries
+        # can only appear in segments where has_write is False (a line's
+        # first access cannot follow a write to it), where M is never
+        # consulted.
+        seg_val = np.where(w_g | first, 0, dist[order])
+        seg_id = np.cumsum((w_g | first).astype(np.int64))
+        seg_big = np.int64(n + 3)
+        m_state = (np.maximum.accumulate(seg_val + seg_id * seg_big)
+                   - seg_id * seg_big)
 
-    acc = {name: np.zeros(K + 1, dtype=np.int64)
-           for name in ("victims_m", "victims_e",
-                        "flush_writebacks", "flush_victims_e")}
+        acc = {name: np.zeros(K + 1, dtype=np.int64)
+               for name in ("victims_m", "victims_e",
+                            "flush_writebacks", "flush_victims_e")}
 
-    def add_ranges(name, lo, hi):
-        """+1 on capacity indices [lo, hi) for each event."""
-        acc[name] += (np.bincount(lo, minlength=K + 1)
-                      - np.bincount(hi, minlength=K + 1))[:K + 1]
+        def add_ranges(name, lo, hi):
+            """+1 on capacity indices [lo, hi) for each event."""
+            acc[name] += (np.bincount(lo, minlength=K + 1)
+                          - np.bincount(hi, minlength=K + 1))[:K + 1]
 
-    # ---------------- in-trace evictions (reuse gaps) ----------------- #
-    # The line re-accessed at grouped slot k was evicted from every
-    # C <= d (d = its distance); dirty exactly where C > M at its
-    # previous access.
-    gaps = np.flatnonzero(repeat)
-    if len(gaps):
-        ub_d = ub(dist_g[gaps])
-        hw_p = has_write[gaps - 1]
-        m_p = m_state[gaps - 1]
-        dirty_lo = np.where(hw_p, np.minimum(ub(m_p), ub_d), ub_d)
-        add_ranges("victims_m", dirty_lo, ub_d)
-        clean_hi = np.where(hw_p, ub(np.minimum(m_p, dist_g[gaps])), ub_d)
-        add_ranges("victims_e", np.zeros(len(gaps), dtype=np.int64),
+        # ---------------- in-trace evictions (reuse gaps) ------------- #
+        # The line re-accessed at grouped slot k was evicted from every
+        # C <= d (d = its distance); dirty exactly where C > M at its
+        # previous access.
+        gaps = np.flatnonzero(repeat)
+        if len(gaps):
+            ub_d = ub(dist_g[gaps])
+            hw_p = has_write[gaps - 1]
+            m_p = m_state[gaps - 1]
+            dirty_lo = np.where(hw_p, np.minimum(ub(m_p), ub_d), ub_d)
+            add_ranges("victims_m", dirty_lo, ub_d)
+            clean_hi = np.where(hw_p, ub(np.minimum(m_p, dist_g[gaps])),
+                                ub_d)
+            add_ranges("victims_e", np.zeros(len(gaps), dtype=np.int64),
+                       clean_hi)
+
+        # ---------------- end of trace: per-line last access ---------- #
+        ends = np.flatnonzero(np.append(first[1:], True))
+        t_last = order[ends]
+        n_lines = len(ends)
+        depth = np.empty(n_lines, dtype=np.int64)  # final stack depth
+        depth[np.argsort(-t_last)] = np.arange(n_lines, dtype=np.int64)
+        hw_l = has_write[ends]
+        m_l = m_state[ends]
+        ub_e = ub(depth)
+        # Evicted before the end of the trace (C <= depth):
+        dirty_lo = np.where(hw_l, np.minimum(ub(m_l), ub_e), ub_e)
+        add_ranges("victims_m", dirty_lo, ub_e)
+        clean_hi = np.where(hw_l, ub(np.minimum(m_l, depth)), ub_e)
+        add_ranges("victims_e", np.zeros(n_lines, dtype=np.int64),
                    clean_hi)
+        # Still resident at flush (C > depth):
+        top = np.full(n_lines, K, dtype=np.int64)
+        flush_lo = np.where(hw_l, ub(np.maximum(m_l, depth)), top)
+        add_ranges("flush_writebacks", flush_lo, top)
+        clean_flush_hi = np.where(hw_l, np.maximum(ub(m_l), ub_e), top)
+        add_ranges("flush_victims_e", ub_e, clean_flush_hi)
 
-    # ---------------- end of trace: per-line last access -------------- #
-    ends = np.flatnonzero(np.append(first[1:], True))
-    t_last = order[ends]
-    n_lines = len(ends)
-    depth = np.empty(n_lines, dtype=np.int64)  # final stack depth
-    depth[np.argsort(-t_last)] = np.arange(n_lines, dtype=np.int64)
-    hw_l = has_write[ends]
-    m_l = m_state[ends]
-    ub_e = ub(depth)
-    # Evicted before the end of the trace (C <= depth):
-    dirty_lo = np.where(hw_l, np.minimum(ub(m_l), ub_e), ub_e)
-    add_ranges("victims_m", dirty_lo, ub_e)
-    clean_hi = np.where(hw_l, ub(np.minimum(m_l, depth)), ub_e)
-    add_ranges("victims_e", np.zeros(n_lines, dtype=np.int64), clean_hi)
-    # Still resident at flush (C > depth):
-    top = np.full(n_lines, K, dtype=np.int64)
-    flush_lo = np.where(hw_l, ub(np.maximum(m_l, depth)), top)
-    add_ranges("flush_writebacks", flush_lo, top)
-    clean_flush_hi = np.where(hw_l, np.maximum(ub(m_l), ub_e), top)
-    add_ranges("flush_victims_e", ub_e, clean_flush_hi)
-
-    by_recency = np.argsort(t_last)  # LRU -> MRU
+        by_recency = np.argsort(t_last)  # LRU -> MRU
     return LRUSweepResult(
         accesses=n,
         capacities=caps,

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.machine.cache import CacheStats
 from repro.machine.fastsim.distances import next_occurrences
+from repro.machine.fastsim.profile import phase
 
 __all__ = ["OPTSweepResult", "simulate_opt_sweep", "simulate_opt"]
 
@@ -141,7 +142,8 @@ def simulate_opt_sweep(
     caps_l: List[int] = caps.tolist()
     lines_l = lines.tolist()
     w_l = writes.tolist()
-    nxt_l = next_occurrences(lines).tolist()
+    with phase("next_use"):
+        nxt_l = next_occurrences(lines).tolist()
 
     level: dict = {}        # line -> smallest capacity index holding it
     nu_cur: dict = {}       # line -> current next use (lazy-heap validity)
@@ -156,6 +158,11 @@ def simulate_opt_sweep(
     level_get = level.get
     hw_get = hw.get
 
+    # The replay loop is wrapped manually rather than re-indented under a
+    # ``with`` block; the hook only records time, so there is no cleanup
+    # to protect.
+    replay = phase("opt_replay")
+    replay.__enter__()
     for t in range(n):
         x = lines_l[t]
         w = w_l[t]
@@ -219,6 +226,7 @@ def simulate_opt_sweep(
             mlev[x] = 0
         elif hw_get(x, False) and j > mlev[x]:
             mlev[x] = j      # refilled clean at capacities < j
+    replay.__exit__(None, None, None)
 
     # ----- end-of-trace flush (folded into the run, as _run_belady) ----- #
     wb_diff = [0] * (K + 1)

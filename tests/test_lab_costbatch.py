@@ -171,7 +171,7 @@ class TestCostGridBatching:
         assert type(machine.hw[0][1]) is float
         pt = ScenarioPoint("cost-break-even", machine, {})
         direct = _run_points([pt])
-        via_payload = _run_task({"points": [pt.payload()]})
+        via_payload = _run_task({"points": [pt.payload()]})["records"]
         assert json.dumps(direct) == json.dumps(via_payload)
         assert MachineSpec(name="x", levels=[64, 256]).levels == \
             (64, 256)
