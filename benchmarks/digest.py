@@ -18,6 +18,12 @@ batch path at plan time) that actually executed through a batched task
 drops below the threshold in any trace, the exit code is 1.  The CI
 presets are constructed so coverage is exactly 1.0 — any dip means the
 planner stopped collapsing a group it used to collapse.
+
+``--min-completed`` is the chaos job's recovery gate: the share of
+points that produced a real record (``failed``-path points are the
+only non-completions).  A seeded fault plan whose ``times`` is within
+the retry budget must recover every point, so CI runs the chaos
+presets with ``--min-completed 1.0``.
 """
 
 from __future__ import annotations
@@ -47,6 +53,15 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]
 
 def _pct(x: float) -> str:
     return f"{x:.1%}"
+
+
+def _completed_share(s: Dict[str, Any]) -> float:
+    """Fraction of a trace's points that produced a real record (the
+    chaos job's recovery floor — ``failed`` path points are the only
+    non-completions; retried-then-recovered points count as complete)."""
+    if not s["points"]:
+        return 1.0
+    return 1.0 - s["paths"].get("failed", 0) / s["points"]
 
 
 def digest_section(path: Path, s: Dict[str, Any]) -> List[str]:
@@ -86,6 +101,19 @@ def digest_section(path: Path, s: Dict[str, Any]) -> List[str]:
         lines.append(f"Trace store: {int(ts['reuses'])} mmap reuse(s), "
                      f"{int(ts['misses'])} build(s).")
         lines.append("")
+    f = s["faults"]
+    if f["retries"] or f["timeouts"] or f["respawns"] or f["failed_points"]:
+        reasons = ", ".join(f"{k}: {int(v)}" for k, v in
+                            sorted(f["retry_reasons"].items()))
+        lines.append(f"Fault tolerance: {int(f['retries'])} task "
+                     f"retr{'y' if f['retries'] == 1 else 'ies'}"
+                     + (f" ({reasons})" if reasons else "")
+                     + f", {int(f['timeouts'])} timeout kill(s), "
+                     f"{int(f['respawns'])} worker respawn(s), "
+                     f"**{int(f['failed_points'])} failed point(s)** of "
+                     f"{s['points']} ({_pct(_completed_share(s))} "
+                     f"completed).")
+        lines.append("")
     if s["phases"]:
         lines += _md_table(
             ["phase", "calls", "seconds"],
@@ -107,6 +135,12 @@ def main(argv: Sequence[str] = None) -> int:
                     metavar="FRACTION",
                     help="fail (exit 1) if any trace's batch-path "
                          "coverage of batchable points is below this")
+    ap.add_argument("--min-completed", type=float, default=None,
+                    metavar="FRACTION",
+                    help="fail (exit 1) if any trace completed fewer "
+                         "than this share of its points (failed-path "
+                         "points count against it) — the chaos job's "
+                         "recovery floor")
     args = ap.parse_args(argv)
 
     lines: List[str] = ["# Sweep telemetry digest", ""]
@@ -121,6 +155,13 @@ def main(argv: Sequence[str] = None) -> int:
                 f"{path.name}: batch-path coverage "
                 f"{_pct(s['batch_coverage'])} < required "
                 f"{_pct(args.min_batch_coverage)}")
+        if (args.min_completed is not None
+                and _completed_share(s) < args.min_completed):
+            failures.append(
+                f"{path.name}: completed-point share "
+                f"{_pct(_completed_share(s))} < required "
+                f"{_pct(args.min_completed)} "
+                f"({s['paths'].get('failed', 0)} failed point(s))")
     if failures:
         lines.append("## Regression gate: FAILED")
         lines.append("")

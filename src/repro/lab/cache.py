@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from functools import lru_cache
 from pathlib import Path
@@ -96,8 +97,12 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.disabled = False
+        #: unreadable records dropped by the last :meth:`gc` call.
+        self.quarantined = 0
         #: lazy stale-fingerprint index (see :meth:`_is_stale`).
         self._stale_index: Optional[Set[str]] = None
+        #: unreadable paths already warned about (once per run).
+        self._warned_unreadable: Set[str] = set()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError:
@@ -137,6 +142,18 @@ class ResultCache:
                 reason = "stale-fingerprint"
             trace.counter("cache.miss", reason=reason)
 
+    def _warn_unreadable(self, path: Path) -> None:
+        """Name the corrupt entry behind an ``unreadable`` miss — once
+        per file per run, so a 10^4-point sweep over one bad record
+        prints one line, not 10^4."""
+        key = str(path)
+        if key in self._warned_unreadable:
+            return
+        self._warned_unreadable.add(key)
+        print(f"[repro.lab] unreadable cache entry {path} — serving as "
+              f"a miss; `repro-lab cache gc` quarantines it",
+              file=sys.stderr)
+
     def get(self, payload: Mapping[str, Any]) -> Optional[Dict]:
         """Return the cached record for *payload*, or ``None`` on a miss."""
         if self.disabled:
@@ -151,6 +168,7 @@ class ResultCache:
             self._count_miss(payload, "absent")
             return None
         except (OSError, ValueError, KeyError, TypeError):
+            self._warn_unreadable(path)
             self._count_miss(payload, "unreadable")
             return None
         self.hits += 1
@@ -239,30 +257,58 @@ class ResultCache:
             return 0
         return sum(p.stat().st_size for p in self.root.glob("*/*.json"))
 
+    def cleanup_tmp(self) -> int:
+        """Delete stale ``*.tmp`` spill files (write temporaries left
+        behind by an interrupted sweep — ``os.replace`` never ran).
+        Returns how many were removed.  Safe against concurrent
+        writers: an in-flight temporary that vanishes under a writer
+        just fails that single ``put`` as it already could."""
+        removed = 0
+        if self.disabled or not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def gc(self, keep_version: Optional[str] = None) -> int:
         """Drop records from superseded code versions (default: keep only
         the current fingerprint); pass ``keep_version=""`` to drop
-        everything.  Returns the number of records removed."""
+        everything.  Returns the number of records removed; unreadable
+        (corrupt) records are deleted too and counted in
+        :attr:`quarantined`, and stale ``*.tmp`` write temporaries are
+        swept as a side effect."""
         if keep_version is None:
             keep_version = self.code_version
+        self.quarantined = 0
         if not keep_version:
-            return self.clear()  # nothing can match: skip the parsing
+            removed = self.clear()  # nothing can match: skip the parsing
+            self.cleanup_tmp()
+            return removed
         removed = 0
         if self.disabled or not self.root.exists():
             return removed
         for path in sorted(self.root.glob("*/*.json")):
+            quarantine = False
             try:
                 with open(path, "r", encoding="utf-8") as fh:
                     doc = json.load(fh)
                 keep = doc.get("code_version") == keep_version
             except (OSError, ValueError):
                 keep = False  # unreadable records are dead weight
+                quarantine = True
             if not keep:
                 try:
                     path.unlink()
                     removed += 1
+                    if quarantine:
+                        self.quarantined += 1
                 except OSError:
                     continue
+        self.cleanup_tmp()
         return removed
 
     def describe(self) -> str:

@@ -46,9 +46,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lab import telemetry
 from repro.lab.cache import ResultCache, default_cache_root
-from repro.lab.executor import MissingResultsError, execute
+from repro.lab.executor import (MissingResultsError, PointExecutionError,
+                                execute)
+from repro.lab.faults import FAULTS_ENV, FaultPlan, plan_from_env
 from repro.lab.registry import KERNELS, MACHINES, POLICIES, resolve_machine
 from repro.lab.results import ResultSet
+from repro.util import format_table
 from repro.lab.scenarios import SCENARIOS, Scenario, get_scenario
 from repro.lab.telemetry import RunTrace
 from repro.lab.tracestore import (
@@ -141,10 +144,41 @@ def _make_run_trace(args: argparse.Namespace,
                                "jobs": getattr(args, "jobs", 1)})
 
 
+def _render_failures(report) -> str:
+    """The per-point failure table a degraded (``--keep-going``) sweep
+    prints instead of burying errors in the flat export."""
+    rows = []
+    for res in report.failures():
+        ident = res.record.get("point") or {}
+        params = ", ".join(f"{k}={v}" for k, v in
+                           sorted((ident.get("params") or {}).items()))
+        rows.append([ident.get("kernel", res.point.kernel),
+                     ident.get("machine", res.point.machine.name),
+                     params,
+                     res.record.get("attempts", "?"),
+                     res.record.get("error", "?")])
+    return format_table(["kernel", "machine", "params", "attempts",
+                         "error"], rows, title="failed points")
+
+
 def _finish(scenario: Scenario, report, cache, args,
             trace: Optional[RunTrace] = None) -> int:
-    print(scenario.render(report.results))
     rs = ResultSet.from_report(report)
+    if report.failed:
+        # Scenario renderers assume complete kernel records; a degraded
+        # sweep shows the flat rows that exist plus a failure table
+        # (the error-record internals stay in the exports).
+        display = ResultSet([{k: v for k, v in row.items()
+                              if k not in ("remote_traceback", "point")}
+                             for row in rs.rows])
+        print(display.format(title=f"{scenario.name} — partial results "
+                                   f"({report.failed} of {report.total} "
+                                   f"point(s) failed)"))
+        print(_render_failures(report))
+        print(f"[repro.lab] re-running the same command retries only "
+              f"the failures (completed points are cached)")
+    else:
+        print(scenario.render(report.results))
     if getattr(args, "csv", None):
         rs.to_csv(args.csv)
         print(f"[repro.lab] wrote {len(rs)} rows to {args.csv}")
@@ -154,10 +188,10 @@ def _finish(scenario: Scenario, report, cache, args,
     print(report.cache_line(cache))
     if trace is not None:
         trace.finish(hits=report.hits, misses=report.misses,
-                     elapsed=report.elapsed)
+                     elapsed=report.elapsed, failed=report.failed)
         print(telemetry.render_attribution(trace))
         print(f"[repro.lab] run trace written to {trace.path}")
-    return 0
+    return 3 if report.failed else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -195,6 +229,22 @@ def _warn_unknown_sets(scenario: Scenario, sets: Dict[str, Any]) -> None:
               f"anyway", file=sys.stderr)
 
 
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """``--fault-plan SPEC`` wins; otherwise honour ``$REPRO_LAB_FAULTS``
+    (how CI's chaos job injects without touching the preset commands)."""
+    spec = getattr(args, "fault_plan", None)
+    if spec is not None:
+        return FaultPlan.parse(spec)
+    return plan_from_env()
+
+
+def _engine_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """The fault-tolerance arguments ``run``/``sweep`` thread through
+    to :func:`repro.lab.executor.execute`."""
+    return dict(retries=args.retries, timeout=args.timeout,
+                keep_going=args.keep_going, faults=_fault_plan(args))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario, quick=args.quick)
     sets = _parse_kv(args.set, grid=False)
@@ -206,7 +256,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = _make_run_trace(args, scenario.name)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
                      multi_capacity=not args.no_multi_capacity,
-                     batch=not args.no_batch, trace=trace)
+                     batch=not args.no_batch, trace=trace,
+                     **_engine_kwargs(args))
     return _finish(scenario, report, cache, args, trace=trace)
 
 
@@ -239,7 +290,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = _make_run_trace(args, scenario.name)
     report = execute(scenario.points(), jobs=args.jobs, cache=cache,
                      multi_capacity=not args.no_multi_capacity,
-                     batch=not args.no_batch, trace=trace)
+                     batch=not args.no_batch, trace=trace,
+                     **_engine_kwargs(args))
     return _finish(scenario, report, cache, args, trace=trace)
 
 
@@ -317,7 +369,9 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 def _cmd_cache_gc(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     removed = cache.gc(keep_version="" if args.all else None)
-    print(f"[repro.lab] removed {removed} result record(s); "
+    note = (f" ({cache.quarantined} quarantined as corrupt)"
+            if cache.quarantined else "")
+    print(f"[repro.lab] removed {removed} result record(s){note}; "
           f"{len(cache)} kept at {cache.root}")
     store = _maintenance_store(args)
     if store is None:
@@ -356,6 +410,25 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "table; never changes records")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write the run trace to FILE (implies --trace)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="per-task retry budget beyond the first attempt "
+                        "(capped exponential backoff; a failed batch "
+                        "falls back to per-point execution first)")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task wall-clock limit; an overdue worker "
+                        "is killed and the task retried (--jobs > 1 "
+                        "only — in-process tasks cannot be preempted)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="degrade instead of aborting: points that "
+                        "exhaust their retries become structured error "
+                        "records in the report (exit code 3)")
+    p.add_argument("--fault-plan", default=None, metavar="SPEC",
+                   help="deterministic fault injection for chaos "
+                        "testing, e.g. 'seed=42,rate=0.3,"
+                        "kinds=raise+die,times=1' "
+                        f"(default: ${FAULTS_ENV} if set; 'off' "
+                        f"disables)")
 
 
 def _add_export_args(p: argparse.ArgumentParser) -> None:
@@ -483,6 +556,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         # values) surface as ValueError; report them CLI-style.
         print(f"repro-lab: error: {exc}", file=sys.stderr)
         return 2
+    except PointExecutionError as exc:
+        # A task failed terminally and the run was not --keep-going;
+        # everything that completed before the failure is cached.
+        print(f"repro-lab: sweep aborted: {exc}", file=sys.stderr)
+        print("repro-lab: completed points are cached; re-run (or add "
+              "--keep-going / --retries) to continue", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # Terminating the pool is the executor's job (its finally
+        # block); here we sweep up half-written cache temporaries and
+        # exit with the conventional SIGINT status instead of a
+        # traceback.  Completed points were cached as they finished.
+        if not getattr(args, "no_cache", False):
+            try:
+                ResultCache(getattr(args, "cache_dir", None)).cleanup_tmp()
+            except Exception:
+                pass
+        print("\n[repro.lab] interrupted; completed points are cached — "
+              "re-run the same command to resume", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # `repro-lab trace show ... | head` closes stdout early; exit
         # quietly instead of tracebacking.  Detach stdout so the

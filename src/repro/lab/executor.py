@@ -1,13 +1,14 @@
 """Parallel scenario-point executor with cache-aware scheduling.
 
 The executor resolves cache hits first (cheap, in-process), then fans only
-the remaining points out over a ``multiprocessing`` pool — so a warm sweep
-costs one JSON read per point regardless of ``jobs``, and a cold sweep
-scales with cores.  All *result-cache* I/O happens in the parent process;
-workers are deterministic functions from point payloads to records, though
-with a trace store installed (:mod:`repro.lab.tracestore`) they do share
-memoized traces through it (memory-mapped reads, atomic writes — safe
-under concurrency, and purely an accelerator: records are unaffected).
+the remaining points out over a supervised pool of worker processes — so a
+warm sweep costs one JSON read per point regardless of ``jobs``, and a
+cold sweep scales with cores.  All *result-cache* I/O happens in the
+parent process; workers are deterministic functions from point payloads to
+records, though with a trace store installed
+(:mod:`repro.lab.tracestore`) they do share memoized traces through it
+(memory-mapped reads, atomic writes — safe under concurrency, and purely
+an accelerator: records are unaffected).
 
 **Batching** (on by default): uncached points whose kernel registers a
 :class:`~repro.lab.registry.BatchKernel` entry and that share the
@@ -27,23 +28,46 @@ bit-identical to the per-point path.  Two batch families exist today:
   grid, infeasible points masked to ``feasible: False`` records
   (``batch=False`` / ``--no-batch`` opts out).
 
+**Fault tolerance**: dispatch is a supervised completion loop, not a
+bare ``pool.map``.  Each task gets a wall-clock ``timeout`` (the worker
+is killed and respawned on expiry) and a per-task ``retries`` budget
+with capped exponential backoff and deterministic jitter; a failed
+*batch* falls back to per-point scalar tasks so one poisoned point
+cannot sink its siblings; a worker that dies mid-task (SIGKILL,
+``os._exit``) is detected, respawned (capped by
+:attr:`RetryPolicy.max_respawns`) and its task requeued.  Every
+successful point is cached *immediately on completion*, so an
+interrupted or partially failed sweep resumes through the result cache
+(re-run = retry only the failures).  With ``keep_going=True`` a point
+that exhausts its retries produces a structured error record
+(``failed``/``error``/``exc_type``/``remote_traceback``/``attempts``,
+plus the scenario point identity) instead of aborting the sweep;
+otherwise the first terminal failure raises
+:class:`PointExecutionError` — completed siblings stay cached either
+way.  A seeded :class:`~repro.lab.faults.FaultPlan` (``faults=``,
+``--fault-plan``, ``$REPRO_LAB_FAULTS``) injects deterministic
+raise/hang/die faults at the worker boundary so every recovery path is
+testable.
+
 **Cache identity**: records are keyed on
 :meth:`~repro.lab.scenarios.ScenarioPoint.cache_payload` — the machine
 spec projected to the fields the kernel declares it reads
 (:data:`repro.lab.registry.MACHINE_FIELDS`) — so same-params points
 under differently named (or irrelevantly differing) machines share one
-cache entry.
+cache entry.  Error records are **never** cached.
 
 **Telemetry** (:mod:`repro.lab.telemetry`): with a
 :class:`~repro.lab.telemetry.RunTrace` active (``--trace`` or an
 explicit ``trace=`` argument) the executor emits a ``sweep`` span, one
-``task`` span per planned task (tagged with its kind, venue —
-``in_process`` or ``pool-worker-N`` — and queue-vs-compute seconds),
-and one ``point`` event per point tagged with its execution path
-(``cache``/``batch``/``multi_capacity``/``scalar``), cache key and
-whether it was batchable.  Pool workers capture their own events
-(fastsim phases, trace-store counters) into an in-memory subtrace that
-the parent splices back in; kernels listed in
+``task`` span per completed task attempt (tagged with its kind, venue —
+``in_process`` or ``pool-worker-N`` — attempt number and
+queue-vs-compute seconds), one ``point`` event per point tagged with
+its execution path (``cache``/``batch``/``multi_capacity``/``scalar``/
+``failed``), and ``task.retry`` / ``task.timeout`` /
+``worker.respawn`` / ``point.failed`` counters for every recovery
+action.  Pool workers capture their own events (fastsim phases,
+trace-store counters) into an in-memory subtrace that the parent
+splices back in; kernels listed in
 :data:`~repro.lab.registry.METRIC_FIELDS` additionally fold the named
 record fields into trace metrics.  Tracing never changes records —
 the untraced path pays one ``None`` check per site.
@@ -55,19 +79,23 @@ import json
 import multiprocessing
 import time
 import traceback as tb
+from multiprocessing import connection as mp_connection
+from collections import deque
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, List, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from repro.lab import telemetry
 from repro.lab.cache import ResultCache
+from repro.lab.faults import FaultPlan, deterministic_unit, fault_key
 from repro.lab.registry import BATCH_KERNELS, METRIC_FIELDS, run_batch
 from repro.lab.scenarios import ScenarioPoint
 from repro.machine.fastsim import profile as fs_profile
 from repro.util import json_number_default
 
 __all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError",
-           "PointExecutionError"]
+           "PointExecutionError", "RetryPolicy"]
 
 
 class MissingResultsError(RuntimeError):
@@ -83,14 +111,15 @@ class MissingResultsError(RuntimeError):
 
 
 class PointExecutionError(RuntimeError):
-    """A pool worker failed while evaluating a task.
+    """A task failed terminally while evaluating scenario points.
 
     ``multiprocessing`` re-raises worker exceptions after a round trip
     that can lose the original traceback (and always loses which point
     was being evaluated), so workers catch failures themselves and ship
     a structured error record home; the parent raises this with the
     worker-side traceback attached as :attr:`remote_traceback` and
-    included in the message.
+    included in the message.  Completed sibling points are already in
+    the result cache when this raises.
     """
 
     def __init__(self, message: str,
@@ -102,6 +131,43 @@ class PointExecutionError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs for one :func:`execute` call.
+
+    ``retries`` is the per-task retry budget *beyond* the first attempt;
+    backoff before attempt *k* is
+    ``min(backoff_cap, backoff_base * 2**(k-1))`` scaled by a
+    deterministic jitter factor in ``[0.5, 1.5)``.  ``timeout`` is the
+    per-task wall-clock limit (pool execution only — an in-process task
+    cannot be preempted).  ``max_respawns`` caps *unexpected* worker
+    deaths (crashes, not deliberate timeout kills) before the sweep is
+    declared unrecoverable.
+    """
+
+    retries: int = 0
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_respawns: int = 8
+    poll_s: float = 0.05
+    kill_grace_s: float = 5.0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def backoff(self, attempts: int, key: str) -> float:
+        """Delay before re-dispatching a task that has made *attempts*
+        attempts; jitter is a pure function of *key* so schedules are
+        reproducible."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * (2 ** max(0, attempts - 1)))
+        return base * (0.5 + deterministic_unit(f"backoff:{key}:{attempts}"))
+
+
 @dataclass
 class PointResult:
     """One executed (or cache-served) scenario point."""
@@ -109,11 +175,13 @@ class PointResult:
     point: ScenarioPoint
     record: Dict[str, Any]
     cached: bool
+    #: the record is a structured failure, not a kernel result.
+    failed: bool = False
 
 
 @dataclass
 class SweepReport:
-    """Results in point order plus cache/timing accounting."""
+    """Results in point order plus cache/timing/fault accounting."""
 
     results: List[PointResult]
     hits: int = 0
@@ -123,6 +191,14 @@ class SweepReport:
     #: points computed through batched tasks / batch count.
     batched_points: int = 0
     batches: int = 0
+    #: points that exhausted their retries (``keep_going`` error records).
+    failed: int = 0
+    #: task re-dispatches (error, timeout or worker-crash retries).
+    retries: int = 0
+    #: tasks killed for exceeding the per-task timeout.
+    timeouts: int = 0
+    #: worker processes respawned after dying or being killed.
+    respawns: int = 0
 
     @property
     def total(self) -> int:
@@ -135,18 +211,28 @@ class SweepReport:
     def records(self) -> List[Dict[str, Any]]:
         return [r.record for r in self.results]
 
+    def failures(self) -> List[PointResult]:
+        """The failed points (empty unless ``keep_going`` was on)."""
+        return [r for r in self.results if r.failed]
+
     def cache_line(self, cache: Optional[ResultCache]) -> str:
         """The one-line cache summary the CLIs print."""
         batched = (f", {self.batched_points} via {self.batches} "
                    f"batch(es)" if self.batches else "")
+        faults = ""
+        if self.failed or self.retries or self.timeouts or self.respawns:
+            faults = (f"; faults: {self.failed} failed, "
+                      f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+                      f"{self.timeouts} timeout(s), "
+                      f"{self.respawns} respawn(s)")
         if cache is None or cache.disabled:
             return (f"[repro.lab] cache disabled; computed "
                     f"{self.total} points in {self.elapsed:.2f}s "
-                    f"(jobs={self.jobs}{batched})")
+                    f"(jobs={self.jobs}{batched}){faults}")
         return (f"[repro.lab] {self.hits}/{self.total} points "
                 f"({self.hit_rate:.0%}) served from cache at {cache.root}; "
                 f"computed {self.misses} in {self.elapsed:.2f}s "
-                f"(jobs={self.jobs}{batched})")
+                f"(jobs={self.jobs}{batched}){faults}")
 
 
 # --------------------------------------------------------------------- #
@@ -261,7 +347,7 @@ def _phase_capture(trace: Optional[telemetry.RunTrace]):
 
 
 def _worker_venue(name: str) -> str:
-    """``ForkPoolWorker-3`` → ``pool-worker-3`` (the trace's venue tag)."""
+    """``LabWorker-3`` → ``pool-worker-3`` (the trace's venue tag)."""
     digits = "".join(c for c in name if c.isdigit())
     return f"pool-worker-{digits}" if digits else "pool-worker"
 
@@ -277,6 +363,9 @@ def _fold_metrics(trace: telemetry.RunTrace, kernel: str,
         trace.metric(f"{kernel}.{field}", float(value))
 
 
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
 def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     """Pool worker: :func:`_run_points` after payload-transport
     reconstruction (kernels are pure functions of the payload, so this
@@ -285,18 +374,23 @@ def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     Returns ``{"records", "worker", "t0", "t1"}`` plus, when the parent
     is tracing (``task["telemetry"]``), the worker's captured
     ``"events"``/``"epoch"`` — or, on failure, a structured ``"error"``
-    record carrying the worker-side traceback (the parent re-raises it
-    as :class:`PointExecutionError`)."""
+    record carrying the worker-side traceback.  A fault plan riding the
+    payload (``task["faults"]``) fires at this boundary, *before* any
+    kernel runs."""
     pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
     out: Dict[str, Any] = {
         "worker": multiprocessing.current_process().name,
     }
     subtrace = telemetry.RunTrace() if task.get("telemetry") else None
+    plan = FaultPlan.parse(task.get("faults"))
     out["t0"] = time.monotonic()
     try:
+        if plan is not None:
+            plan.maybe_fire(task.get("fault_keys") or (),
+                            task.get("attempt", 1), in_worker=True)
         with telemetry.tracing(subtrace), _phase_capture(subtrace):
             out["records"] = _run_points(pts)
-    except Exception as exc:  # shipped home; parent re-raises
+    except Exception as exc:  # shipped home; parent decides retry/fail
         out["error"] = {
             "exc_type": type(exc).__name__,
             "message": str(exc),
@@ -311,15 +405,489 @@ def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def _raise_remote(out: Dict[str, Any]) -> None:
-    err = out["error"]
-    raise PointExecutionError(
-        f"worker {out['worker']} failed on kernel {err['kernel']!r} "
-        f"({err['points']} point task): "
-        f"{err['exc_type']}: {err['message']}",
-        remote_traceback=err.get("traceback"))
+def _pool_worker_main(conn: Any) -> None:
+    """Supervised-pool worker loop: run tasks off a dedicated duplex
+    pipe until the ``None`` sentinel, EOF, or the parent terminates us.
+
+    Each worker owns its own pipe — deliberately *not* a shared result
+    queue: a queue's feeder thread can die (``os._exit``, SIGKILL)
+    while holding the shared write lock, wedging every sibling's
+    ``put`` forever.  With per-worker pipes a dying worker can only
+    corrupt its own channel, which the supervisor detects and replaces.
+    SIGINT is ignored so a Ctrl-C in the parent drives one orderly
+    shutdown instead of racing tracebacks in every process."""
+    try:
+        import signal
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ImportError, ValueError, OSError):
+        pass
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            conn.send((task["id"], _run_task(task)))
+        except (BrokenPipeError, OSError):
+            return  # parent went away; nothing left to report to
 
 
+# --------------------------------------------------------------------- #
+# supervisor
+# --------------------------------------------------------------------- #
+@dataclass
+class _Task:
+    """One schedulable unit: a point or a batch, plus retry state."""
+
+    tid: int
+    indices: List[int]
+    kind: Optional[str]
+    attempts: int = 0        #: attempts already made
+    ready_at: float = 0.0    #: monotonic time this becomes runnable
+    queued_at: float = 0.0   #: for queue-vs-compute attribution
+
+
+@dataclass
+class _Worker:
+    proc: Any
+    conn: Any  #: parent end of the worker's dedicated duplex pipe
+    task: Optional[_Task] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class _Counters:
+    retries: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    failed: int = 0
+
+
+class _Supervisor:
+    """Drives planned tasks to completion with retries, timeouts,
+    worker-crash recovery and immediate per-point caching.
+
+    One instance per :func:`execute` call; :meth:`run_inline` executes
+    tasks in-process (``jobs=1`` or a single-task plan) and
+    :meth:`run_pool` across worker processes.  Both share the same
+    completion/failure bookkeeping, so records, cache contents and
+    error semantics are identical either way.
+    """
+
+    def __init__(self, points: Sequence[ScenarioPoint],
+                 results: List[Optional[PointResult]],
+                 cache: Optional[ResultCache],
+                 trace: Optional[telemetry.RunTrace],
+                 sweep_span: Optional[telemetry.Span],
+                 policy: RetryPolicy, keep_going: bool,
+                 faults: Optional[FaultPlan]):
+        self.points = points
+        self.results = results
+        self.cache = cache
+        self.trace = trace
+        self.sweep_span = sweep_span
+        self.policy = policy
+        self.keep_going = keep_going
+        self.faults = faults
+        self.counters = _Counters()
+        self._next_tid = 0
+        self._worker_seq = 0
+
+    # ------------------------------------------------------------------ #
+    def make_tasks(self, plan: Sequence[Tuple[List[int], Optional[str]]]
+                   ) -> List[_Task]:
+        now = time.monotonic()
+        tasks = []
+        for indices, kind in plan:
+            tasks.append(_Task(self._next_tid, list(indices), kind,
+                               ready_at=now, queued_at=now))
+            self._next_tid += 1
+        return tasks
+
+    def _fault_payload(self, task: _Task) -> Dict[str, Any]:
+        if self.faults is None:
+            return {}
+        return {"faults": self.faults.spec(),
+                "fault_keys": [fault_key(self.points[i].payload())
+                               for i in task.indices]}
+
+    def _kernel(self, task: _Task) -> str:
+        return self.points[task.indices[0]].kernel
+
+    # ------------------------------------------------------------------ #
+    # completion / failure bookkeeping (shared by both paths)
+    # ------------------------------------------------------------------ #
+    def complete(self, task: _Task, records: List[Dict[str, Any]],
+                 venue: str) -> None:
+        """Fan a finished task's records out: validate, cache each
+        point immediately, fill result slots, emit point telemetry."""
+        if len(records) != len(task.indices):
+            # A broken BatchKernel.run must fail attributably,
+            # not silently drop points from the report.
+            raise RuntimeError(
+                f"batch evaluator for kernel {self._kernel(task)!r} "
+                f"returned {len(records)} record(s) for "
+                f"{len(task.indices)} points")
+        path = task.kind if (task.kind is not None
+                             and len(task.indices) > 1) else "scalar"
+        for i, record in zip(task.indices, records):
+            point = self.points[i]
+            if self.cache is not None:
+                self.cache.put(point.cache_payload(), record)
+            self.results[i] = PointResult(point, record, cached=False)
+            if self.trace is not None:
+                tags: Dict[str, Any] = dict(
+                    index=i, kernel=point.kernel, path=path,
+                    venue=venue, cached=False,
+                    batchable=task.kind is not None)
+                if self.cache is not None:
+                    tags["key"] = self.cache.key_for(point.cache_payload())
+                self.trace.point(**tags)
+                _fold_metrics(self.trace, point.kernel, record)
+
+    def fail(self, task: _Task, err: Dict[str, Any], venue: str,
+             reason: str) -> List[_Task]:
+        """Handle one failed attempt: batch → scalar fallback, retry
+        with backoff while budget remains, else terminal (error records
+        under ``keep_going``, :class:`PointExecutionError` otherwise).
+        Returns the replacement tasks to enqueue."""
+        now = time.monotonic()
+        if len(task.indices) > 1:
+            # One poisoned point must not sink its batch: always fall
+            # back to per-point scalar execution (children inherit the
+            # attempt count, and are guaranteed at least one run).
+            self.counters.retries += 1
+            if self.trace is not None:
+                self.trace.counter("task.retry", kernel=self._kernel(task),
+                                   reason=reason, fallback="scalar")
+            children = []
+            for i in task.indices:
+                delay = self.policy.backoff(
+                    task.attempts, f"{self._kernel(task)}:{i}")
+                children.append(_Task(
+                    self._next_tid, [i], None,
+                    attempts=task.attempts,
+                    ready_at=now + delay, queued_at=now + delay))
+                self._next_tid += 1
+            return children
+        if task.attempts <= self.policy.retries:
+            self.counters.retries += 1
+            if self.trace is not None:
+                self.trace.counter("task.retry", kernel=self._kernel(task),
+                                   reason=reason)
+            delay = self.policy.backoff(
+                task.attempts, f"{self._kernel(task)}:{task.indices[0]}")
+            task.ready_at = task.queued_at = now + delay
+            return [task]
+        return self._terminal(task, err, venue)
+
+    def _terminal(self, task: _Task, err: Dict[str, Any],
+                  venue: str) -> List[_Task]:
+        if not self.keep_going:
+            raise PointExecutionError(
+                f"worker {err.get('worker', venue)} failed on kernel "
+                f"{self._kernel(task)!r} ({len(task.indices)} point "
+                f"task, attempt {task.attempts}): "
+                f"{err['exc_type']}: {err['message']}",
+                remote_traceback=err.get("traceback"))
+        for i in task.indices:
+            point = self.points[i]
+            record = {
+                "failed": True,
+                "error": f"{err['exc_type']}: {err['message']}",
+                "exc_type": err["exc_type"],
+                "remote_traceback": err.get("traceback") or "",
+                "attempts": task.attempts,
+                "point": {"kernel": point.kernel,
+                          "machine": point.machine.name,
+                          "params": dict(point.params)},
+            }
+            self.results[i] = PointResult(point, record, cached=False,
+                                          failed=True)
+            self.counters.failed += 1
+            if self.trace is not None:
+                self.trace.counter("point.failed", kernel=point.kernel,
+                                   exc_type=err["exc_type"])
+                self.trace.point(index=i, kernel=point.kernel,
+                                 path="failed", venue=venue, cached=False,
+                                 batchable=task.kind is not None,
+                                 attempts=task.attempts)
+        return []
+
+    # ------------------------------------------------------------------ #
+    # in-process execution
+    # ------------------------------------------------------------------ #
+    def run_inline(self, tasks: List[_Task]) -> None:
+        """Execute tasks in this process.  Retries and ``keep_going``
+        apply; per-task timeouts cannot (nothing can preempt us), and
+        only ``raise`` faults fire (see :mod:`repro.lab.faults`)."""
+        pending = deque(tasks)
+        while pending:
+            task = pending.popleft()
+            delay = task.ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            task.attempts += 1
+            pts = [self.points[i] for i in task.indices]
+            try:
+                if self.faults is not None:
+                    self.faults.maybe_fire(
+                        [fault_key(pt.payload()) for pt in pts],
+                        task.attempts, in_worker=False)
+                if self.trace is not None:
+                    with self.trace.span(
+                            "task", kernel=pts[0].kernel,
+                            kind=task.kind or "scalar",
+                            points=len(task.indices),
+                            venue="in_process", queue_s=0.0,
+                            attempt=task.attempts) as tspan:
+                        tc0 = time.perf_counter()
+                        recs = _run_points(pts)
+                        tspan.tag(compute_s=round(
+                            time.perf_counter() - tc0, 6))
+                else:
+                    recs = _run_points(pts)
+            except Exception as exc:
+                err = {"exc_type": type(exc).__name__,
+                       "message": str(exc), "worker": "in_process",
+                       "traceback": tb.format_exc()}
+                pending.extend(self.fail(task, err, "in_process", "error"))
+                continue
+            self.complete(task, recs, "in_process")
+
+    # ------------------------------------------------------------------ #
+    # supervised pool execution
+    # ------------------------------------------------------------------ #
+    def _spawn(self) -> _Worker:
+        self._worker_seq += 1
+        parent_conn, child_conn = multiprocessing.Pipe()
+        proc = multiprocessing.Process(
+            target=_pool_worker_main, args=(child_conn,),
+            name=f"LabWorker-{self._worker_seq}", daemon=True)
+        proc.start()
+        child_conn.close()  # the worker holds the only live child end
+        return _Worker(proc=proc, conn=parent_conn)
+
+    def _kill(self, worker: _Worker) -> None:
+        proc = worker.proc
+        proc.terminate()
+        proc.join(self.policy.kill_grace_s)
+        if proc.is_alive():
+            kill = getattr(proc, "kill", proc.terminate)
+            kill()
+            proc.join(self.policy.kill_grace_s)
+        try:
+            worker.conn.close()
+        except (OSError, ValueError):
+            pass
+
+    def _respawn(self, workers: List[_Worker], slot: int,
+                 *, reason: str, count_toward_cap: bool) -> None:
+        self.counters.respawns += 1
+        if self.trace is not None:
+            self.trace.counter("worker.respawn", reason=reason)
+        if count_toward_cap:
+            self._crash_respawns = getattr(self, "_crash_respawns", 0) + 1
+            if self._crash_respawns > self.policy.max_respawns:
+                raise PointExecutionError(
+                    f"worker pool unstable: {self._crash_respawns} "
+                    f"unexpected worker deaths (respawn cap "
+                    f"{self.policy.max_respawns}); aborting sweep — "
+                    f"completed points are cached")
+        workers[slot] = self._spawn()
+
+    def _dispatch(self, worker: _Worker, task: _Task,
+                  tracing: bool) -> bool:
+        """Send *task* to *worker*; False if the pipe is already dead
+        (the crash sweep will respawn and the task stays pending)."""
+        payload = {
+            "id": task.tid,
+            "points": [self.points[i].payload() for i in task.indices],
+            "telemetry": tracing,
+            "attempt": task.attempts + 1,
+            **self._fault_payload(task),
+        }
+        try:
+            worker.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return False
+        task.attempts += 1
+        worker.task = task
+        worker.deadline = (time.monotonic() + self.policy.timeout
+                           if self.policy.timeout else None)
+        return True
+
+    def _pool_complete(self, task: _Task, out: Dict[str, Any]) -> None:
+        venue = _worker_venue(out.get("worker", "?"))
+        if self.trace is not None:
+            compute_s = round(out["t1"] - out["t0"], 6)
+            span_id = self.trace.emit_span(
+                "task", start_monotonic=out["t0"],
+                duration=out["t1"] - out["t0"],
+                parent=self.sweep_span.id if self.sweep_span else None,
+                kernel=self._kernel(task),
+                kind=task.kind or "scalar", points=len(task.indices),
+                venue=venue, attempt=task.attempts,
+                queue_s=round(max(0.0, out["t0"] - task.queued_at), 6),
+                compute_s=compute_s)
+            if out.get("events"):
+                self.trace.merge_subtrace(out["events"], out["epoch"],
+                                          parent_id=span_id)
+        self.complete(task, out["records"], venue)
+
+    def run_pool(self, tasks: List[_Task], jobs: int) -> None:
+        """The supervised completion loop: dispatch to idle workers,
+        harvest results as they land, enforce deadlines, detect and
+        respawn dead workers.  Any exception (terminal failure,
+        KeyboardInterrupt, respawn-cap breach) terminates and joins the
+        whole pool before propagating — completed points are already
+        cached at that moment."""
+        tracing = self.trace is not None
+        workers = [self._spawn() for _ in range(min(jobs, len(tasks)))]
+        pending: List[_Task] = list(tasks)
+        known: Dict[int, _Task] = {t.tid: t for t in tasks}
+        done: Set[int] = set()
+
+        def settle(task: _Task, replacements: List[_Task]) -> None:
+            """A failed attempt either spawned replacement tasks or
+            went terminal (error records / raise happened in fail)."""
+            if replacements:
+                pending.extend(replacements)
+                known.update({t.tid: t for t in replacements})
+            else:
+                done.add(task.tid)
+
+        def harvest(worker: _Worker, tid: int, out: Dict[str, Any]
+                    ) -> None:
+            task = known.get(tid)
+            if task is None or tid in done:
+                return  # stale duplicate; first result won
+            if task in pending:
+                pending.remove(task)
+            if "error" in out:
+                err = dict(out["error"])
+                err["worker"] = out.get("worker", "?")
+                settle(task, self.fail(
+                    task, err, _worker_venue(out.get("worker", "?")),
+                    "error"))
+            else:
+                self._pool_complete(task, out)
+                done.add(tid)
+
+        try:
+            while pending or any(w.task is not None for w in workers):
+                now = time.monotonic()
+                # 1. fill idle workers with runnable tasks
+                for worker in workers:
+                    if worker.task is not None:
+                        continue
+                    ready = [t for t in pending if t.ready_at <= now]
+                    if not ready:
+                        break
+                    task = min(ready, key=lambda t: (t.ready_at, t.tid))
+                    pending.remove(task)
+                    if not self._dispatch(worker, task, tracing):
+                        # dead pipe — the crash sweep below respawns;
+                        # the task just stays runnable.
+                        pending.append(task)
+                # 2. harvest results from every readable pipe
+                busy = [w for w in workers if w.task is not None]
+                if busy:
+                    ready_conns = mp_connection.wait(
+                        [w.conn for w in busy],
+                        timeout=self.policy.poll_s)
+                    for conn in ready_conns:
+                        worker = next(w for w in busy if w.conn is conn)
+                        try:
+                            tid, out = conn.recv()
+                        except (EOFError, OSError):
+                            continue  # died mid-send; crash sweep below
+                        worker.task = None
+                        worker.deadline = None
+                        harvest(worker, tid, out)
+                else:
+                    time.sleep(self.policy.poll_s)  # backoff gap
+                # 3. enforce per-task deadlines
+                now = time.monotonic()
+                for slot, worker in enumerate(workers):
+                    if worker.task is None or worker.deadline is None \
+                            or now <= worker.deadline:
+                        continue
+                    task = worker.task
+                    worker.task = None
+                    worker.deadline = None
+                    name = worker.proc.name
+                    self.counters.timeouts += 1
+                    if self.trace is not None:
+                        self.trace.counter("task.timeout",
+                                           kernel=self._kernel(task))
+                    self._kill(worker)
+                    self._respawn(workers, slot, reason="timeout",
+                                  count_toward_cap=False)
+                    err = {"exc_type": "TaskTimeout",
+                           "message": f"task exceeded the "
+                                      f"{self.policy.timeout}s wall-clock "
+                                      f"timeout (attempt {task.attempts})",
+                           "worker": name, "traceback": None}
+                    settle(task, self.fail(task, err,
+                                           _worker_venue(name), "timeout"))
+                # 4. detect workers that died under us
+                for slot, worker in enumerate(workers):
+                    if worker.proc.is_alive():
+                        continue
+                    task = worker.task
+                    worker.task = None
+                    worker.deadline = None
+                    exitcode = worker.proc.exitcode
+                    name = worker.proc.name
+                    # A completed result may still sit in the pipe
+                    # (death after send): drain it before declaring
+                    # the task lost.
+                    if task is not None and task.tid not in done:
+                        try:
+                            if worker.conn.poll(0):
+                                tid, out = worker.conn.recv()
+                                harvest(worker, tid, out)
+                                task = None
+                        except (EOFError, OSError):
+                            pass
+                    try:
+                        worker.conn.close()
+                    except (OSError, ValueError):
+                        pass
+                    self._respawn(workers, slot, reason="crash",
+                                  count_toward_cap=True)
+                    if task is None or task.tid in done:
+                        continue
+                    err = {"exc_type": "WorkerCrashed",
+                           "message": f"worker died with exit code "
+                                      f"{exitcode} mid-task (attempt "
+                                      f"{task.attempts})",
+                           "worker": name, "traceback": None}
+                    settle(task, self.fail(task, err, _worker_venue(name),
+                                           "worker-crash"))
+        finally:
+            for worker in workers:
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+            for worker in workers:
+                worker.proc.join(self.policy.kill_grace_s)
+                if worker.proc.is_alive():
+                    kill = getattr(worker.proc, "kill",
+                                   worker.proc.terminate)
+                    kill()
+                    worker.proc.join(1.0)
+                try:
+                    worker.conn.close()
+                except (OSError, ValueError):
+                    pass
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
 def execute(
     points: Sequence[ScenarioPoint],
     *,
@@ -329,6 +897,11 @@ def execute(
     multi_capacity: bool = True,
     batch: bool = True,
     trace: Optional[telemetry.RunTrace] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    keep_going: bool = False,
+    faults: Optional[Union[FaultPlan, str]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> SweepReport:
     """Run every point, serving repeats from *cache* when provided.
 
@@ -342,7 +915,9 @@ def execute(
         functions of the payload).
     cache:
         A :class:`ResultCache`; hits skip simulation entirely.  Records
-        key on the machine-projected :meth:`ScenarioPoint.cache_payload`.
+        key on the machine-projected :meth:`ScenarioPoint.cache_payload`
+        and are written the moment each point completes, so interrupted
+        sweeps resume for free.  Error records are never cached.
     require_cached:
         Report-only mode: raise :class:`MissingResultsError` instead of
         computing anything.
@@ -360,14 +935,40 @@ def execute(
         events into; defaults to the process-wide
         :func:`~repro.lab.telemetry.active_trace` (usually ``None``).
         Tracing never changes records or cache contents.
+    retries:
+        Per-task retry budget beyond the first attempt (capped
+        exponential backoff with deterministic jitter; a failed batch
+        falls back to per-point scalar tasks first).
+    timeout:
+        Per-task wall-clock limit in seconds; an overdue worker is
+        killed and respawned and the task retried.  Pool execution
+        only — in-process tasks cannot be preempted.
+    keep_going:
+        Degrade gracefully: points that exhaust their retries produce
+        structured error records (``failed``/``error``/``exc_type``/
+        ``remote_traceback``/``attempts`` + the point identity) in the
+        report instead of aborting the sweep.
+    faults:
+        A :class:`~repro.lab.faults.FaultPlan` (or its spec string)
+        injecting deterministic raise/hang/die faults at the worker
+        boundary — the chaos-test harness.
+    retry_policy:
+        Full :class:`RetryPolicy` override (backoff shape, respawn cap,
+        poll interval); when given, *retries*/*timeout* are read from
+        it and the bare arguments are ignored.
     """
     if trace is None:
         trace = telemetry.active_trace()
+    if retry_policy is None:
+        retry_policy = RetryPolicy(retries=retries, timeout=timeout)
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
     with telemetry.tracing(trace), _phase_capture(trace):
         return _execute(points, jobs=jobs, cache=cache,
                         require_cached=require_cached,
                         multi_capacity=multi_capacity, batch=batch,
-                        trace=trace)
+                        trace=trace, policy=retry_policy,
+                        keep_going=keep_going, faults=faults)
 
 
 def _execute(
@@ -379,6 +980,9 @@ def _execute(
     multi_capacity: bool,
     batch: bool,
     trace: Optional[telemetry.RunTrace],
+    policy: RetryPolicy,
+    keep_going: bool,
+    faults: Optional[FaultPlan],
 ) -> SweepReport:
     t0 = time.perf_counter()
     points = list(points)
@@ -386,6 +990,8 @@ def _execute(
     pending: List[int] = []
     sweep_cm = (trace.span("sweep", points=len(points), jobs=jobs)
                 if trace is not None else nullcontext())
+    supervisor: Optional[_Supervisor] = None
+    batches = batched_points = 0
     with sweep_cm as sweep_span:
         for i, pt in enumerate(points):
             payload = pt.cache_payload() if cache is not None else None
@@ -402,93 +1008,33 @@ def _execute(
         if pending and require_cached:
             raise MissingResultsError(len(pending), len(points))
 
-        batches = batched_points = 0
         if pending:
             plan = _plan(points, pending, multi_capacity, batch)
             for task, _kind in plan:
                 if len(task) > 1:
                     batches += 1
                     batched_points += len(task)
-            record_lists: List[List[Dict[str, Any]]] = []
-            venues: List[str] = []
+            supervisor = _Supervisor(points, results, cache, trace,
+                                     sweep_span if trace is not None
+                                     else None,
+                                     policy, keep_going, faults)
+            tasks = supervisor.make_tasks(plan)
             if jobs > 1 and len(plan) > 1:
-                payloads = [{"points": [points[i].payload() for i in task],
-                             "telemetry": trace is not None}
-                            for task, _kind in plan]
-                submitted = time.monotonic()
-                with multiprocessing.Pool(min(jobs, len(plan))) as pool:
-                    outs = pool.map(_run_task, payloads)
-                for (task, kind), out in zip(plan, outs):
-                    if "error" in out:
-                        _raise_remote(out)
-                    record_lists.append(out["records"])
-                    venue = _worker_venue(out["worker"])
-                    venues.append(venue)
-                    if trace is not None:
-                        compute_s = round(out["t1"] - out["t0"], 6)
-                        span_id = trace.emit_span(
-                            "task", start_monotonic=out["t0"],
-                            duration=out["t1"] - out["t0"],
-                            parent=sweep_span.id,
-                            kernel=points[task[0]].kernel,
-                            kind=kind or "scalar", points=len(task),
-                            venue=venue,
-                            queue_s=round(
-                                max(0.0, out["t0"] - submitted), 6),
-                            compute_s=compute_s)
-                        if out.get("events"):
-                            trace.merge_subtrace(out["events"],
-                                                 out["epoch"],
-                                                 parent_id=span_id)
+                supervisor.run_pool(tasks, jobs)
             else:
-                for task, kind in plan:
-                    pts = [points[i] for i in task]
-                    if trace is not None:
-                        with trace.span("task", kernel=pts[0].kernel,
-                                        kind=kind or "scalar",
-                                        points=len(task),
-                                        venue="in_process",
-                                        queue_s=0.0) as tspan:
-                            tc0 = time.perf_counter()
-                            recs = _run_points(pts)
-                            tspan.tag(compute_s=round(
-                                time.perf_counter() - tc0, 6))
-                    else:
-                        recs = _run_points(pts)
-                    record_lists.append(recs)
-                    venues.append("in_process")
-            for (task, kind), records, venue in zip(plan, record_lists,
-                                                    venues):
-                if len(records) != len(task):
-                    # A broken BatchKernel.run must fail attributably,
-                    # not silently drop points from the report.
-                    raise RuntimeError(
-                        f"batch evaluator for kernel "
-                        f"{points[task[0]].kernel!r} returned "
-                        f"{len(records)} record(s) for {len(task)} points")
-                path = kind if (kind is not None and len(task) > 1) \
-                    else "scalar"
-                for i, record in zip(task, records):
-                    if cache is not None:
-                        cache.put(points[i].cache_payload(), record)
-                    results[i] = PointResult(points[i], record,
-                                             cached=False)
-                    if trace is not None:
-                        tags: Dict[str, Any] = dict(
-                            index=i, kernel=points[i].kernel, path=path,
-                            venue=venue, cached=False,
-                            batchable=kind is not None)
-                        if cache is not None:
-                            tags["key"] = cache.key_for(
-                                points[i].cache_payload())
-                        trace.point(**tags)
-                        _fold_metrics(trace, points[i].kernel, record)
+                supervisor.run_inline(tasks)
 
         if trace is not None:
             sweep_span.tag(hits=len(points) - len(pending),
                            misses=len(pending), batches=batches,
                            batched_points=batched_points)
+            if supervisor is not None:
+                c = supervisor.counters
+                if c.retries or c.timeouts or c.respawns or c.failed:
+                    sweep_span.tag(retries=c.retries, timeouts=c.timeouts,
+                                   respawns=c.respawns, failed=c.failed)
 
+    counters = supervisor.counters if supervisor is not None else _Counters()
     return SweepReport(
         results=[r for r in results if r is not None],
         hits=len(points) - len(pending),
@@ -497,4 +1043,8 @@ def _execute(
         jobs=jobs,
         batched_points=batched_points,
         batches=batches,
+        failed=counters.failed,
+        retries=counters.retries,
+        timeouts=counters.timeouts,
+        respawns=counters.respawns,
     )

@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the sweep engine's chaos tests.
+
+A :class:`FaultPlan` is a *seeded* description of which scenario points
+should misbehave and how: ``raise`` (the task throws
+:class:`FaultInjected`), ``hang`` (the task sleeps ``hang_s`` seconds
+before running, so per-task timeouts have something to kill), or
+``die`` (the worker process ``os._exit``\\ s mid-flight, exercising
+dead-worker detection and respawn).  The decision for a point is a pure
+function of ``(seed, point identity)`` — no RNG state, no ordering
+dependence — so a plan injects exactly the same faults into the same
+points whether the sweep runs serial, parallel, batched, or is resumed
+after an interrupt, and a recovery test can assert byte-identical
+records against a fault-free run.
+
+Plans are spec strings (``seed=42,rate=0.3,kinds=raise+die,times=1``)
+so they travel through the CLI (``--fault-plan``), the environment
+(:data:`FAULTS_ENV`), and worker task payloads unchanged.  ``times``
+bounds how many *attempts* of a chosen point fault — ``times=1`` means
+"first attempt fails, retry succeeds", the shape CI's chaos job uses to
+require 100% eventual completion.
+
+Faults fire at the worker boundary (:func:`FaultPlan.maybe_fire`,
+called by the executor just before a task's kernels run), never inside
+kernels — records of surviving points are untouched by construction.
+In-process execution (``jobs=1``) only honours ``raise`` faults:
+``hang`` needs a killable worker and ``die`` would take the whole
+process down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from repro.util import json_number_default
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_KINDS",
+    "FaultInjected",
+    "FaultPlan",
+    "deterministic_unit",
+    "fault_key",
+    "plan_from_env",
+]
+
+#: environment variable carrying a fault-plan spec (CI's chaos job).
+FAULTS_ENV = "REPRO_LAB_FAULTS"
+
+#: the supported misbehaviours, in spec-string order.
+FAULT_KINDS = ("raise", "hang", "die")
+
+#: exit code a ``die`` fault kills its worker with (distinctive, so a
+#: chaos log line is attributable to the plan rather than the OOM killer).
+DIE_EXIT_CODE = 23
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise`` fault throws inside a task."""
+
+
+def deterministic_unit(key: str) -> float:
+    """A uniform-ish float in ``[0, 1)`` derived purely from *key* —
+    the shared source of seeded fault decisions and retry-backoff
+    jitter (no RNG state, stable across processes and runs)."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def fault_key(payload: Mapping[str, Any]) -> str:
+    """A point's fault identity: canonical JSON of its full payload.
+    Stable between a batched attempt and its per-point scalar fallback
+    (both carry the same payload), and across runs of the same sweep."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=json_number_default)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic fault-injection plan.
+
+    Parameters
+    ----------
+    seed:
+        Decision seed; two plans differing only in seed choose
+        different victim points.
+    rate:
+        Fraction of points chosen to fault (per-point Bernoulli on the
+        deterministic unit hash).
+    kinds:
+        Which misbehaviours to inject; a chosen point's kind is itself
+        derived deterministically from ``(seed, point)``.
+    times:
+        Attempts 1..times of a chosen point fault; later attempts run
+        clean.  ``times <= retries`` therefore guarantees eventual
+        completion of every point.
+    hang_s:
+        How long a ``hang`` fault sleeps before the task proceeds.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = ("raise",)
+    times: int = 1
+    hang_s: float = 3600.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; "
+                    f"expected one of {FAULT_KINDS}")
+        if not self.kinds:
+            raise ValueError("fault plan needs at least one kind")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], "
+                             f"got {self.rate}")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> Optional["FaultPlan"]:
+        """``seed=42,rate=0.3,kinds=raise+die,times=1,hang_s=30`` →
+        plan; ``None``/empty/``off`` → ``None`` (no injection)."""
+        if spec is None:
+            return None
+        spec = spec.strip()
+        if not spec or spec.lower() in ("off", "none", "0", "false"):
+            return None
+        kwargs: dict = {}
+        for item in spec.split(","):
+            if "=" not in item:
+                raise ValueError(
+                    f"bad fault-plan entry {item!r} in {spec!r} "
+                    f"(expected key=value)")
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            if key == "seed":
+                kwargs["seed"] = int(raw)
+            elif key == "rate":
+                kwargs["rate"] = float(raw)
+            elif key == "kinds":
+                kwargs["kinds"] = tuple(k for k in raw.split("+") if k)
+            elif key == "times":
+                kwargs["times"] = int(raw)
+            elif key == "hang_s":
+                kwargs["hang_s"] = float(raw)
+            else:
+                raise ValueError(
+                    f"unknown fault-plan key {key!r} in {spec!r} "
+                    f"(known: seed, rate, kinds, times, hang_s)")
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        """Round-trippable spec string (how plans ride task payloads)."""
+        return (f"seed={self.seed},rate={self.rate},"
+                f"kinds={'+'.join(self.kinds)},times={self.times},"
+                f"hang_s={self.hang_s}")
+
+    # ------------------------------------------------------------------ #
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault kind attempt number *attempt* of point *key*
+        suffers, or ``None``.  Pure function of (seed, key, attempt)."""
+        if attempt > self.times or self.rate <= 0.0:
+            return None
+        if deterministic_unit(f"{self.seed}:choose:{key}") >= self.rate:
+            return None
+        pick = deterministic_unit(f"{self.seed}:kind:{key}")
+        return self.kinds[int(pick * len(self.kinds)) % len(self.kinds)]
+
+    def maybe_fire(self, keys: Sequence[str], attempt: int,
+                   in_worker: bool = True) -> Optional[str]:
+        """Inject at most one fault for a task covering *keys*.
+
+        Returns the kind fired for ``hang`` (the task then proceeds and
+        completes — slowly); ``raise`` raises :class:`FaultInjected`
+        naming the victim point, and ``die`` never returns.  Outside a
+        worker process only ``raise`` is honoured (see module docs).
+        """
+        for key in keys:
+            kind = self.decide(key, attempt)
+            if kind is None:
+                continue
+            if kind == "raise":
+                raise FaultInjected(
+                    f"injected fault (seed={self.seed}, attempt "
+                    f"{attempt}) on point {key}")
+            if not in_worker:
+                continue  # hang/die need a killable worker process
+            if kind == "hang":
+                time.sleep(self.hang_s)
+                return "hang"
+            if kind == "die":
+                os._exit(DIE_EXIT_CODE)
+        return None
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan :data:`FAULTS_ENV` dictates, or ``None``."""
+    return FaultPlan.parse(os.environ.get(FAULTS_ENV))

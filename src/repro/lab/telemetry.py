@@ -495,6 +495,14 @@ def summarize(trace: RunTrace) -> Dict[str, Any]:
         "phases": phases,
         "queue_s": queue_s,
         "compute_s": compute_s,
+        "faults": {
+            "retries": counters.get("task.retry", 0),
+            "timeouts": counters.get("task.timeout", 0),
+            "respawns": counters.get("worker.respawn", 0),
+            "failed_points": counters.get("point.failed", 0),
+            "retry_reasons": reasons.get("task.retry", {}),
+            "respawn_reasons": reasons.get("worker.respawn", {}),
+        },
     }
 
 
@@ -546,6 +554,16 @@ def render_attribution(trace: RunTrace) -> str:
     if ts["reuses"] or ts["misses"]:
         out.append(f"trace store: {int(ts['reuses'])} mmap reuse(s), "
                    f"{int(ts['misses'])} miss(es) (built fresh)")
+    f = s["faults"]
+    if f["retries"] or f["timeouts"] or f["respawns"] or f["failed_points"]:
+        reasons = ", ".join(f"{k}={int(v)}" for k, v in
+                            sorted(f["retry_reasons"].items())) or "-"
+        out.append(f"fault tolerance: {int(f['retries'])} task retr"
+                   f"{'y' if f['retries'] == 1 else 'ies'} "
+                   f"(reasons: {reasons}), {int(f['timeouts'])} "
+                   f"timeout kill(s), {int(f['respawns'])} worker "
+                   f"respawn(s), {int(f['failed_points'])} failed "
+                   f"point(s)")
     if s["phases"]:
         prows = [[name, int(p["calls"]), round(p["seconds"], 4)]
                  for name, p in sorted(s["phases"].items(),
@@ -593,6 +611,14 @@ def render_diff(a: RunTrace, b: RunTrace,
     add("cache.writes", sa["cache"]["writes"], sb["cache"]["writes"])
     add("queue_s", sa["queue_s"], sb["queue_s"])
     add("compute_s", sa["compute_s"], sb["compute_s"])
+    fa, fb = sa["faults"], sb["faults"]
+    if any(fa[k] or fb[k] for k in
+           ("retries", "timeouts", "respawns", "failed_points")):
+        add("faults.retries", fa["retries"], fb["retries"])
+        add("faults.timeouts", fa["timeouts"], fb["timeouts"])
+        add("faults.respawns", fa["respawns"], fb["respawns"])
+        add("faults.failed_points", fa["failed_points"],
+            fb["failed_points"])
     for kernel in sorted(set(sa["kernels"]) | set(sb["kernels"])):
         add(f"kernel.{kernel}.compute_s",
             sa["kernels"].get(kernel, {}).get("compute_s", 0.0),

@@ -95,3 +95,73 @@ class TestResultCache:
 
     def test_describe(self, tmp_path):
         assert "0 records" in ResultCache(tmp_path).describe()
+
+
+class TestCorruptEntryHygiene:
+    """ISSUE-7 satellite: corrupt entries are named once per run and
+    quarantined (deleted + counted) by gc."""
+
+    def _corrupt(self, cache, point):
+        cache.put(point.payload(), {"x": 1})
+        path = cache._path(cache.key_for(point.payload()))
+        path.write_text("{not json", encoding="utf-8")
+        return path
+
+    def test_unreadable_miss_warns_once_per_run(self, tmp_path, point,
+                                                capsys):
+        cache = ResultCache(tmp_path)
+        path = self._corrupt(cache, point)
+        assert cache.get(point.payload()) is None
+        assert cache.get(point.payload()) is None
+        err = capsys.readouterr().err
+        assert err.count(str(path)) == 1
+        assert "cache gc" in err
+        # a fresh run (new instance) warns again
+        assert ResultCache(tmp_path).get(point.payload()) is None
+        assert str(path) in capsys.readouterr().err
+
+    def test_gc_quarantines_corrupt_entries(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        path = self._corrupt(cache, point)
+        other = ScenarioPoint(point.kernel, point.machine,
+                              {**point.params, "n": 16})
+        cache.put(other.payload(), {"x": 2})
+        removed = cache.gc()
+        assert removed == 1
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert cache.get(other.payload()) == {"x": 2}  # healthy kept
+
+    def test_gc_quarantined_resets_between_calls(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        self._corrupt(cache, point)
+        cache.gc()
+        assert cache.quarantined == 1
+        cache.gc()
+        assert cache.quarantined == 0
+
+
+class TestTmpCleanup:
+    def test_cleanup_tmp_removes_stale_spill_files(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        shard = cache._path(cache.key_for(point.payload())).parent
+        stale = shard / "interrupted-write.tmp"
+        stale.write_text("partial", encoding="utf-8")
+        assert cache.cleanup_tmp() == 1
+        assert not stale.exists()
+        assert cache.get(point.payload()) == {"x": 1}
+
+    def test_gc_sweeps_tmp_files_too(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        shard = cache._path(cache.key_for(point.payload())).parent
+        (shard / "stale.tmp").write_text("partial", encoding="utf-8")
+        cache.gc()
+        assert not (shard / "stale.tmp").exists()
+
+    def test_cleanup_tmp_on_disabled_cache_is_noop(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ResultCache(blocker / "sub")
+        assert cache.cleanup_tmp() == 0

@@ -14,6 +14,7 @@ from repro.experiments import (
     run_sec6,
 )
 from repro.experiments.__main__ import main as experiments_main
+from repro.lab.cache import ResultCache
 from repro.lab.cli import main as lab_main
 from repro.lab.executor import execute
 from repro.lab.registry import fig2_config
@@ -139,3 +140,74 @@ class TestExperimentsCLIRewired:
         assert experiments_main(["sec5", "--jobs", "2"]) == 0
         assert "sec5" in capsys.readouterr().out
         assert len(names) == 11
+
+
+class TestRobustnessCLI:
+    """ISSUE-7 exit-code contract: 3 = degraded (--keep-going), 1 =
+    aborted sweep, 2 = bad spec, 130 = interrupted."""
+
+    ARGV = ["run", "sec6", "--quick"]
+
+    def test_keep_going_exits_3_with_failure_table(self, capsys,
+                                                   tmp_path):
+        rc = lab_main(self.ARGV + ["--cache-dir", str(tmp_path),
+                                   "--fault-plan", "rate=1.0",
+                                   "--keep-going"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "partial results" in out
+        assert "failed points" in out
+        assert "FaultInjected" in out
+        assert "retries only the failures" in out
+
+    def test_terminal_failure_exits_1_with_resume_hint(self, capsys,
+                                                       tmp_path):
+        rc = lab_main(self.ARGV + ["--cache-dir", str(tmp_path),
+                                   "--fault-plan", "rate=1.0"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "sweep aborted" in err
+        assert "re-run" in err
+
+    def test_retries_beat_the_fault_plan(self, capsys, tmp_path):
+        # times=1 <= --retries 1: the injected failures all recover and
+        # the exit code is clean.
+        rc = lab_main(self.ARGV + ["--cache-dir", str(tmp_path),
+                                   "--fault-plan", "rate=1.0,times=1",
+                                   "--retries", "1"])
+        assert rc == 0
+        assert "partial results" not in capsys.readouterr().out
+
+    def test_bad_fault_plan_spec_exits_2(self, capsys):
+        assert lab_main(self.ARGV + ["--no-cache", "--fault-plan",
+                                     "bogus=1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130_and_sweeps_tmp(self, capsys,
+                                                         tmp_path,
+                                                         monkeypatch):
+        import repro.lab.cli as cli_mod
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "execute", boom)
+        stale_dir = tmp_path / "ab"
+        stale_dir.mkdir()
+        stale = stale_dir / "half-written.tmp"
+        stale.write_text("partial", encoding="utf-8")
+        rc = lab_main(self.ARGV + ["--cache-dir", str(tmp_path)])
+        assert rc == 130
+        assert not stale.exists()
+        assert "re-run the same command to resume" in \
+            capsys.readouterr().err
+
+    def test_cache_gc_reports_quarantined(self, capsys, tmp_path):
+        assert lab_main(self.ARGV + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        cache = ResultCache(tmp_path)
+        doc = next(iter(cache.entries()))
+        cache._path(doc["key"]).write_text("{not json", encoding="utf-8")
+        assert lab_main(["cache", "gc", "--cache-dir",
+                         str(tmp_path)]) == 0
+        assert "1 quarantined as corrupt" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""FaultPlan semantics: spec parsing, deterministic decisions, and the
+attempt-bounded firing contract the chaos suite and CI rely on."""
+
+import pytest
+
+from repro.lab.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    deterministic_unit,
+    fault_key,
+    plan_from_env,
+)
+
+
+class TestParse:
+    def test_round_trip(self):
+        plan = FaultPlan(seed=42, rate=0.3, kinds=("raise", "die"),
+                         times=2, hang_s=30.0)
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("rate=0.5")
+        assert plan == FaultPlan(seed=0, rate=0.5, kinds=("raise",),
+                                 times=1, hang_s=3600.0)
+
+    @pytest.mark.parametrize("spec", [None, "", "  ", "off", "none",
+                                      "0", "false", "OFF"])
+    def test_off_values_mean_no_plan(self, spec):
+        assert FaultPlan.parse(spec) is None
+
+    @pytest.mark.parametrize("spec", [
+        "rate",                      # no '='
+        "bogus=1",                   # unknown key
+        "kinds=raise+explode",       # unknown kind
+        "rate=1.5",                  # out of range
+        "rate=-0.1",
+        "kinds=",                    # empty kind set
+    ])
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_env_loader(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert plan_from_env() is None
+        monkeypatch.setenv(FAULTS_ENV, "seed=9,rate=1.0")
+        assert plan_from_env() == FaultPlan(seed=9, rate=1.0)
+
+
+class TestDecide:
+    def test_deterministic(self):
+        plan = FaultPlan(seed=1, rate=0.5, kinds=FAULT_KINDS, times=3)
+        keys = [f"point-{i}" for i in range(50)]
+        first = [plan.decide(k, 1) for k in keys]
+        assert first == [plan.decide(k, 1) for k in keys]
+
+    def test_seed_changes_victims(self):
+        a = FaultPlan(seed=1, rate=0.5)
+        b = FaultPlan(seed=2, rate=0.5)
+        keys = [f"point-{i}" for i in range(100)]
+        assert [a.decide(k, 1) for k in keys] != \
+            [b.decide(k, 1) for k in keys]
+
+    def test_rate_edges(self):
+        keys = [f"point-{i}" for i in range(30)]
+        assert all(FaultPlan(rate=0.0).decide(k, 1) is None for k in keys)
+        assert all(FaultPlan(rate=1.0).decide(k, 1) == "raise"
+                   for k in keys)
+
+    def test_rate_is_roughly_honoured(self):
+        plan = FaultPlan(seed=5, rate=0.3)
+        keys = [f"point-{i}" for i in range(1000)]
+        hit = sum(plan.decide(k, 1) is not None for k in keys)
+        assert 200 < hit < 400  # Bernoulli(0.3), very generous bounds
+
+    def test_times_bounds_attempts(self):
+        plan = FaultPlan(rate=1.0, times=2)
+        assert plan.decide("p", 1) is not None
+        assert plan.decide("p", 2) is not None
+        assert plan.decide("p", 3) is None
+
+    def test_unit_is_in_range_and_stable(self):
+        xs = [deterministic_unit(f"k{i}") for i in range(100)]
+        assert all(0.0 <= x < 1.0 for x in xs)
+        assert xs == [deterministic_unit(f"k{i}") for i in range(100)]
+
+
+class TestMaybeFire:
+    def test_raise_names_the_point(self):
+        plan = FaultPlan(rate=1.0, kinds=("raise",))
+        with pytest.raises(FaultInjected, match="my-point"):
+            plan.maybe_fire(["my-point"], attempt=1)
+
+    def test_clean_attempt_after_times_exhausted(self):
+        plan = FaultPlan(rate=1.0, kinds=("raise",), times=1)
+        assert plan.maybe_fire(["p"], attempt=2) is None
+
+    def test_out_of_worker_only_raises(self):
+        # force a hang-only plan: outside a worker it must be a no-op
+        # (sleeping the parent or killing it is never acceptable).
+        plan = FaultPlan(rate=1.0, kinds=("hang",), hang_s=3600.0)
+        assert plan.maybe_fire(["p"], attempt=1, in_worker=False) is None
+        plan = FaultPlan(rate=1.0, kinds=("die",))
+        assert plan.maybe_fire(["p"], attempt=1, in_worker=False) is None
+
+    def test_at_most_one_fault_per_task(self):
+        plan = FaultPlan(rate=1.0, kinds=("raise",))
+        with pytest.raises(FaultInjected) as exc:
+            plan.maybe_fire(["a", "b", "c"], attempt=1)
+        # only the first victim in task order fires
+        assert "a" in str(exc.value)
+
+
+class TestFaultKey:
+    def test_stable_and_order_insensitive(self):
+        a = fault_key({"kernel": "k", "params": {"n": 8, "m": 2}})
+        b = fault_key({"params": {"m": 2, "n": 8}, "kernel": "k"})
+        assert a == b
+
+    def test_distinguishes_payloads(self):
+        assert fault_key({"n": 8}) != fault_key({"n": 9})
+
+    def test_numpy_scalars_key_like_python(self):
+        np = pytest.importorskip("numpy")
+        assert fault_key({"n": np.int64(8)}) == fault_key({"n": 8})
