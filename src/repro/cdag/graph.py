@@ -12,7 +12,7 @@ subgraph excluding inputs — the quantity Theorem 2 constrains).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence
+from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 

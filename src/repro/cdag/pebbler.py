@@ -98,8 +98,6 @@ def pebble(
         "schedule must contain every computed vertex exactly once",
     )
 
-    # Position of each vertex's consumers in the schedule, for next-use.
-    pos = {v: i for i, v in enumerate(comp_schedule)}
     INF = len(comp_schedule) + 1
 
     remaining = {v: dag.out_degree(v) for v in dag.g.nodes}

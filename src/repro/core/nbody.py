@@ -21,7 +21,7 @@ with unit masses, vectorized over block pairs.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 

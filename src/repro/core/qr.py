@@ -99,7 +99,6 @@ def _apply_block_reflector(
 def apply_q(packed: np.ndarray, Ts: list, X: np.ndarray) -> np.ndarray:
     """Compute Q·X from the packed factorization (for reconstruction)."""
     m = packed.shape[0]
-    b = Ts[0][1].shape[0] if Ts else m
     Y = X.copy()
     # Q = H_0 H_1 ... ; Q X applies reflectors in reverse.
     for col0, T in reversed(Ts):

@@ -24,8 +24,8 @@ ratio tests for choosing between algorithms.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.util import require
 
@@ -131,7 +131,6 @@ def cost_25dmml2(n: int, P: int, c2: int, hw: HwParams) -> Dict:
     """2.5DMML2: formulas (4)·2 + (6) + (8) + (10)."""
     hw.validate()
     require(1 <= c2 <= P ** (1 / 3) + 1e-9, f"c2={c2} out of range")
-    s = math.sqrt(P)
     lg = math.log2(c2) if c2 > 1 else 0.0
     terms = [
         # (4) twice: gathers of A and B into the 2.5D layout.

@@ -20,7 +20,7 @@ interleaving, which is sufficient because every algorithm here is BSP-style
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np

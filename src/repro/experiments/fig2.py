@@ -11,13 +11,13 @@ lower bound (output lines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cache_oblivious import ideal_cache_misses
 from repro.core.traces import matmul_trace
 from repro.machine.cache import CacheSim
-from repro.util import format_table, require
+from repro.util import format_table
 
 __all__ = ["Fig2Config", "run_fig2", "format_fig2", "fig2_variants",
            "fig2_ideal_misses"]

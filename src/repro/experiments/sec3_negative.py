@@ -8,7 +8,7 @@ obstruction, stores = output exactly).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.cdag import (
     fft_cdag,

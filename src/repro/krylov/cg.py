@@ -7,7 +7,7 @@ writes to slow memory when n ≫ M₁ — ``W12 = Ω(N·n)`` over N iterations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -124,7 +124,6 @@ def streaming_basis_r(
     """
     if basis is None:
         basis = MonomialBasis()
-    cols = s + 1
     state = {"R": None}
 
     def consumer(r0, r1, Kblk):

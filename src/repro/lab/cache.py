@@ -32,7 +32,8 @@ import sys
 import tempfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Set, Union
+from typing import (Any, Dict, Iterator, Mapping, Optional, Set, Union,
+                    cast)
 
 import repro
 from repro.lab import telemetry
@@ -90,7 +91,7 @@ class ResultCache:
 
     def __init__(self,
                  root: Optional[Union[str, Path]] = None,
-                 code_version: Optional[str] = None):
+                 code_version: Optional[str] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.code_version = code_version or code_fingerprint()
         self.hits = 0
@@ -154,7 +155,8 @@ class ResultCache:
               f"a miss; `repro-lab cache gc` quarantines it",
               file=sys.stderr)
 
-    def get(self, payload: Mapping[str, Any]) -> Optional[Dict]:
+    def get(self, payload: Mapping[str, Any]
+            ) -> Optional[Dict[str, Any]]:
         """Return the cached record for *payload*, or ``None`` on a miss."""
         if self.disabled:
             self._count_miss(payload, "disabled")
@@ -175,9 +177,10 @@ class ResultCache:
         trace = telemetry.active_trace()
         if trace is not None:
             trace.counter("cache.hit")
-        return record
+        return cast(Dict[str, Any], record)
 
-    def put(self, payload: Mapping[str, Any], record: Mapping) -> bool:
+    def put(self, payload: Mapping[str, Any],
+            record: Mapping[str, Any]) -> bool:
         """Store *record*; returns False (and stores nothing) if the record
         is not JSON-serializable or the filesystem refuses."""
         if self.disabled:
@@ -220,7 +223,7 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
-    def entries(self) -> Iterator[Dict]:
+    def entries(self) -> Iterator[Dict[str, Any]]:
         """Yield every stored document (any code version)."""
         if self.disabled or not self.root.exists():
             return

@@ -1,0 +1,54 @@
+"""repro.lab.check — static contract analyzer for the lab engine.
+
+``repro-lab check`` (and the tier-1 pytest gate) enforces the engine's
+declarative contracts *before runtime*:
+
+* **R1 machine-projection soundness** — every ``machine.<attr>`` read in
+  a kernel's call graph must be covered by its ``MACHINE_FIELDS`` row,
+  or the projected cache key can serve stale records;
+* **R2 registry completeness** — every kernel has explicit
+  ``MACHINE_FIELDS``/``METRIC_FIELDS`` rows, presets reference
+  registered kernels/machines/policies, batch toggles map to real CLI
+  flags;
+* **R3 determinism hazards** — no ``time``/``random``/``id()``/``hash()``
+  or unsorted-set serialization in the cache-key call graphs;
+* **R4 worker-boundary picklability** — functions dispatched to pool
+  workers must be module-level importables;
+* **R5 telemetry vocabulary** — literal span/phase/counter names must
+  belong to :mod:`repro.lab.vocab`.
+
+Findings are suppressable inline with ``# lab-check: ignore[RULE]`` on
+the flagged line.  Sources parse under ``feature_version`` 3.10 — the
+oldest supported interpreter — so newer-only syntax cannot sneak past a
+newer CI runner.
+"""
+
+from repro.lab.check.findings import ERROR, WARNING, Finding
+from repro.lab.check.project import FEATURE_VERSION, ProjectIndex
+from repro.lab.check.rules import RULES, RegistryView
+from repro.lab.check.runner import (
+    ALL_RULES,
+    CheckConfig,
+    CheckReport,
+    default_config,
+    render_table,
+    report_to_json,
+    run_check,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "FEATURE_VERSION",
+    "ProjectIndex",
+    "RULES",
+    "RegistryView",
+    "ALL_RULES",
+    "CheckConfig",
+    "CheckReport",
+    "default_config",
+    "render_table",
+    "report_to_json",
+    "run_check",
+]

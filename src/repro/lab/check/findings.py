@@ -1,0 +1,69 @@
+"""Finding/severity types and suppression filtering for `repro-lab check`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ERROR", "WARNING", "Finding", "apply_suppressions",
+           "sort_findings"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation, anchored to a source location."""
+
+    rule: str        # "R1".."R5"
+    severity: str    # ERROR | WARNING
+    file: str        # absolute path; rendered relative to the repo root
+    line: int
+    message: str
+    kernel: Optional[str] = None
+
+    def location(self, base: Optional[Path] = None) -> str:
+        path = Path(self.file)
+        if base is not None:
+            try:
+                path = path.relative_to(base)
+            except ValueError:
+                pass
+        return f"{path}:{self.line}"
+
+    def to_dict(self, base: Optional[Path] = None) -> Dict[str, Any]:
+        path = Path(self.file)
+        if base is not None:
+            try:
+                path = path.relative_to(base)
+            except ValueError:
+                pass
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": str(path),
+            "line": self.line,
+            "kernel": self.kernel,
+            "message": self.message,
+        }
+
+
+def apply_suppressions(findings: Sequence[Finding],
+                       suppressions: Dict[str, Dict[int, set]]
+                       ) -> List[Finding]:
+    """Drop findings whose line carries ``# lab-check: ignore[RULE]``
+    (or ``ignore[*]``) in *suppressions* (``file -> line -> {rules}``)."""
+    kept = []
+    for f in findings:
+        rules = suppressions.get(f.file, {}).get(f.line, set())
+        if f.rule in rules or "*" in rules:
+            continue
+        kept.append(f)
+    return kept
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings,
+                  key=lambda f: (f.file, f.line, f.rule, f.message))

@@ -18,6 +18,8 @@ Subcommands::
     repro-lab trace diff A.jsonl B.jsonl
     repro-lab cache stats              # result-cache + trace-store inventory
     repro-lab cache gc                 # prune superseded code versions
+    repro-lab check                    # static contract analyzer (R1-R5)
+    repro-lab check --format json --output findings.json
 
 Every ``run``/``sweep`` prints a final accounting line reporting how many
 points were served from the persistent result cache.  Capacity sweeps
@@ -51,7 +53,6 @@ from repro.lab.executor import (MissingResultsError, PointExecutionError,
 from repro.lab.faults import FAULTS_ENV, FaultPlan, plan_from_env
 from repro.lab.registry import KERNELS, MACHINES, POLICIES, resolve_machine
 from repro.lab.results import ResultSet
-from repro.util import format_table
 from repro.lab.scenarios import SCENARIOS, Scenario, get_scenario
 from repro.lab.telemetry import RunTrace
 from repro.lab.tracestore import (
@@ -61,6 +62,7 @@ from repro.lab.tracestore import (
     set_active_store,
     store_from_env,
 )
+from repro.util import format_table
 
 __all__ = ["main"]
 
@@ -438,6 +440,33 @@ def _add_export_args(p: argparse.ArgumentParser) -> None:
                    help="also export flat records as JSON")
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Deferred import: the analyzer parses the whole package on load;
+    # the runtime subcommands shouldn't pay for that at startup.
+    from repro.lab.check import (ALL_RULES, default_config, render_table,
+                                 report_to_json, run_check)
+
+    cfg = default_config()
+    if args.rules:
+        wanted = tuple(dict.fromkeys(
+            r.strip().upper() for chunk in args.rules
+            for r in chunk.split(",") if r.strip()))
+        bad = sorted(set(wanted) - set(ALL_RULES))
+        if bad:
+            raise ValueError(f"unknown rule(s) {', '.join(bad)}; "
+                             f"available: {', '.join(ALL_RULES)}")
+        cfg = cfg.with_rules(wanted)
+    report = run_check(cfg)
+    payload = report_to_json(report, cfg.display_base)
+    if args.output:
+        Path(args.output).write_text(payload + "\n")
+    if args.format == "json":
+        print(payload)
+    else:
+        print(render_table(report, cfg.display_base))
+    return 1 if report.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lab",
@@ -543,6 +572,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_LAB_TRACES or <cache dir>/traces)")
     p_stats.set_defaults(func=_cmd_cache_stats)
     p_gc.set_defaults(func=_cmd_cache_gc)
+
+    p_check = sub.add_parser(
+        "check", help="static contract analyzer: kernel/cache/telemetry "
+                      "invariants (rules R1-R5)")
+    p_check.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="render findings as a human table (default) "
+                              "or as JSON")
+    p_check.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the JSON report to FILE, "
+                              "whatever --format says (CI artifact)")
+    p_check.add_argument("--rules", action="append", metavar="R1,R2,..",
+                         help="run only these rules (comma-separated, "
+                              "repeatable; default: all)")
+    p_check.set_defaults(func=_cmd_check)
 
     return parser
 

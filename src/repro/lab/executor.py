@@ -79,10 +79,10 @@ import json
 import multiprocessing
 import time
 import traceback as tb
-from multiprocessing import connection as mp_connection
 from collections import deque
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import (Any, Dict, List, Optional, Sequence, Set, Tuple,
                     Union)
 
@@ -262,8 +262,10 @@ def _batch_key(point: ScenarioPoint, *, multi_capacity: bool,
     memo_key = None
     if bk.machine_only and memo is not None:
         # id() is stable here: the planner's point list keeps every
-        # machine object alive for the memo's whole lifetime.
-        memo_key = (point.kernel, id(point.machine))
+        # machine object alive for the memo's whole lifetime, and the
+        # memo never outlives the plan (it shapes task grouping only,
+        # not cache keys).
+        memo_key = (point.kernel, id(point.machine))  # lab-check: ignore[R3]
         try:
             return memo[memo_key]
         except KeyError:

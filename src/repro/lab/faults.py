@@ -34,7 +34,7 @@ import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.util import json_number_default
 
@@ -108,7 +108,7 @@ class FaultPlan:
     times: int = 1
     hang_s: float = 3600.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "kinds", tuple(self.kinds))
         for kind in self.kinds:
             if kind not in FAULT_KINDS:
@@ -131,7 +131,7 @@ class FaultPlan:
         spec = spec.strip()
         if not spec or spec.lower() in ("off", "none", "0", "false"):
             return None
-        kwargs: dict = {}
+        kwargs: Dict[str, Any] = {}
         for item in spec.split(","):
             if "=" not in item:
                 raise ValueError(

@@ -22,6 +22,13 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import (Any, Callable, Dict, Mapping, Optional, Sequence, Tuple,
                     Union)
 
+from repro.core.traces import (
+    cholesky_trace,
+    matmul_trace,
+    nbody_trace,
+    trsm_trace,
+)
+from repro.distributed.costmodel import HwParams, hw_param_key
 from repro.experiments import (
     Fig2Config,
     format_fig2,
@@ -47,13 +54,6 @@ from repro.experiments import (
     run_table1,
     run_table2,
 )
-from repro.core.traces import (
-    cholesky_trace,
-    matmul_trace,
-    nbody_trace,
-    trsm_trace,
-)
-from repro.distributed.costmodel import HwParams, hw_param_key
 from repro.lab.modelkernels import (
     COST_BATCH_EVALUATORS,
     COST_KERNELS,
@@ -134,7 +134,7 @@ class MachineSpec:
     write_slow: float = 2.0
     hw: Optional[Tuple[Tuple[str, float], ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Canonicalize the structured fields exactly as from_dict would,
         # so a hand-built spec (list levels, int hw rates, dict hw) is
         # indistinguishable from its payload round-trip — in-process
@@ -292,7 +292,7 @@ def resolve_machine(machine: Union[str, MachineSpec, Mapping[str, Any]],
 BATCHABLE_POLICIES = ("lru", "belady")
 
 
-def _require_params(params: Mapping, names: Tuple[str, ...],
+def _require_params(params: Mapping[str, Any], names: Tuple[str, ...],
                     kernel: str) -> None:
     missing = sorted(set(names) - set(params))
     require(not missing,
@@ -331,15 +331,15 @@ class TraceKernel:
     #: identity and from the executor's capacity-group key.
     capacity_params: Tuple[str, ...]
     #: (machine, params) -> canonical JSON-able trace identity.
-    payload: Callable[[MachineSpec, Mapping], Dict]
+    payload: Callable[[MachineSpec, Mapping[str, Any]], Dict[str, Any]]
     #: trace identity -> finalized ``(lines, writes)``.
-    build: Callable[[Mapping], Tuple[Any, Any]]
+    build: Callable[[Mapping[str, Any]], Tuple[Any, Any]]
     #: (machine, params) -> simulated capacity in words.
-    capacity_words: Callable[[MachineSpec, Mapping], int]
+    capacity_words: Callable[[MachineSpec, Mapping[str, Any]], int]
     #: (machine, params) -> the paper's write lower bound, in lines.
-    write_lb: Callable[[MachineSpec, Mapping], int]
+    write_lb: Callable[[MachineSpec, Mapping[str, Any]], int]
 
-    def lines(self, machine: MachineSpec, params: Mapping
+    def lines(self, machine: MachineSpec, params: Mapping[str, Any]
               ) -> Tuple[Any, Any]:
         """Finalized ``(lines, writes)``, served from the active trace
         store when one is installed."""
@@ -350,8 +350,8 @@ class TraceKernel:
                 return self.build(spec)
         return store.get_or_build(spec, lambda: self.build(spec))
 
-    def record(self, machine: MachineSpec, params: Mapping,
-               st: "CacheStats") -> Dict:
+    def record(self, machine: MachineSpec, params: Mapping[str, Any],
+               st: "CacheStats") -> Dict[str, Any]:
         """One flat record (the same shape for every trace kernel)."""
         return {
             "accesses": st.accesses,
@@ -367,7 +367,7 @@ class TraceKernel:
                 st, machine.line_size),
         }
 
-    def run(self, machine: MachineSpec, params: Mapping) -> Dict:
+    def run(self, machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
         """The per-point path: replay the trace through ``machine``."""
         _require_params(params, self.required, self.name)
         require(machine.levels is None,
@@ -383,7 +383,7 @@ class TraceKernel:
 
 
 # ----------------------------- matmul ---------------------------------- #
-def matmul_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+def matmul_trace_payload(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """The trace-identity of a matmul-cache point: every parameter that
     shapes the generated access sequence — and nothing capacity-related,
     so all points of a capacity sweep share one entry in the trace
@@ -416,7 +416,7 @@ def _build_matmul(spec: Mapping) -> Tuple[Any, Any]:
     return buf.finalize()
 
 
-def matmul_capacity_words(machine: MachineSpec, params: Mapping) -> int:
+def matmul_capacity_words(machine: MachineSpec, params: Mapping[str, Any]) -> int:
     """Simulated capacity of a matmul-cache point, in words
     (``cache_blocks`` counts b3-blocks, as Section 6 sizes caches)."""
     if params.get("cache_blocks") is not None:
@@ -426,14 +426,14 @@ def matmul_capacity_words(machine: MachineSpec, params: Mapping) -> int:
     return machine.cache_words
 
 
-def _matmul_write_lb(machine: MachineSpec, params: Mapping) -> int:
+def _matmul_write_lb(machine: MachineSpec, params: Mapping[str, Any]) -> int:
     n = _as_int(params["n"], "n")
     l = _as_int(params.get("l", n), "l")
     return n * l // machine.line_size
 
 
 # ------------------------ TRSM / Cholesky / N-body --------------------- #
-def trsm_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+def trsm_trace_payload(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     return {
         "family": "trsm",
         "n": _as_int(params["n"], "n"),
@@ -443,7 +443,7 @@ def trsm_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
     }
 
 
-def cholesky_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+def cholesky_trace_payload(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     return {
         "family": "cholesky",
         "n": _as_int(params["n"], "n"),
@@ -452,7 +452,7 @@ def cholesky_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
     }
 
 
-def nbody_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
+def nbody_trace_payload(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     return {
         "family": "nbody",
         "n": _as_int(params["n"], "n"),
@@ -461,7 +461,7 @@ def nbody_trace_payload(machine: MachineSpec, params: Mapping) -> Dict:
     }
 
 
-def _block_squared_capacity(machine: MachineSpec, params: Mapping) -> int:
+def _block_squared_capacity(machine: MachineSpec, params: Mapping[str, Any]) -> int:
     """``cache_blocks`` b×b matrix blocks plus the paper's spare line."""
     if params.get("cache_blocks") is not None:
         b = _as_int(params["b"], "b")
@@ -470,7 +470,7 @@ def _block_squared_capacity(machine: MachineSpec, params: Mapping) -> int:
     return machine.cache_words
 
 
-def _block_vector_capacity(machine: MachineSpec, params: Mapping) -> int:
+def _block_vector_capacity(machine: MachineSpec, params: Mapping[str, Any]) -> int:
     """``cache_blocks`` b-particle vector blocks plus the spare line."""
     if params.get("cache_blocks") is not None:
         return (_as_int(params["cache_blocks"], "cache_blocks")
@@ -534,14 +534,14 @@ TRACE_KERNELS: Dict[str, TraceKernel] = {tk.name: tk for tk in (
 )}
 
 
-def matmul_lines(machine: MachineSpec, params: Mapping
+def matmul_lines(machine: MachineSpec, params: Mapping[str, Any]
                  ) -> Tuple[Any, Any]:
     """Finalized ``(lines, writes)`` for a matmul-cache point, served from
     the active trace store when one is installed."""
     return TRACE_KERNELS["matmul-cache"].lines(machine, params)
 
 
-def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_matmul_cache(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """One matmul instruction order through one simulated cache level.
 
     Required params: ``n`` (outer dims), ``middle``, ``scheme``; optional
@@ -552,7 +552,7 @@ def kernel_matmul_cache(machine: MachineSpec, params: Mapping) -> Dict:
     return TRACE_KERNELS["matmul-cache"].run(machine, params)
 
 
-def kernel_trsm_cache(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_trsm_cache(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """Two-level WA TRSM line trace (Algorithm 2) through one cache level.
 
     Required params: ``n`` (triangular dim), ``m`` (right-hand sides),
@@ -562,7 +562,7 @@ def kernel_trsm_cache(machine: MachineSpec, params: Mapping) -> Dict:
     return TRACE_KERNELS["trsm-cache"].run(machine, params)
 
 
-def kernel_cholesky_cache(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_cholesky_cache(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """Left-looking WA Cholesky line trace (Alg. 3) through one cache level.
 
     Required params: ``n``, ``b``; optional ``cache_blocks`` (capacity
@@ -571,7 +571,7 @@ def kernel_cholesky_cache(machine: MachineSpec, params: Mapping) -> Dict:
     return TRACE_KERNELS["cholesky-cache"].run(machine, params)
 
 
-def kernel_nbody_cache(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_nbody_cache(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """Blocked direct (N,2)-body line trace (Alg. 4) through one cache level.
 
     Required params: ``n`` (particles), ``b`` (block size); optional
@@ -583,8 +583,8 @@ def kernel_nbody_cache(machine: MachineSpec, params: Mapping) -> Dict:
 
 def run_capacity_batch(
     kernel: str,
-    group: Sequence[Tuple[MachineSpec, Mapping]],
-) -> list:
+    group: Sequence[Tuple[MachineSpec, Mapping[str, Any]]],
+) -> List[Dict[str, Any]]:
     """All capacities (and batchable policies) of one trace-kernel sweep
     from a *single* replay.
 
@@ -641,14 +641,14 @@ def run_capacity_batch(
 
 
 def run_matmul_capacity_batch(
-    group: Sequence[Tuple[MachineSpec, Mapping]],
-) -> list:
+    group: Sequence[Tuple[MachineSpec, Mapping[str, Any]]],
+) -> List[Dict[str, Any]]:
     """Back-compat alias: ``matmul-cache`` through
     :func:`run_capacity_batch`."""
     return run_capacity_batch("matmul-cache", group)
 
 
-def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """One matmul order through a multi-level cache hierarchy.
 
     Reports per-boundary fills/write-backs and the backing-store traffic,
@@ -684,7 +684,7 @@ def kernel_matmul_hierarchy(machine: MachineSpec, params: Mapping) -> Dict:
     return rec
 
 
-def kernel_experiment(machine: MachineSpec, params: Mapping) -> Dict:
+def kernel_experiment(machine: MachineSpec, params: Mapping[str, Any]) -> Dict[str, Any]:
     """A whole legacy table/figure harness as a single scenario point."""
     name = params["name"]
     quick = bool(params.get("quick", False))
@@ -697,7 +697,7 @@ def kernel_experiment(machine: MachineSpec, params: Mapping) -> Dict:
     return {"name": name, "quick": quick, "formatted": fn(quick)}
 
 
-KERNELS: Dict[str, Callable[[MachineSpec, Mapping], Dict]] = {
+KERNELS: Dict[str, Callable[[MachineSpec, Mapping[str, Any]], Dict[str, Any]]] = {
     "matmul-cache": kernel_matmul_cache,
     "trsm-cache": kernel_trsm_cache,
     "cholesky-cache": kernel_cholesky_cache,
@@ -734,8 +734,13 @@ MACHINE_FIELDS: Dict[str, Tuple[str, ...]] = {
     "trsm-cache": _TRACE_MACHINE_FIELDS,
     "cholesky-cache": _TRACE_MACHINE_FIELDS,
     "nbody-cache": _TRACE_MACHINE_FIELDS,
-    "matmul-hierarchy": ("levels", "line_size", "policy", "read_slow",
-                         "seed", "write_slow"),
+    # `associativity` and `cache_words` are statically reachable through
+    # MachineSpec.make's single-level branch (`levels` is required, so
+    # that branch never runs for this kernel) — declared anyway: extra
+    # projection fields only split cache entries, never serve stale ones.
+    "matmul-hierarchy": ("associativity", "cache_words", "levels",
+                         "line_size", "policy", "read_slow", "seed",
+                         "write_slow"),
     # The legacy harness wrapper ignores its machine entirely.
     "experiment": (),
     # Analytic cost kernels read only the HwParams override set.
@@ -748,9 +753,21 @@ MACHINE_FIELDS: Dict[str, Tuple[str, ...]] = {
 
 
 def machine_fields(kernel: str) -> Optional[Tuple[str, ...]]:
-    """The declared machine relevance of *kernel*, or ``None`` when the
-    kernel has not declared one (full spec assumed relevant)."""
-    return MACHINE_FIELDS.get(kernel)
+    """The declared machine relevance of *kernel*.
+
+    ``None`` means a *registered* kernel carries no declaration, so the
+    full spec is assumed relevant.  A kernel known to neither
+    :data:`KERNELS` nor :data:`MACHINE_FIELDS` raises ``KeyError``
+    instead — a typo'd name must not silently key on the full spec.
+    """
+    try:
+        return MACHINE_FIELDS[kernel]
+    except KeyError:
+        if kernel in KERNELS:
+            return None
+        raise KeyError(
+            f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}"
+        ) from None
 
 
 #: the headline counters of a single-level trace-kernel record.
@@ -770,6 +787,9 @@ METRIC_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cholesky-cache": _TRACE_METRIC_FIELDS,
     "nbody-cache": _TRACE_METRIC_FIELDS,
     "matmul-hierarchy": _TRACE_METRIC_FIELDS,
+    # The legacy harness wrapper's record is one formatted string — no
+    # metric-worthy numbers to fold.
+    "experiment": (),
     # Analytic cost models: the modeled runtime.
     **{name: ("total_seconds",) for name in COST_KERNELS},
     # Executed distributed algorithms: the per-level traffic maxima.
@@ -827,9 +847,11 @@ class BatchKernel:
     toggle: str
     #: ``(machine, params) -> identity dict`` — ``None`` means the
     #: point cannot batch and must run on its own.
-    group_key: Callable[[MachineSpec, Mapping], Optional[Dict]]
+    group_key: Callable[[MachineSpec, Mapping[str, Any]],
+                        Optional[Dict[str, Any]]]
     #: ``group -> [record, ...]`` in group order.
-    run: Callable[[Sequence[Tuple[MachineSpec, Mapping]]], list]
+    run: Callable[[Sequence[Tuple[MachineSpec, Mapping[str, Any]]]],
+                  List[Dict[str, Any]]]
     #: ``group_key`` ignores ``params`` entirely (true for the cost
     #: grids: any two same-machine points batch) — lets the planner
     #: memoize the serialized key per (kernel, machine) instead of
@@ -838,7 +860,8 @@ class BatchKernel:
 
 
 def capacity_group_payload(tk: TraceKernel, machine: MachineSpec,
-                           params: Mapping) -> Optional[Dict]:
+                           params: Mapping[str, Any]
+                           ) -> Optional[Dict[str, Any]]:
     """The identity shared by trace-kernel points that may ride one
     replay: the projected machine minus the capacity and policy axes,
     the non-capacity params, and the trace identity (``None`` marks a
@@ -901,8 +924,9 @@ BATCH_KERNELS: Dict[str, BatchKernel] = {
 }
 
 
-def run_batch(kernel: str, group: Sequence[Tuple[MachineSpec, Mapping]]
-              ) -> list:
+def run_batch(kernel: str,
+              group: Sequence[Tuple[MachineSpec, Mapping[str, Any]]]
+              ) -> List[Dict[str, Any]]:
     """Evaluate one planned batch through its registered protocol entry."""
     try:
         bk = BATCH_KERNELS[kernel]

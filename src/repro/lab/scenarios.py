@@ -19,7 +19,8 @@ from __future__ import annotations
 import inspect
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Set)
 
 from repro.experiments import Fig2Config, format_fig2, format_fig5, format_sec6
 from repro.experiments.fig2 import fig2_ideal_misses, fig2_variants
@@ -35,7 +36,6 @@ from repro.lab.registry import (
     fig2_config,
     machine_fields,
     project_machine,
-    resolve_machine,
 )
 from repro.util import format_table, require
 
@@ -183,7 +183,7 @@ class Scenario:
             return self.report(self, results)
         return _default_report(self, results)
 
-    def known_param_keys(self) -> set:
+    def known_param_keys(self) -> Set[str]:
         """Every kernel-parameter name this scenario's points carry —
         the CLI warns when a ``--set`` key matches none of them (a typo
         is silently inert otherwise, while still changing cache keys).
@@ -191,7 +191,7 @@ class Scenario:
         are validated against the factory signature in
         :meth:`with_overrides` instead."""
         if self.explicit is not None:
-            keys: set = set()
+            keys: Set[str] = set()
             for pt in self.explicit:
                 keys |= set(pt.params)
             return keys
@@ -290,7 +290,8 @@ def _default_report(scenario: Scenario, results: List[Any]) -> str:
 # --------------------------------------------------------------------- #
 # report assemblers (records -> legacy harness row structures)
 # --------------------------------------------------------------------- #
-def _counter_rows(chunk: List[Any], middles: Sequence[int]) -> Dict:
+def _counter_rows(chunk: List[Any], middles: Sequence[int]
+                  ) -> Dict[str, Any]:
     p0 = chunk[0].point.params
     return {
         "scheme": p0["scheme"],
@@ -308,7 +309,8 @@ def _chunks(items: List[Any], size: int) -> List[List[Any]]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
-def fig2_rows(scenario: Scenario, results: List[Any]) -> List[Dict]:
+def fig2_rows(scenario: Scenario, results: List[Any]
+              ) -> List[Dict[str, Any]]:
     """Reassemble point records into ``run_fig2``'s output structure."""
     cfg: Fig2Config = scenario.meta["cfg"]
     rows = [_counter_rows(c, cfg.middles)
@@ -317,10 +319,12 @@ def fig2_rows(scenario: Scenario, results: List[Any]) -> List[Dict]:
     return rows
 
 
-def fig5_rows(scenario: Scenario, results: List[Any]) -> Dict[str, List[Dict]]:
+def fig5_rows(scenario: Scenario, results: List[Any]
+              ) -> Dict[str, List[Dict[str, Any]]]:
     """Reassemble point records into ``run_fig5``'s output structure."""
     cfg: Fig2Config = scenario.meta["cfg"]
-    out: Dict[str, List[Dict]] = {"multilevel-wa": [], "two-level-ab": []}
+    out: Dict[str, List[Dict[str, Any]]] = {"multilevel-wa": [],
+                                            "two-level-ab": []}
     col_of = {"wa-multilevel": "multilevel-wa", "ab-multilevel": "two-level-ab"}
     for chunk in _chunks(results, len(cfg.middles)):
         row = _counter_rows(chunk, cfg.middles)
@@ -328,7 +332,8 @@ def fig5_rows(scenario: Scenario, results: List[Any]) -> Dict[str, List[Dict]]:
     return out
 
 
-def sec6_rows(scenario: Scenario, results: List[Any]) -> List[Dict]:
+def sec6_rows(scenario: Scenario, results: List[Any]
+              ) -> List[Dict[str, Any]]:
     """Reassemble point records into ``run_sec6``'s output structure."""
     floor = scenario.meta["floor"]
     rows = []

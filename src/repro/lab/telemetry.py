@@ -44,7 +44,8 @@ import os
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
+                    TextIO, Union)
 
 from repro.util import format_table
 
@@ -179,7 +180,7 @@ class Span:
 
     __slots__ = ("id", "tags")
 
-    def __init__(self, span_id: int, tags: Dict[str, Any]):
+    def __init__(self, span_id: int, tags: Dict[str, Any]) -> None:
         self.id = span_id
         self.tags = tags
 
@@ -200,13 +201,13 @@ class RunTrace:
 
     def __init__(self,
                  path: Optional[Union[str, Path]] = None,
-                 meta: Optional[Mapping[str, Any]] = None):
+                 meta: Optional[Mapping[str, Any]] = None) -> None:
         self.meta: Dict[str, Any] = dict(meta or {})
         self.path = Path(path) if path is not None else None
         self.events: List[Dict[str, Any]] = []
         self.epoch = time.monotonic()
         self.finished = False
-        self._fh = None
+        self._fh: Optional[TextIO] = None
         self._ids = itertools.count(1)
         self._stack: List[int] = []
         if self.path is not None:

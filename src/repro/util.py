@@ -9,7 +9,7 @@ from __future__ import annotations
 import math
 import numbers
 import operator
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 __all__ = [
     "require",
@@ -65,7 +65,7 @@ def canonical_int(value, name: str) -> int:
         f"parameter {name!r} must be an integer, got {value!r}")
 
 
-def json_number_default(value):
+def json_number_default(value: Any) -> Any:
     """``json.dumps`` fallback canonicalizing numpy scalars to python
     values, so ``np.int64`` grid axes, ``np.float64`` costs and
     ``np.bool_`` flags key identically to their python twins in cache

@@ -1,0 +1,11 @@
+"""Deliberately broken registrations for the `repro-lab check` tests.
+
+Every module in this package violates exactly the contracts the
+analyzer's rules R1–R5 enforce; ``tests/test_lab_check.py`` points a
+:class:`repro.lab.check.CheckConfig` at this directory and asserts each
+violation is reported with the right rule, severity and ``file:line``.
+Violation lines carry ``MARKER`` comments so the tests can locate them
+by content instead of hard-coding line numbers.
+
+Never import this package from shipped code.
+"""

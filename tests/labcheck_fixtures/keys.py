@@ -1,0 +1,17 @@
+"""Fixture cache-key roots with R3 determinism hazards."""
+
+import time
+
+
+def point_key(payload):
+    stamp = time.time()  # MARKER r3-time-in-key
+    return (sorted(payload.items()), stamp)
+
+
+def batch_key(payload):
+    tags = {str(v) for v in payload.values()}  # MARKER r3-unsorted-set
+    return tuple(tags)
+
+
+def suppressed_key(payload):
+    return hash(frozenset(payload))  # lab-check: ignore[R3]

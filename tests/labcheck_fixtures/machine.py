@@ -1,0 +1,12 @@
+"""A minimal machine-spec dataclass for the fixture kernels."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureMachine:
+    name: str = "fx"
+    line_size: int = 8
+    policy: str = "lru"
+    seed: int = 0
+    write_slow: float = 10.0

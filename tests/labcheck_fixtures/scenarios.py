@@ -1,0 +1,26 @@
+"""Fixture presets: one references an unregistered kernel (R2)."""
+
+from labcheck_fixtures.machine import FixtureMachine
+
+
+class _Point:
+    def __init__(self, kernel, machine):
+        self.kernel = kernel
+        self.machine = machine
+
+
+class _Scenario:
+    def __init__(self, points):
+        self._points = points
+
+    def points(self):
+        return self._points
+
+
+def _bad_preset(quick):
+    return _Scenario([_Point("fx-unregistered", FixtureMachine())])
+
+
+SCENARIOS = {
+    "fx-bad-preset": _bad_preset,  # MARKER r2-bad-preset
+}

@@ -1,0 +1,6 @@
+"""Fixture telemetry emission with an off-vocabulary span name."""
+
+
+def traced(trace):
+    with trace.span("bogus-span"):  # MARKER r5-rogue-span
+        trace.counter("cache.hit")

@@ -1,0 +1,14 @@
+"""Fixture worker dispatch with R4 picklability violations."""
+
+import multiprocessing
+
+
+def spawn_lambda():
+    return multiprocessing.Process(target=lambda: None)  # MARKER r4-lambda
+
+
+def spawn_nested():
+    def _inner():
+        pass
+
+    return multiprocessing.Process(target=_inner)  # MARKER r4-nested

@@ -1,6 +1,5 @@
 """Tests for SUMMA, Cannon, 2.5D, and the Model-2.2 trade-off."""
 
-import math
 
 import numpy as np
 import pytest
@@ -159,7 +158,6 @@ class TestModel22Tradeoff:
         """...but pays Θ(n³/(P√M2)) network words ≫ W2."""
         m = DistMachine(self.P, M2=self.M2)
         summa_l3_ool2(rand(self.N, 9), rand(self.N, 10), m, M2=self.M2)
-        w2 = self.N**2 / math.sqrt(self.P * self.C3)
         per_rank = self.N**2 / self.P  # words per rank at the W2 bound
         assert m.max_over_ranks("nw_recv") > 2 * per_rank
 

@@ -8,7 +8,7 @@ import pytest
 from repro.lab.cache import ResultCache
 from repro.lab.executor import MissingResultsError, execute
 from repro.lab.results import ResultSet
-from repro.lab.scenarios import get_scenario, sec6_scenario
+from repro.lab.scenarios import sec6_scenario
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,7 @@ from repro.lab.registry import (
     matmul_trace_payload,
     run_matmul_capacity_batch,
 )
-from repro.lab.scenarios import ScenarioPoint, sec6_scenario
+from repro.lab.scenarios import ScenarioPoint
 from repro.lab.tracestore import TraceStore, set_active_store, store_from_env
 
 

@@ -132,7 +132,6 @@ class TestPolicies:
         assert lru.stats.misses < fifo.stats.misses
 
     def test_clock_approximates_lru(self):
-        rng = np.random.default_rng(3)
         # Loop over working set slightly larger than capacity.
         lines = np.concatenate([np.arange(10)] * 20)
         writes = np.zeros(len(lines), dtype=bool)
