@@ -29,6 +29,8 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.traces import matmul_trace
 from repro.lab.executor import execute
 from repro.lab.registry import MachineSpec
@@ -36,9 +38,11 @@ from repro.lab.scenarios import ScenarioPoint
 from repro.lab.tracestore import set_active_store
 from repro.machine.cache import CacheSim
 from repro.machine.fastsim import (
+    fold_lru_symbols,
     simulate_lru,
     simulate_lru_sweep,
     simulate_opt_sweep,
+    symbolize,
 )
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
@@ -65,6 +69,12 @@ def built_trace():
     buf = matmul_trace(N, MIDDLE, N, scheme="wa2", b3=B3, b2=B2, base=BASE,
                        line_size=LINE)
     return buf.finalize()
+
+
+def built_trace_tiled():
+    buf = matmul_trace(N, MIDDLE, N, scheme="wa2", b3=B3, b2=B2, base=BASE,
+                       line_size=LINE)
+    return buf.finalize_trace()
 
 
 def capacities_lines():
@@ -243,29 +253,119 @@ def test_kernel_only_sweep(benchmark):
     assert speedup >= 1.5
 
 
+# kernel_only.fastsim_sweep_s as committed before the super-symbol PR:
+# the acceptance floor is >= 3x over this fixed number, not over the
+# same-run event sweep (which the same PR's distance-pass rework also
+# sped up, from 70ms to ~25ms on this geometry).
+PRE_SUPERSYMBOL_SWEEP_S = 0.0702
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    out = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+def test_supersymbol_kernel_only(benchmark):
+    """The tile super-symbol pipeline (symbolize + visit-granular LRU
+    fold) against the event-granular stack pass on the same sec6-shaped
+    trace and capacity grid — counters bit-identical, and the acceptance
+    floor: >= 3x over the pre-PR committed ``fastsim_sweep_s``."""
+    trace = built_trace_tiled()
+    caps = capacities_lines()
+
+    ref, event_s = _best_of(
+        lambda: simulate_lru_sweep(trace.lines, trace.writes, caps))
+
+    def run():
+        st = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+        return st, fold_lru_symbols(st, caps)
+
+    (st, res), sym_s = _best_of(run)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert st is not None
+    for name in ("accesses", "hits", "misses", "fills", "victims_m",
+                 "victims_e", "flush_writebacks", "flush_victims_e",
+                 "stack_lines", "stack_has_write", "stack_m"):
+        assert np.array_equal(np.asarray(getattr(res, name)),
+                              np.asarray(getattr(ref, name))), name
+    speedup = event_s / sym_s
+    speedup_vs_baseline = PRE_SUPERSYMBOL_SWEEP_S / sym_s
+    print(f"\n[bench_fastsim] super-symbol ({trace.n_events} events -> "
+          f"{st.n_visits} visits, {st.n_symbols} symbols, "
+          f"{len(caps)} capacities): event sweep {event_s:.4f}s, "
+          f"symbolize+fold {sym_s:.4f}s -> {speedup:.1f}x same-run, "
+          f"{speedup_vs_baseline:.1f}x vs pre-PR "
+          f"{PRE_SUPERSYMBOL_SWEEP_S:.4f}s")
+    record_snapshot(supersymbol={
+        "trace_events": int(trace.n_events),
+        "visits": int(st.n_visits),
+        "symbols": int(st.n_symbols),
+        "compression_events_per_visit": round(st.compression, 2),
+        "event_sweep_s": round(event_s, 4),
+        "supersymbol_sweep_s": round(sym_s, 4),
+        "speedup_vs_event_sweep": round(speedup, 2),
+        "baseline_event_sweep_s": PRE_SUPERSYMBOL_SWEEP_S,
+        "speedup": round(speedup_vs_baseline, 2),
+    })
+    # The fold must beat the (also-newly-optimized) event sweep on any
+    # geometry; the 3x acceptance floor is against the committed pre-PR
+    # baseline and only meaningful on the full-size shape.
+    assert sym_s < event_s
+    if not QUICK:
+        assert speedup_vs_baseline >= 3.0
+
+
 def test_single_capacity_footnote(benchmark):
-    """K=1: the tuned per-access loop vs the batched kernel (documents
-    why CacheSim defaults to the loop for a single capacity)."""
-    lines, writes = built_trace()
+    """K=1: the tuned per-access loop vs the event-granular kernel vs
+    the super-symbol path.  The event pass still loses at K=1 (why
+    ``run_lines`` keeps the loop); the super-symbol fold wins even
+    there, which is why ``fastsim_min_events='auto'`` routes large
+    tiled traces through ``run_trace``'s fold."""
+    trace = built_trace_tiled()
+    lines, writes = trace.pair()
     cap = capacities_lines()[1]  # 3 blocks
 
     t0 = time.perf_counter()
-    sim = CacheSim(cap, line_size=1, policy="lru")
+    sim = CacheSim(cap, line_size=1, policy="lru",
+                   fastsim_min_events=None)
     sim.run_lines(lines, writes)
     sim.flush()
     dict_loop_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    res = benchmark.pedantic(lambda: simulate_lru(lines, writes, cap),
-                             rounds=1, iterations=1)
-    single_s = time.perf_counter() - t0
+    res = simulate_lru(lines, writes, cap)
+    event_single_s = time.perf_counter() - t0
     assert res.stats(cap) == sim.stats
+
+    def run():
+        fold = CacheSim(cap, line_size=1, policy="lru",
+                        fastsim_min_events=0)
+        fold.run_trace(trace)
+        fold.flush()
+        return fold
+
+    t0 = time.perf_counter()
+    fold = benchmark.pedantic(run, rounds=1, iterations=1)
+    sym_s = time.perf_counter() - t0
+    assert fold.stats == sim.stats
     print(f"\n[bench_fastsim] single capacity: dict loop "
-          f"{dict_loop_s:.3f}s, fastsim {single_s:.3f}s "
-          f"(ratio {single_s / dict_loop_s:.2f} - the loop wins at K=1)")
+          f"{dict_loop_s:.3f}s, event fastsim {event_single_s:.3f}s "
+          f"(ratio {event_single_s / dict_loop_s:.2f}), super-symbol "
+          f"{sym_s:.3f}s (ratio {sym_s / dict_loop_s:.2f})")
     record_snapshot(single_capacity={
         "trace_events": int(len(lines)),
         "dict_loop_s": round(dict_loop_s, 4),
-        "fastsim_single_s": round(single_s, 4),
-        "fastsim_over_loop_ratio": round(single_s / dict_loop_s, 2),
+        "event_single_s": round(event_single_s, 4),
+        "event_over_loop_ratio": round(event_single_s / dict_loop_s, 2),
+        "fastsim_single_s": round(sym_s, 4),
+        "fastsim_over_loop_ratio": round(sym_s / dict_loop_s, 2),
     })
+    # Acceptance: the super-symbol path beats the dict loop at K=1 on
+    # the full-size geometry (no floor on quick CI runners).
+    if not QUICK:
+        assert sym_s / dict_loop_s < 1.0

@@ -301,7 +301,13 @@ def _cmd_trace_show(args: argparse.Namespace) -> int:
     trace = RunTrace.load(args.file)
     print(telemetry.render_attribution(trace))
     if args.metrics:
-        print(trace.metrics().format(title=f"metrics — {args.file}"))
+        reg = trace.metrics()
+        print(reg.format(title=f"metrics — {args.file}"))
+        events = reg.counters.get("trace.events", 0)
+        symbols = reg.counters.get("trace.symbols", 0)
+        if symbols:
+            print(f"super-symbol compression: {events:.0f} events -> "
+                  f"{symbols:.0f} symbols ({events / symbols:.1f}x)")
     return 0
 
 

@@ -89,8 +89,10 @@ from typing import (Any, Dict, List, Optional, Sequence, Set, Tuple,
 from repro.lab import telemetry
 from repro.lab.cache import ResultCache
 from repro.lab.faults import FaultPlan, deterministic_unit, fault_key
-from repro.lab.registry import BATCH_KERNELS, METRIC_FIELDS, run_batch
+from repro.lab.registry import (BATCH_KERNELS, METRIC_FIELDS, TRACE_KERNELS,
+                                run_batch)
 from repro.lab.scenarios import ScenarioPoint
+from repro.lab.tracestore import active_store, staged_keys
 from repro.machine.fastsim import profile as fs_profile
 from repro.util import json_number_default
 
@@ -378,7 +380,13 @@ def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     ``"events"``/``"epoch"`` — or, on failure, a structured ``"error"``
     record carrying the worker-side traceback.  A fault plan riding the
     payload (``task["faults"]``) fires at this boundary, *before* any
-    kernel runs."""
+    kernel runs.
+
+    ``task["trace_keys"]`` — content-addressed trace-store keys the
+    parent staged at dispatch — are installed for the task body, so
+    trace kernels resolve their traces as read-only mmaps of the
+    shared store files (zero-copy: the pipe carries only the keys,
+    never event arrays)."""
     pts = [ScenarioPoint.from_payload(p) for p in task["points"]]
     out: Dict[str, Any] = {
         "worker": multiprocessing.current_process().name,
@@ -390,7 +398,8 @@ def _run_task(task: Dict[str, Any]) -> Dict[str, Any]:
         if plan is not None:
             plan.maybe_fire(task.get("fault_keys") or (),
                             task.get("attempt", 1), in_worker=True)
-        with telemetry.tracing(subtrace), _phase_capture(subtrace):
+        with telemetry.tracing(subtrace), _phase_capture(subtrace), \
+                staged_keys(task.get("trace_keys") or ()):
             out["records"] = _run_points(pts)
     except Exception as exc:  # shipped home; parent decides retry/fail
         out["error"] = {
@@ -700,6 +709,39 @@ class _Supervisor:
                     f"completed points are cached")
         workers[slot] = self._spawn()
 
+    def _stage_traces(self, task: _Task) -> Tuple[str, ...]:
+        """Zero-copy handoff, parent half: make sure every trace the
+        task's points need exists in the active store (building each at
+        most once, here, instead of concurrently in N workers) and
+        return the content-addressed keys to ship in the payload.
+
+        Batch tasks share one trace identity by construction, so this
+        is one key per capacity batch.  Returns ``()`` — ship nothing —
+        for scalar tasks (their builds stay in the workers, parallel as
+        ever), when no store is active, or when the points are not
+        trace kernels; a point whose payload cannot even be formed is
+        skipped so the worker reports the real parameter error."""
+        store = active_store()
+        if task.kind != "multi_capacity" or store is None or store.disabled:
+            return ()
+        keys: List[str] = []
+        for i in task.indices:
+            pt = self.points[i]
+            tk = TRACE_KERNELS.get(pt.kernel)
+            if tk is None:
+                continue
+            try:
+                spec = tk.payload(pt.machine, pt.params)
+            except (KeyError, TypeError, ValueError):
+                continue
+            key = store.key_for(spec)
+            if key in keys:
+                continue
+            store.get_or_build_trace(
+                spec, lambda _tk=tk, _spec=spec: _tk.build(_spec))
+            keys.append(key)
+        return tuple(keys)
+
     def _dispatch(self, worker: _Worker, task: _Task,
                   tracing: bool) -> bool:
         """Send *task* to *worker*; False if the pipe is already dead
@@ -711,6 +753,9 @@ class _Supervisor:
             "attempt": task.attempts + 1,
             **self._fault_payload(task),
         }
+        trace_keys = self._stage_traces(task)
+        if trace_keys:
+            payload["trace_keys"] = trace_keys
         try:
             worker.conn.send(payload)
         except (BrokenPipeError, OSError):

@@ -62,12 +62,14 @@ from repro.lab.modelkernels import (
     MODEL_KERNELS,
     run_cost_batch,
 )
-from repro.lab.tracestore import active_store
+from repro.lab.telemetry import active_trace
+from repro.lab.tracestore import active_store, is_staged
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.energy import EnergyModel
 from repro.machine.fastsim.profile import phase as fs_phase
 from repro.machine.multicache import CacheHierarchySim
 from repro.machine.policies import POLICIES
+from repro.machine.trace import Trace
 from repro.util import canonical_int, require
 
 __all__ = [
@@ -310,18 +312,21 @@ class TraceKernel:
     """Declarative protocol entry for a line-trace kernel.
 
     A trace kernel is any registry kernel whose record is a pure function
-    of a finalized ``(lines, writes)`` line trace (determined by the
+    of a finalized :class:`~repro.machine.trace.Trace` (determined by the
     trace parameters alone) replayed through one simulated
     fully-associative cache level.  Declaring the ingredients — trace
     identity, trace builder, capacity, write floor — instead of
     hard-coding them per kernel lets the engine share work mechanically:
 
-    * :meth:`lines` memoizes ``payload`` → ``build`` results in the
-      active trace store, so capacity/policy sweeps generate each trace
-      once across points, workers and runs;
+    * :meth:`trace` memoizes ``payload`` → ``build`` results in the
+      active trace store (tile-chunk sidecar included), so
+      capacity/policy sweeps generate each trace once across points,
+      workers and runs — and honors keys the executor staged for
+      zero-copy handoff (:func:`repro.lab.tracestore.staged_keys`);
     * the executor groups points that differ only in the capacity (and
       batchable-policy) axes and replays each group through the
-      single-pass fastsim sweeps (:func:`run_capacity_batch`).
+      single-pass fastsim sweeps (:func:`run_capacity_batch`), which
+      fold at super-symbol granularity when ``tiles`` holds.
     """
 
     name: str
@@ -332,23 +337,44 @@ class TraceKernel:
     capacity_params: Tuple[str, ...]
     #: (machine, params) -> canonical JSON-able trace identity.
     payload: Callable[[MachineSpec, Mapping[str, Any]], Dict[str, Any]]
-    #: trace identity -> finalized ``(lines, writes)``.
-    build: Callable[[Mapping[str, Any]], Tuple[Any, Any]]
+    #: trace identity -> finalized :class:`~repro.machine.trace.Trace`.
+    build: Callable[[Mapping[str, Any]], Trace]
     #: (machine, params) -> simulated capacity in words.
     capacity_words: Callable[[MachineSpec, Mapping[str, Any]], int]
     #: (machine, params) -> the paper's write lower bound, in lines.
     write_lb: Callable[[MachineSpec, Mapping[str, Any]], int]
+    #: whether ``build`` emits tile-granular chunks (each chunk one
+    #: base-tile visit), making the kernel eligible for the super-symbol
+    #: fold; kernels without tile structure set ``False`` and always
+    #: replay event-granular.
+    tiles: bool = True
 
-    def lines(self, machine: MachineSpec, params: Mapping[str, Any]
-              ) -> Tuple[Any, Any]:
-        """Finalized ``(lines, writes)``, served from the active trace
-        store when one is installed."""
+    def trace(self, machine: MachineSpec, params: Mapping[str, Any]
+              ) -> Trace:
+        """Finalized :class:`~repro.machine.trace.Trace`, served from the
+        active trace store when one is installed.
+
+        When the executor staged this trace's key for the current task
+        (zero-copy handoff), the arrays arrive as read-only mmaps via
+        :meth:`~repro.lab.tracestore.TraceStore.get_by_key` and the
+        build closure is never entered."""
         spec = self.payload(machine, params)
         store = active_store()
         if store is None:
             with fs_phase("trace_build"):
                 return self.build(spec)
-        return store.get_or_build(spec, lambda: self.build(spec))
+        key = store.key_for(spec)
+        if is_staged(key):
+            staged = store.get_by_key(key)
+            if staged is not None:
+                return staged
+        return store.get_or_build_trace(spec, lambda: self.build(spec))
+
+    def lines(self, machine: MachineSpec, params: Mapping[str, Any]
+              ) -> Tuple[Any, Any]:
+        """Finalized ``(lines, writes)``, served from the active trace
+        store when one is installed."""
+        return self.trace(machine, params).pair()
 
     def record(self, machine: MachineSpec, params: Mapping[str, Any],
                st: "CacheStats") -> Dict[str, Any]:
@@ -375,9 +401,10 @@ class TraceKernel:
                 f"machines with `levels` need a hierarchy kernel")
         machine = machine.override(
             cache_words=int(self.capacity_words(machine, params)))
-        lines, writes = self.lines(machine, params)
+        trace = self.trace(machine, params)
         sim = machine.make()
-        sim.run_lines(lines, writes)
+        assert isinstance(sim, CacheSim)
+        sim.run_trace(trace)
         sim.flush()
         return self.record(machine, params, sim.stats)
 
@@ -403,7 +430,7 @@ def matmul_trace_payload(machine: MachineSpec, params: Mapping[str, Any]) -> Dic
     }
 
 
-def _build_matmul(spec: Mapping) -> Tuple[Any, Any]:
+def _build_matmul(spec: Mapping) -> Trace:
     buf = matmul_trace(
         spec["n"], spec["middle"], spec["l"],
         scheme=spec["scheme"],
@@ -413,7 +440,7 @@ def _build_matmul(spec: Mapping) -> Tuple[Any, Any]:
         line_size=spec["line_size"],
         c_touch_hint=spec["c_touch_hint"],
     )
-    return buf.finalize()
+    return buf.finalize_trace()
 
 
 def matmul_capacity_words(machine: MachineSpec, params: Mapping[str, Any]) -> int:
@@ -496,7 +523,7 @@ TRACE_KERNELS: Dict[str, TraceKernel] = {tk.name: tk for tk in (
         payload=trsm_trace_payload,
         build=lambda spec: trsm_trace(
             spec["n"], spec["m"], b=spec["b"],
-            line_size=spec["line_size"]).finalize(),
+            line_size=spec["line_size"]).finalize_trace(),
         capacity_words=_block_squared_capacity,
         # Proposition 6.2: write-backs = the n×m output.
         write_lb=lambda machine, params: (
@@ -510,7 +537,7 @@ TRACE_KERNELS: Dict[str, TraceKernel] = {tk.name: tk for tk in (
         payload=cholesky_trace_payload,
         build=lambda spec: cholesky_trace(
             spec["n"], b=spec["b"],
-            line_size=spec["line_size"]).finalize(),
+            line_size=spec["line_size"]).finalize_trace(),
         capacity_words=_block_squared_capacity,
         # Lower-triangle output, full diagonal blocks: n(n+b)/2 words.
         write_lb=lambda machine, params: (
@@ -525,7 +552,7 @@ TRACE_KERNELS: Dict[str, TraceKernel] = {tk.name: tk for tk in (
         payload=nbody_trace_payload,
         build=lambda spec: nbody_trace(
             spec["n"], b=spec["b"],
-            line_size=spec["line_size"]).finalize(),
+            line_size=spec["line_size"]).finalize_trace(),
         capacity_words=_block_vector_capacity,
         # The N force words are the only obligatory writes.
         write_lb=lambda machine, params: (
@@ -592,14 +619,23 @@ def run_capacity_batch(
     (``TRACE_KERNELS[kernel].payload``) and describe a fully-associative
     LRU or Belady cache; they may differ only in capacity and in which of
     those two policies they use.  The trace is generated (or mapped from
-    the trace store) once, the fastsim multi-capacity kernels
-    (:func:`~repro.machine.fastsim.simulate_lru_sweep`,
-    :func:`~repro.machine.fastsim.simulate_opt_sweep`) produce exact
-    per-capacity counters in one pass per policy, and each point gets
-    the same record the per-point kernel would have computed —
-    bit-identical, enforced by the equivalence tests.
+    the trace store) once; when the kernel is tile-granular and its
+    chunks symbolize, the stack passes run at super-symbol granularity
+    (:func:`~repro.machine.fastsim.fold_lru_symbols`,
+    :func:`~repro.machine.fastsim.fold_opt_symbols`), otherwise the
+    event-granular sweeps (:func:`~repro.machine.fastsim
+    .simulate_lru_sweep`, :func:`~repro.machine.fastsim
+    .simulate_opt_sweep`) take over.  Either way each point gets exact
+    per-capacity counters — the same record the per-point kernel would
+    have computed, bit-identical, enforced by the equivalence tests.
     """
-    from repro.machine.fastsim import simulate_lru_sweep, simulate_opt_sweep
+    from repro.machine.fastsim import (
+        fold_lru_symbols,
+        fold_opt_symbols,
+        simulate_lru_sweep,
+        simulate_opt_sweep,
+        symbolize,
+    )
 
     try:
         tk = TRACE_KERNELS[kernel]
@@ -625,14 +661,26 @@ def run_capacity_batch(
                 f"capacity_words={cap_words} must be a multiple of "
                 f"line_size={machine.line_size}")
         caps_lines.append(cap_words // machine.line_size)
-    lines, writes = tk.lines(machine0, params0)
-    simulate = {"lru": simulate_lru_sweep, "belady": simulate_opt_sweep}
+    trace = tk.trace(machine0, params0)
+    sym = None
+    if tk.tiles and trace.chunk_lens is not None:
+        sym = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+    tel = active_trace()
+    if tel is not None:
+        tel.counter("trace.events", trace.n_events, kernel=tk.name)
+        if sym is not None:
+            tel.counter("trace.symbols", sym.n_symbols, kernel=tk.name)
+    folds = {
+        "lru": (fold_lru_symbols, simulate_lru_sweep),
+        "belady": (fold_opt_symbols, simulate_opt_sweep),
+    }
     sweeps = {}
-    for policy, sweep_fn in simulate.items():
+    for policy, (fold_fn, sweep_fn) in folds.items():
         caps = sorted({cap for (m, _), cap in zip(group, caps_lines)
                        if m.policy == policy})
         if caps:
-            sweeps[policy] = sweep_fn(lines, writes, caps)
+            sweeps[policy] = (fold_fn(sym, caps) if sym is not None
+                              else sweep_fn(trace.lines, trace.writes, caps))
     return [
         tk.record(machine, params,
                   sweeps[machine.policy].stats(cap, include_flush=True))

@@ -9,10 +9,18 @@ trace-generating parameters plus the repro source fingerprint, so any
 code change transparently invalidates every trace it could have shaped.
 
 Each entry is a pair of raw ``.npy`` files (loaded back memory-mapped, so
-concurrent workers share pages instead of each materializing a copy) plus
-a small JSON sidecar recording the payload for `repro-lab cache stats`.
-Writes are atomic (tempfile + ``os.replace``); a store whose root cannot
-be created degrades to a no-op, like :class:`repro.lab.cache.ResultCache`.
+concurrent workers share pages instead of each materializing a copy), an
+optional ``.chunks.npy`` sidecar holding the tile-chunk lengths (so the
+fastsim super-symbol fold survives the store round-trip), plus a small
+JSON sidecar recording the payload for `repro-lab cache stats`.  Writes
+are atomic (tempfile + ``os.replace``); a store whose root cannot be
+created degrades to a no-op, like :class:`repro.lab.cache.ResultCache`.
+
+The store is also the executor's **zero-copy worker handoff**: the
+parent stages a batch task's traces here at dispatch and ships only the
+content-addressed *keys* in the task payload; workers resolve them with
+:func:`TraceStore.get_by_key` inside a :func:`staged_keys` context and
+mmap the shared files read-only instead of unpickling event arrays.
 
 The store is **opt-in**: :func:`active_store` returns one only when
 ``$REPRO_LAB_TRACES`` names a directory or the CLI/executor installed one
@@ -26,17 +34,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+from typing import (Callable, Dict, Iterable, Iterator, Optional, Tuple,
+                    Union)
 
 import numpy as np
 
 from repro.lab import telemetry
 from repro.lab.cache import code_fingerprint, default_cache_root, point_key
 from repro.machine.fastsim.profile import phase as fs_phase
+from repro.machine.trace import Trace
 
 __all__ = ["TraceStore", "active_store", "set_active_store",
-           "default_trace_root", "store_from_env"]
+           "default_trace_root", "store_from_env",
+           "staged_keys", "is_staged"]
 
 #: env var: a directory enables the store there; "off"/"0"/"none" keeps it
 #: disabled even when the CLI would install the default one.
@@ -72,10 +84,11 @@ class TraceStore:
     def key_for(self, payload: Dict) -> str:
         return point_key({"trace": dict(payload)}, self.code_version)
 
-    def _paths(self, key: str) -> Tuple[Path, Path, Path]:
+    def _paths(self, key: str) -> Tuple[Path, Path, Path, Path]:
         shard = self.root / key[:2]
         return (shard / f"{key}.lines.npy",
                 shard / f"{key}.writes.npy",
+                shard / f"{key}.chunks.npy",
                 shard / f"{key}.json")
 
     def get(self, payload: Dict) -> Optional[Tuple[np.ndarray, np.ndarray]]:
@@ -88,10 +101,28 @@ class TraceStore:
         treated as a miss — :meth:`get_or_build` then rebuilds and
         overwrites it — rather than fed into the simulation kernels.
         """
+        tr = self.get_by_key(self.key_for(payload))
+        return None if tr is None else (tr.lines, tr.writes)
+
+    def get_trace(self, payload: Dict) -> Optional[Trace]:
+        """Like :meth:`get`, but as a :class:`Trace` with the tile-chunk
+        sidecar attached when one round-trips validation."""
+        return self.get_by_key(self.key_for(payload))
+
+    def get_by_key(self, key: str) -> Optional[Trace]:
+        """Memory-mapped :class:`Trace` for a content-addressed *key*.
+
+        This is the zero-copy worker handoff: the executor ships keys
+        (strings) across the pool boundary and each worker maps the
+        shared ``.npy`` files read-only here.  The ``.chunks.npy``
+        sidecar is optional — a missing or inconsistent one degrades to
+        ``chunk_lens=None`` (event-granular simulation), never to an
+        error.
+        """
         if self.disabled:
             self._count_miss("disabled")
             return None
-        lines_p, writes_p, _ = self._paths(self.key_for(payload))
+        lines_p, writes_p, chunks_p, _ = self._paths(key)
         try:
             lines = np.load(lines_p, mmap_mode="r")
             writes = np.load(writes_p, mmap_mode="r")
@@ -103,12 +134,21 @@ class TraceStore:
                 or lines.dtype != np.int64 or writes.dtype != np.bool_):
             self._count_miss("invalid")
             return None
+        chunk_lens: Optional[np.ndarray] = None
+        try:
+            chunks = np.load(chunks_p, mmap_mode="r")
+            if (chunks.ndim == 1 and chunks.dtype == np.int64
+                    and (len(chunks) == 0 or int(chunks.min()) > 0)
+                    and int(chunks.sum()) == len(lines)):
+                chunk_lens = chunks
+        except (OSError, ValueError):
+            pass
         self.hits += 1
         trace = telemetry.active_trace()
         if trace is not None:
             # build-vs-reuse attribution: a hit is a mmap reuse.
             trace.counter("tracestore.hit")
-        return lines, writes
+        return Trace(lines, writes, chunk_lens)
 
     def _count_miss(self, reason: str) -> None:
         self.misses += 1
@@ -117,13 +157,22 @@ class TraceStore:
             trace.counter("tracestore.miss", reason=reason)
 
     def put(self, payload: Dict, lines: np.ndarray,
-            writes: np.ndarray) -> bool:
+            writes: np.ndarray,
+            chunk_lens: Optional[np.ndarray] = None) -> bool:
         if self.disabled:
             return False
         key = self.key_for(payload)
-        lines_p, writes_p, meta_p = self._paths(key)
+        lines_p, writes_p, chunks_p, meta_p = self._paths(key)
+        if chunk_lens is not None:
+            chunk_lens = np.ascontiguousarray(chunk_lens, dtype=np.int64)
+            if (chunk_lens.ndim != 1
+                    or (len(chunk_lens)
+                        and int(chunk_lens.min()) <= 0)
+                    or int(chunk_lens.sum()) != len(lines)):
+                chunk_lens = None  # malformed sidecar: store chunkless
         meta = {"key": key, "code_version": self.code_version,
-                "trace": dict(payload), "events": int(len(lines))}
+                "trace": dict(payload), "events": int(len(lines)),
+                "chunks": None if chunk_lens is None else len(chunk_lens)}
         try:
             blob = json.dumps(meta, sort_keys=True)
         except (TypeError, ValueError):
@@ -145,6 +194,10 @@ class TraceStore:
             lines_p.parent.mkdir(parents=True, exist_ok=True)
             self._atomic_npy(lines_p, lines)
             self._atomic_npy(writes_p, writes)
+            if chunk_lens is not None:
+                self._atomic_npy(chunks_p, chunk_lens)
+            elif chunks_p.exists():
+                chunks_p.unlink()  # don't pair a stale sidecar with new data
             fd, tmp = tempfile.mkstemp(dir=str(meta_p.parent), suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -188,6 +241,18 @@ class TraceStore:
             lines, writes = builder()
         self.put(payload, lines, writes)
         return lines, writes
+
+    def get_or_build_trace(self, payload: Dict,
+                           builder: Callable[[], Trace]) -> Trace:
+        """Serve *payload* as a :class:`Trace` from disk, or build,
+        store (with the tile-chunk sidecar) and return it."""
+        cached = self.get_trace(payload)
+        if cached is not None:
+            return cached
+        with fs_phase("trace_build"):
+            built = builder()
+        self.put(payload, built.lines, built.writes, built.chunk_lens)
+        return built
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -237,7 +302,8 @@ class TraceStore:
                 continue
             name = path.name
             key = None
-            for suffix in (".lines.npy", ".writes.npy", ".json"):
+            for suffix in (".lines.npy", ".writes.npy", ".chunks.npy",
+                           ".json"):
                 if name.endswith(suffix):
                     key = name[:-len(suffix)]
                     break
@@ -293,6 +359,37 @@ def active_store() -> Optional[TraceStore]:
         else:
             _active = store_from_env()
     return _active  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------- #
+# staged-key context: the executor's zero-copy trace handoff
+# --------------------------------------------------------------------- #
+_staged: frozenset = frozenset()
+
+
+@contextmanager
+def staged_keys(keys: Iterable[str]) -> Iterator[None]:
+    """Mark trace-store *keys* as staged for the current task.
+
+    The executor parent builds (or verifies) each batch task's traces in
+    the store at dispatch and ships their keys in the task payload; the
+    worker wraps the task body in this context so
+    :meth:`repro.lab.registry.TraceKernel.trace` resolves the trace with
+    a read-only mmap (:meth:`TraceStore.get_by_key`) instead of
+    rebuilding — or worse, the parent pickling event arrays across the
+    pool boundary."""
+    global _staged
+    prev = _staged
+    _staged = prev | frozenset(keys)
+    try:
+        yield
+    finally:
+        _staged = prev
+
+
+def is_staged(key: str) -> bool:
+    """Whether the executor staged *key* for the current task."""
+    return key in _staged
 
 
 def set_active_store(store: Optional[TraceStore]) -> Optional[TraceStore]:

@@ -27,9 +27,11 @@ SPANS: FrozenSet[str] = frozenset({
 #: .phase` hook sections, folded into traces by the executor).
 PHASES: FrozenSet[str] = frozenset({
     "trace_build",
+    "supersymbol_fold",
     "radix_partition",
     "distance_pass",
     "capacity_fold",
+    "stream_window",
     "next_use",
     "opt_replay",
 })
@@ -41,6 +43,8 @@ COUNTERS: FrozenSet[str] = frozenset({
     "cache.write",
     "tracestore.hit",
     "tracestore.miss",
+    "trace.events",
+    "trace.symbols",
     "task.retry",
     "task.timeout",
     "worker.respawn",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,9 +30,15 @@ from repro.machine.policies import (
     ReplacementPolicy,
     make_policy,
 )
+from repro.machine.trace import Trace
 from repro.util import check_positive_int
 
-__all__ = ["CacheSim", "CacheStats"]
+__all__ = ["CacheSim", "CacheStats", "AUTO_TILED_MIN_EVENTS"]
+
+#: events past which ``fastsim_min_events="auto"`` routes a tile-chunked
+#: trace through the super-symbol fold (below it the tuned per-access
+#: loops win on constant factors).
+AUTO_TILED_MIN_EVENTS = 1 << 15
 
 
 @dataclass
@@ -90,14 +96,18 @@ class CacheSim:
         reproducible point-by-point.  ``None`` keeps the historical
         behaviour (every set gets its own generator seeded 0).
     fastsim_min_events:
-        When set, ``run_lines`` traces of at least this many events on an
-        *empty* fully-associative LRU cache — or any offline Belady run —
-        replay through the batched :mod:`repro.machine.fastsim` kernels
-        (bit-identical counters and end state, no change to the
-        per-access semantics).  ``None`` (the default) keeps the tuned
-        per-access loops: the batched kernels only pay when amortized
-        over two or more capacities — which is the lab engine's
-        multi-capacity path, not this single-capacity entry point.
+        Controls when replays route through the batched
+        :mod:`repro.machine.fastsim` kernels (bit-identical counters and
+        end state, no change to the per-access semantics).  The default
+        ``"auto"`` keeps the tuned per-access loops for flat
+        ``run_lines`` traces but sends :meth:`run_trace` calls with
+        tile-chunk structure and at least :data:`AUTO_TILED_MIN_EVENTS`
+        events through the super-symbol fold
+        (:mod:`repro.machine.fastsim.symbols`), which beats the dict
+        loop even at a single capacity.  An integer is an explicit
+        event threshold for both entry points (including event-granular
+        ``run_lines`` batching); ``None`` opts out of batching
+        entirely.
 
     Notes
     -----
@@ -116,7 +126,7 @@ class CacheSim:
         associativity: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
-        fastsim_min_events: Optional[int] = None,
+        fastsim_min_events: Union[int, None, str] = "auto",
     ):
         check_positive_int(capacity_words, "capacity_words")
         check_positive_int(line_size, "line_size")
@@ -202,16 +212,15 @@ class CacheSim:
         writes = np.asarray(writes, dtype=bool)
         if lines.shape != writes.shape:
             raise ValueError("lines and writes must have matching shapes")
+        thr = self.fastsim_min_events
+        batch = isinstance(thr, int) and len(lines) >= thr
         if self._offline:
-            if (self.fastsim_min_events is not None
-                    and len(lines) >= self.fastsim_min_events):
+            if batch:
                 self._run_belady_batched(lines, writes)
             else:
                 self._run_belady(lines, writes)
         elif isinstance(self._sets[0], LRUPolicy) and self.num_sets == 1:
-            if (self.fastsim_min_events is not None
-                    and len(lines) >= self.fastsim_min_events
-                    and not self._dirty):
+            if batch and not self._dirty:
                 self._run_lru_batched(lines, writes)
             else:
                 self._run_lru_fast(lines, writes)
@@ -225,6 +234,51 @@ class CacheSim:
         """Replay a trace of word addresses."""
         addrs = np.asarray(addrs)
         return self.run_lines(addrs // self.line_size, writes)
+
+    def run_trace(self, trace: Trace) -> CacheStats:
+        """Replay a finalized :class:`~repro.machine.trace.Trace`.
+
+        Identical counters to ``run_lines(trace.lines, trace.writes)``;
+        the difference is speed: when the trace carries tile-chunk
+        structure and ``fastsim_min_events`` allows it (see the
+        constructor), an empty fully-associative LRU cache — or any
+        offline Belady run — folds the trace at super-symbol granularity
+        instead of looping per event, then reconstructs the same end
+        state.  Traces whose chunks don't symbolize (overlapping
+        footprints, mixed read/write chunks) silently take the event
+        path.
+        """
+        thr = self.fastsim_min_events
+        if thr == "auto":
+            min_events: Optional[int] = AUTO_TILED_MIN_EVENTS
+        elif isinstance(thr, int):
+            min_events = thr
+        else:
+            min_events = None
+        eligible = (min_events is not None
+                    and trace.chunk_lens is not None
+                    and trace.n_events >= min_events)
+        if eligible:
+            if self._offline:
+                from repro.machine.fastsim.symbols import (fold_opt_symbols,
+                                                           symbolize)
+
+                st = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+                if st is not None:
+                    self._fold_belady_result(
+                        fold_opt_symbols(st, [self.capacity_lines]))
+                    return self.stats
+            elif (isinstance(self._sets[0], LRUPolicy)
+                    and self.num_sets == 1 and not self._dirty):
+                from repro.machine.fastsim.symbols import (fold_lru_symbols,
+                                                           symbolize)
+
+                st = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+                if st is not None:
+                    self._fold_lru_result(
+                        fold_lru_symbols(st, [self.capacity_lines]))
+                    return self.stats
+        return self.run_lines(trace.lines, trace.writes)
 
     def flush(self) -> CacheStats:
         """Evict everything; dirty lines count as flush write-backs.
@@ -305,7 +359,12 @@ class CacheSim:
         """
         from repro.machine.fastsim import simulate_lru
 
-        res = simulate_lru(lines, writes, self.capacity_lines)
+        self._fold_lru_result(simulate_lru(lines, writes,
+                                           self.capacity_lines))
+
+    def _fold_lru_result(self, res) -> None:
+        """Fold an ``LRUSweepResult`` into the stats and rebuild the
+        resumable LRU order / dirty bits from its end-of-trace stack."""
         st = res.stats(self.capacity_lines, include_flush=False)
         mine = self.stats
         mine.accesses += st.accesses
@@ -331,7 +390,11 @@ class CacheSim:
         """
         from repro.machine.fastsim import simulate_opt
 
-        res = simulate_opt(lines, writes, self.capacity_lines)
+        self._fold_belady_result(simulate_opt(lines, writes,
+                                              self.capacity_lines))
+
+    def _fold_belady_result(self, res) -> None:
+        """Fold an ``OPTSweepResult`` (flush included) into the stats."""
         st = res.stats(self.capacity_lines, include_flush=True)
         mine = self.stats
         mine.accesses += st.accesses

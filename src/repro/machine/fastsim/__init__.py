@@ -17,15 +17,23 @@ Entry points:
 * :func:`simulate_opt_sweep` / :func:`simulate_opt` — the offline
   Belady/MIN analogue: one replay, exact counters for every capacity
   (OPT is a stack algorithm too — see :mod:`repro.machine.fastsim.opt`);
+* :func:`symbolize` / :func:`fold_lru_symbols` / :func:`fold_opt_symbols`
+  and the trace-level dispatchers :func:`simulate_lru_sweep_trace` /
+  :func:`simulate_opt_sweep_trace` — the super-symbol pipeline: tile
+  visits compress to one symbol each and both stack passes run at visit
+  granularity (:mod:`repro.machine.fastsim.symbols`);
+* :func:`stream_lru_sweep` / :func:`stream_lru_sweep_trace` — the
+  windowed LRU pass for traces too large to materialize
+  (:mod:`repro.machine.fastsim.streaming`);
 * :func:`stack_distances` / :func:`count_earlier_greater` — the exact
   reuse-distance machinery, reusable for other policies built on it;
 * :func:`belady_next_use` — vectorized Belady preprocessing;
 * :func:`set_phase_hook` / :func:`phase` — the profiling-hook protocol
   (:mod:`repro.machine.fastsim.profile`): the lab's run tracer installs
   a hook to capture per-phase timings (``trace_build`` /
-  ``distance_pass`` / ``radix_partition`` / ``capacity_fold`` /
-  ``next_use`` / ``opt_replay``); without one every phase site is a
-  shared no-op.
+  ``supersymbol_fold`` / ``distance_pass`` / ``radix_partition`` /
+  ``capacity_fold`` / ``stream_window`` / ``next_use`` /
+  ``opt_replay``); without one every phase site is a shared no-op.
 
 Everything here is exact: parity with :class:`CacheSim` is enforced
 bit-for-bit by the test suite (``tests/test_fastsim.py``).
@@ -49,6 +57,18 @@ from repro.machine.fastsim.opt import (
     simulate_opt_sweep,
 )
 from repro.machine.fastsim.profile import phase, phase_hook, set_phase_hook
+from repro.machine.fastsim.streaming import (
+    stream_lru_sweep,
+    stream_lru_sweep_trace,
+)
+from repro.machine.fastsim.symbols import (
+    SymbolTrace,
+    fold_lru_symbols,
+    fold_opt_symbols,
+    simulate_lru_sweep_trace,
+    simulate_opt_sweep_trace,
+    symbolize,
+)
 
 __all__ = [
     "belady_next_use",
@@ -62,6 +82,14 @@ __all__ = [
     "OPTSweepResult",
     "simulate_opt",
     "simulate_opt_sweep",
+    "SymbolTrace",
+    "symbolize",
+    "fold_lru_symbols",
+    "fold_opt_symbols",
+    "simulate_lru_sweep_trace",
+    "simulate_opt_sweep_trace",
+    "stream_lru_sweep",
+    "stream_lru_sweep_trace",
     "phase",
     "phase_hook",
     "set_phase_hook",

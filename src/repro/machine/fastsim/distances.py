@@ -21,11 +21,36 @@ which reduces the whole profile to *per-element inversion counting* on
 the ``prev`` array.  That we compute with a most-significant-bit radix
 partition: ``bit_length(n)`` rounds of cumulative sums and one packed
 scatter each — O(n log n) total work, all inside numpy.
+
+Two structural accelerations sit on top of the identity:
+
+* **super-symbol run compression** — tile-granular traces revisit whole
+  blocks of lines in a fixed order, so the ``prev`` array is made of
+  maximal *consecutive runs* (``prev[t] == prev[t-1] + 1`` for adjacent
+  warm accesses).  Every access of such a run has the *same* stack
+  distance, and — because the prev values of distinct warm accesses are
+  distinct, so the runs' prev ranges are disjoint intervals — the
+  inversion count of a run's first access decomposes over earlier runs
+  whole: it is the **weighted** inversion count over run start values
+  with run lengths as weights.  The distance pass therefore collapses
+  the trace to one element per run (4x fewer on the paper's Section-6
+  tile shapes) before the radix partition, then broadcasts each run's
+  distance back — exact for *any* trace, with no structural
+  precondition: an incompressible trace simply yields length-1 runs.
+* **chunk-parallel radix partition** — each round's element-wise work
+  (bit extraction, segment cumulative sums, the packed scatter) splits
+  across array chunks; cumulative sums are fixed up with per-chunk
+  offsets and the scatter targets form a permutation, so chunks never
+  collide.  numpy releases the GIL on large array ops, so plain threads
+  scale it.  Gated behind ``$REPRO_FASTSIM_THREADS`` and a size floor:
+  small partitions stay on the sequential path.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +63,11 @@ __all__ = [
     "stack_distances",
     "reuse_profile",
 ]
+
+#: env knob: worker threads for the radix partition (0/1/unset = off).
+THREADS_ENV = "REPRO_FASTSIM_THREADS"
+#: below this many packed elements the sequential path always wins.
+_PARALLEL_MIN_N = 1 << 20
 
 
 def _grouped_by_line(lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -75,8 +105,23 @@ def next_occurrences(lines: np.ndarray) -> np.ndarray:
     return nxt
 
 
-def count_earlier_greater(values: np.ndarray) -> np.ndarray:
+def radix_threads() -> int:
+    """Worker threads the radix partition may use (1 = sequential)."""
+    try:
+        return max(1, int(os.environ.get(THREADS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def count_earlier_greater(values: np.ndarray,
+                          weights: Optional[np.ndarray] = None
+                          ) -> np.ndarray:
     """For each i: ``#{ j < i : values[j] > values[i] }`` (vectorized).
+
+    With *weights* (int64, same length), each earlier-and-greater
+    element ``j`` contributes ``weights[j]`` instead of 1 — the
+    run-compressed form of the inversion count, where one element
+    stands for a block of consecutive trace positions.
 
     Iterative MSB radix partition.  Elements are kept stably partitioned
     by the value bits above the current level, so each element's "earlier
@@ -95,45 +140,297 @@ def count_earlier_greater(values: np.ndarray) -> np.ndarray:
         return counts
     if values.min() < 0 or int(values.max()) >= (1 << 31):
         raise ValueError("count_earlier_greater needs 0 <= values < 2**31")
+    if weights is not None:
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        if weights.shape != values.shape:
+            raise ValueError("weights must match values in shape")
     with phase("radix_partition"):
-        return _radix_inversions(values, counts)
+        return _radix_inversions(values, counts, weights)
 
 
-def _radix_inversions(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+def _chunk_bounds(n: int, threads: int) -> List[Tuple[int, int]]:
+    step = -(-n // threads)
+    return [(s, min(s + step, n)) for s in range(0, n, step)]
+
+
+def _parallel_cumsum_excl(pool: ThreadPoolExecutor,
+                          bounds: List[Tuple[int, int]],
+                          src: np.ndarray, out: np.ndarray) -> None:
+    """``out = exclusive cumsum(src)``, chunked: per-chunk local sums in
+    parallel, then a tiny sequential offset pass, then parallel fixup."""
+    def local(span: Tuple[int, int]) -> np.int64:
+        s, e = span
+        np.cumsum(src[s:e], out=out[s:e])
+        return out[e - 1]
+    totals = list(pool.map(local, bounds))
+    offsets = np.concatenate(([0], np.cumsum(totals)[:-1])).astype(np.int64)
+
+    def fixup(args: Tuple[Tuple[int, int], np.int64]) -> None:
+        (s, e), off = args
+        # inclusive -> exclusive, with the preceding chunks' total added.
+        out[s:e] -= src[s:e]
+        if off:
+            out[s:e] += off
+    list(pool.map(fixup, zip(bounds, offsets)))
+
+
+def _radix_round_parallel(
+    pool: ThreadPoolExecutor, bounds: List[Tuple[int, int]],
+    packed: np.ndarray, slot_counts: np.ndarray,
+    slot_weights: Optional[np.ndarray], b: int, idx: np.ndarray,
+) -> Optional[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]]:
+    """One partition round split across chunks (see the sequential body
+    for the algebra).  Returns the permuted arrays, or ``None`` when
+    every group is already a singleton."""
+    n = len(packed)
+    bit = np.empty(n, dtype=np.int64)
+    boundary = np.empty(n, dtype=bool)
+    wsrc = slot_weights if slot_weights is not None else None
+
+    def pass_a(span: Tuple[int, int]) -> None:
+        s, e = span
+        np.bitwise_and(packed[s:e] >> np.int64(31 + b), np.int64(1),
+                       out=bit[s:e])
+        prefix = packed[s:e] >> np.int64(31 + b + 1)
+        if s == 0:
+            boundary[0] = True
+            np.not_equal(prefix[1:], prefix[:-1], out=boundary[s + 1:e])
+        else:
+            left = packed[s - 1] >> np.int64(31 + b + 1)
+            boundary[s] = prefix[0] != left
+            np.not_equal(prefix[1:], prefix[:-1], out=boundary[s + 1:e])
+    list(pool.map(pass_a, bounds))
+
+    starts = np.flatnonzero(boundary)
+    if len(starts) == n:
+        return None
+    gid = np.empty(n, dtype=np.int64)
+    ones_excl = np.empty(n, dtype=np.int64)
+    _parallel_cumsum_excl(pool, bounds, boundary.astype(np.int64), gid)
+    # _parallel_cumsum_excl leaves the *exclusive* sum; group ids are the
+    # inclusive cumsum minus one, which equals the exclusive sum here
+    # because every group start carries a 1.
+    np.add(gid, boundary, out=gid)
+    gid -= 1
+    _parallel_cumsum_excl(pool, bounds, bit, ones_excl)
+    wones_excl = None
+    if wsrc is not None:
+        wbit = bit * wsrc
+        wones_excl = np.empty(n, dtype=np.int64)
+        _parallel_cumsum_excl(pool, bounds, wbit, wones_excl)
+    group_sizes = np.diff(np.append(starts, n))
+    group_ones = np.add.reduceat(bit, starts)
+    group_zeros = group_sizes - group_ones
+
+    next_packed = np.empty_like(packed)
+    next_counts = np.empty_like(slot_counts)
+    next_weights = (np.empty_like(slot_weights)
+                    if slot_weights is not None else None)
+
+    def pass_b(span: Tuple[int, int]) -> None:
+        s, e = span
+        g = gid[s:e]
+        gstart = starts[g]
+        ones_before = ones_excl[s:e] - ones_excl[gstart]
+        is_zero = bit[s:e] == 0
+        if wones_excl is not None:
+            gain = wones_excl[s:e] - wones_excl[gstart]
+        else:
+            gain = ones_before
+        np.add(slot_counts[s:e], gain, out=slot_counts[s:e],
+               where=is_zero)
+        zeros_before = (idx[s:e] - gstart) - ones_before
+        new_pos = np.where(is_zero, gstart + zeros_before,
+                           gstart + group_zeros[g] + ones_before)
+        next_packed[new_pos] = packed[s:e]
+        next_counts[new_pos] = slot_counts[s:e]
+        if next_weights is not None:
+            next_weights[new_pos] = slot_weights[s:e]  # type: ignore[index]
+    list(pool.map(pass_b, bounds))
+    return next_packed, next_counts, next_weights
+
+
+def _radix_inversions_packed(values: np.ndarray, counts: np.ndarray,
+                             bits_v: int) -> np.ndarray:
+    """Unweighted partition with value, running count and original index
+    packed into *one* int64 (``value | count | index``, low to high field
+    order reversed: value highest so prefix compares still work).
+
+    One scatter per round instead of three, no mask selects — the count
+    field sits between value and index, and since counts only grow and
+    stay ``< n`` they never carry into the value bits.  Only entered when
+    ``bits_v + 2*bit_length(n) <= 62`` (callers with trace positions
+    always fit).
+    """
     n = len(values)
-    nbits = max(1, int(values.max()).bit_length())
-    packed = (values.astype(np.int64) << 31) | np.arange(n, dtype=np.int64)
-    slot_counts = np.zeros(n, dtype=np.int64)  # rides the permutation
+    bits_n = max(1, n.bit_length())
+    sc = bits_n                      # count field shift
+    sv = 2 * bits_n                  # value field shift
+    mask_n = np.int64((1 << bits_n) - 1)
+    one = np.int64(1)
     idx = np.arange(n, dtype=np.int64)
-    for b in range(nbits - 1, -1, -1):
-        vals = packed >> 31
-        bit = (vals >> b) & np.int64(1)
-        # Segment boundaries: where the already-partitioned prefix changes.
-        prefix = vals >> (b + 1)
-        boundary = np.empty(n, dtype=bool)
+    packed = (values.astype(np.int64) << sv) | idx
+    boundary = np.empty(n, dtype=bool)
+    for b in range(bits_v - 1, -1, -1):
+        vb = packed >> np.int64(sv + b)
+        bit = vb & one
+        # Group boundaries: where the already-partitioned prefix changes.
+        prefix = vb >> one
         boundary[0] = True
         np.not_equal(prefix[1:], prefix[:-1], out=boundary[1:])
         starts = np.flatnonzero(boundary)
         if len(starts) == n:
             break  # every group is a singleton; lower bits cannot invert
-        gid = np.cumsum(boundary) - 1
-        gstart = starts[gid]
-        ones_excl = np.cumsum(bit) - bit           # ones strictly before
-        ones_before = ones_excl - ones_excl[gstart]
-        zeros = bit ^ np.int64(1)
-        group_zeros = np.add.reduceat(zeros, starts)[gid]
-        is_zero = bit == 0
-        np.add(slot_counts, ones_before, out=slot_counts, where=is_zero)
-        zeros_before = (idx - gstart) - ones_before
-        new_pos = np.where(is_zero, gstart + zeros_before,
-                           gstart + group_zeros + ones_before)
+        gsizes = np.diff(np.append(starts, n))
+        ones_excl = np.cumsum(bit)
+        ones_excl -= bit                         # ones strictly before i
+        oas = ones_excl[starts]
+        ones_before = ones_excl - np.repeat(oas, gsizes)
+        # Zeros gain the weight of the earlier in-group ones; ones gain
+        # nothing this round (mask by multiplication, not np.where).
+        gain = ones_before * (bit ^ one)
+        packed += gain << np.int64(sc)
+        # Destinations: zeros keep their in-group order ahead of the
+        # ones.  zeros_before = (i - gstart) - ones_before collapses to
+        # idx - ones_before + gstart, and the ones' extra offset
+        # (group_zeros + 2*ones_before + gstart - idx) folds the three
+        # per-group constants into one np.repeat.
+        tot_ones = np.append(oas[1:], ones_excl[-1] + bit[-1]) - oas
+        gconst = np.repeat(starts + (gsizes - tot_ones), gsizes)
+        gconst += ones_before
+        gconst += ones_before
+        gconst -= idx
+        gconst *= bit
+        new_pos = idx - ones_before
+        new_pos += gconst
+        nxt = np.empty_like(packed)
+        nxt[new_pos] = packed
+        packed = nxt
+    counts[packed & mask_n] = (packed >> np.int64(sc)) & mask_n
+    return counts
+
+
+def _radix_inversions(values: np.ndarray, counts: np.ndarray,
+                      weights: Optional[np.ndarray] = None) -> np.ndarray:
+    n = len(values)
+    nbits = max(1, int(values.max()).bit_length())
+    # Uniform weights factor out of the count entirely, unlocking the
+    # single-array packed path (tile traces hit this: every run carries
+    # the tile size).
+    uniform: Optional[int] = 1
+    if weights is not None:
+        w0 = int(weights[0])
+        uniform = w0 if bool((weights == w0).all()) else None
+    if uniform is not None and nbits + 2 * max(1, n.bit_length()) <= 62:
+        _radix_inversions_packed(values, counts, nbits)
+        if uniform != 1:
+            counts *= uniform
+        return counts
+    packed = (values.astype(np.int64) << 31) | np.arange(n, dtype=np.int64)
+    slot_counts = np.zeros(n, dtype=np.int64)  # rides the permutation
+    slot_weights = (np.ascontiguousarray(weights, dtype=np.int64).copy()
+                    if weights is not None else None)
+    idx = np.arange(n, dtype=np.int64)
+    threads = radix_threads()
+    if threads > 1 and n >= _PARALLEL_MIN_N:
+        bounds = _chunk_bounds(n, threads)
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            for b in range(nbits - 1, -1, -1):
+                nxt = _radix_round_parallel(pool, bounds, packed,
+                                            slot_counts, slot_weights, b,
+                                            idx)
+                if nxt is None:
+                    break  # every group is a singleton already
+                packed, slot_counts, slot_weights = nxt
+        counts[packed & np.int64((1 << 31) - 1)] = slot_counts
+        return counts
+    one = np.int64(1)
+    boundary = np.empty(n, dtype=bool)
+    for b in range(nbits - 1, -1, -1):
+        vb = packed >> np.int64(31 + b)
+        bit = vb & one
+        # Segment boundaries: where the already-partitioned prefix changes.
+        prefix = vb >> one
+        boundary[0] = True
+        np.not_equal(prefix[1:], prefix[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        if len(starts) == n:
+            break  # every group is a singleton; lower bits cannot invert
+        gsizes = np.diff(np.append(starts, n))
+        ones_excl = np.cumsum(bit)
+        ones_excl -= bit                         # ones strictly before i
+        oas = ones_excl[starts]
+        ones_before = ones_excl - np.repeat(oas, gsizes)
+        if slot_weights is not None:
+            wbit = bit * slot_weights
+            wexcl = np.cumsum(wbit)
+            wexcl -= wbit
+            gain = wexcl - np.repeat(wexcl[starts], gsizes)
+        else:
+            gain = ones_before.copy()
+        gain *= bit ^ one                        # ones gain nothing
+        slot_counts += gain
+        # Same fused-destination algebra as the packed path.
+        tot_ones = np.append(oas[1:], ones_excl[-1] + bit[-1]) - oas
+        gconst = np.repeat(starts + (gsizes - tot_ones), gsizes)
+        gconst += ones_before
+        gconst += ones_before
+        gconst -= idx
+        gconst *= bit
+        new_pos = idx - ones_before
+        new_pos += gconst
         next_packed = np.empty_like(packed)
         next_counts = np.empty_like(slot_counts)
         next_packed[new_pos] = packed
         next_counts[new_pos] = slot_counts
         packed, slot_counts = next_packed, next_counts
+        if slot_weights is not None:
+            next_weights = np.empty_like(slot_weights)
+            next_weights[new_pos] = slot_weights
+            slot_weights = next_weights
     counts[packed & np.int64((1 << 31) - 1)] = slot_counts
     return counts
+
+
+def warm_distances(t: np.ndarray, prev: np.ndarray,
+                   sizes: Optional[np.ndarray] = None) -> np.ndarray:
+    """Stack distances of the warm accesses at positions ``t`` (sorted
+    ascending) with previous occurrences ``prev`` (``prev[k] < t[k]``).
+
+    This is the run-compressed core shared by :func:`reuse_profile`, the
+    super-symbol fold and the streaming window pass: maximal blocks of
+    *adjacent* accesses with *consecutive* prev values share one stack
+    distance (the intra-run proof is in the module docstring), and the
+    prev ranges of distinct runs are disjoint intervals, so the per-run
+    inversion count is the weighted count over run start values with run
+    lengths as weights.  Exact for arbitrary inputs, with no structural
+    precondition: incompressible stretches degenerate to length-1 runs.
+
+    With *sizes*, element ``k`` itself stands for a block of
+    ``sizes[k]`` consecutive events starting at ``t[k]`` whose prevs are
+    consecutive from ``prev[k]`` (a super-symbol visit); adjacency then
+    means ``t[k+1] == t[k] + sizes[k]`` and run weights are event
+    counts.  The returned distance is per *element*, shared by all of
+    its events.
+    """
+    m = len(t)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    step = sizes[:-1] if sizes is not None else 1
+    new_run = np.empty(m, dtype=bool)
+    new_run[0] = True
+    np.logical_or(t[1:] != t[:-1] + step, prev[1:] != prev[:-1] + step,
+                  out=new_run[1:])
+    rstart = np.flatnonzero(new_run)
+    rlen = np.diff(np.append(rstart, m))
+    if sizes is None:
+        weights = rlen
+    else:
+        weights = np.add.reduceat(sizes, rstart)
+    rprev = prev[rstart]
+    repeats = count_earlier_greater(rprev, weights=weights)
+    run_dist = t[rstart] - rprev - 1 - repeats
+    return np.repeat(run_dist, rlen)
 
 
 def reuse_profile(
@@ -171,10 +468,8 @@ def reuse_profile(
         if warm.any():
             # Cold entries can never satisfy prev[s] > prev[t] >= 0, so
             # they are dropped from the inversion count entirely.
-            warm_prev = prev[warm]
-            repeats = count_earlier_greater(warm_prev)
             t = np.flatnonzero(warm)
-            distances[warm] = t - warm_prev - 1 - repeats
+            distances[warm] = warm_distances(t, prev[warm])
         return order, sorted_lines, first, prev, distances
 
 

@@ -1,0 +1,303 @@
+"""Streaming multi-capacity LRU: bounded windows over huge traces.
+
+:func:`stream_lru_sweep` replays the capacity fold of
+:func:`repro.machine.fastsim.lru.simulate_lru_sweep` over a sequence of
+bounded event windows, so a 10^8+-event trace (e.g. an mmap'd
+:class:`~repro.machine.trace.Trace` spilled by ``TraceBuffer.finalize``
+or served by the content-addressed ``TraceStore``) is swept with peak
+memory proportional to the window size plus the distinct-line count —
+the flat event arrays are only ever *read* window by window and never
+materialize as in-RAM temporaries.
+
+Why windows suffice for an exact Mattson pass:
+
+* an access whose previous occurrence falls **inside** the window has
+  all of its stack-distance inversions inside the window too (any
+  intervening repeat's previous occurrence is even later), so
+  window-local reuse profiles are exact for in-window warm accesses;
+* an access ``t`` of a line last seen **before** the window (a
+  *boundary* access) has distance ``depth0(x) + u(t) - c(t)``:
+  ``depth0(x)`` is the line's LRU stack depth at the window start
+  (lines above it then), ``u(t)`` counts first-in-window events before
+  ``t`` (each introduces one candidate distinct line), and
+  ``c(t)`` removes the double-counted boundary lines that were already
+  above ``x`` — with distinct per-line depths that is
+  ``(index of t in the boundary subsequence) - #{earlier boundary
+  events with greater depth}``, another
+  :func:`~repro.machine.fastsim.distances.count_earlier_greater`;
+* the per-line dirty state threads through a small **carry**: for every
+  line its last access position, has-write flag and dirty threshold
+  ``M``.  The ``M`` recurrence (``0`` at a write, else
+  ``max(M_prev, D)``) continues across windows by injecting
+  ``max(M_carry, D)`` as the first window access's segment value.
+
+The counters, the end-of-trace stack arrays and the resulting
+:class:`~repro.machine.fastsim.lru.LRUSweepResult` are bit-identical to
+the in-memory sweep for *every* window split — including windows that
+split a tile chunk — which the hypothesis suite asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.machine.fastsim.distances import (count_earlier_greater,
+                                             reuse_profile)
+from repro.machine.fastsim.lru import LRUSweepResult
+from repro.machine.fastsim.profile import phase
+from repro.machine.trace import Trace
+
+__all__ = [
+    "WINDOW_ENV",
+    "default_window_events",
+    "iter_windows",
+    "stream_lru_sweep",
+    "stream_lru_sweep_trace",
+]
+
+#: env knob: events per streaming window (memory/speed trade-off).
+WINDOW_ENV = "REPRO_STREAM_WINDOW_EVENTS"
+_DEFAULT_WINDOW_EVENTS = 1 << 22
+
+
+def default_window_events() -> int:
+    """Streaming window size in events (``$REPRO_STREAM_WINDOW_EVENTS``)."""
+    try:
+        w = int(os.environ.get(WINDOW_ENV, _DEFAULT_WINDOW_EVENTS))
+    except ValueError:
+        return _DEFAULT_WINDOW_EVENTS
+    return max(w, 1)
+
+
+def iter_windows(trace: Trace, window_events: int
+                 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Views of a trace's event arrays, ``window_events`` at a time."""
+    n = trace.n_events
+    for a in range(0, n, window_events):
+        b = min(a + window_events, n)
+        yield trace.lines[a:b], trace.writes[a:b]
+
+
+def stream_lru_sweep(
+    windows: Iterable[Tuple[np.ndarray, np.ndarray]],
+    capacities: Union[Sequence[int], np.ndarray],
+) -> LRUSweepResult:
+    """Exact multi-capacity LRU counters from an event-window stream.
+
+    ``windows`` yields ``(lines, writes)`` array pairs in trace order
+    (any split, including mid-chunk).  Returns the same
+    :class:`LRUSweepResult` as ``simulate_lru_sweep`` over the
+    concatenated trace, while only ever holding one window plus the
+    per-line carry in memory.
+    """
+    caps = np.unique(np.asarray(capacities, dtype=np.int64))
+    if len(caps) == 0:
+        raise ValueError("need at least one capacity")
+    if caps[0] < 1:
+        raise ValueError(f"capacities must be >= 1 line, got {caps[0]}")
+    K = len(caps)
+    # Anything above the largest capacity folds to index K, so this is
+    # ub-equivalent to the in-memory pass's max(cap, n) + 1 sentinel
+    # while keeping window-local values small for the radix pass.
+    big = np.int64(int(caps[-1]) + 1)
+
+    def ub(x):  # number of capacities <= x: index bound for "C <= x"
+        return np.searchsorted(caps, x, side="right").astype(np.int64)
+
+    acc = {name: np.zeros(K + 1, dtype=np.int64)
+           for name in ("victims_m", "victims_e",
+                        "flush_writebacks", "flush_victims_e")}
+
+    def add_ranges(name, lo, hi):
+        acc[name] += (np.bincount(lo, minlength=K + 1)
+                      - np.bincount(hi, minlength=K + 1))[:K + 1]
+
+    mdiff = np.zeros(K + 1, dtype=np.int64)
+    n_total = 0
+    # Per-line carry, parallel arrays sorted by line id.
+    known = np.empty(0, dtype=np.int64)
+    k_last = np.empty(0, dtype=np.int64)
+    k_hw = np.empty(0, dtype=bool)
+    k_m = np.empty(0, dtype=np.int64)
+
+    for lines_w, writes_w in windows:
+        W = len(lines_w)
+        if W == 0:
+            continue
+        lines_w = np.ascontiguousarray(lines_w, dtype=np.int64)
+        writes_w = np.ascontiguousarray(writes_w, dtype=bool)
+        # Window-local reuse profile: exact for in-window warm events.
+        order, sorted_lines, first, prev, dist = reuse_profile(lines_w)
+
+        with phase("stream_window"):
+            # ---- boundary accesses: lines carried from past windows --- #
+            fw_slots = np.flatnonzero(first)     # grouped first-in-window
+            fw_times = order[fw_slots]
+            fw_lines = sorted_lines[fw_slots]
+            if len(known):
+                pos_c = np.minimum(np.searchsorted(known, fw_lines),
+                                   len(known) - 1)
+                is_known = known[pos_c] == fw_lines
+                kpos = pos_c[is_known]
+            else:
+                is_known = np.zeros(len(fw_lines), dtype=bool)
+                kpos = np.empty(0, dtype=np.int64)
+            b_slots = fw_slots[is_known]
+
+            dist_raw = dist
+            if len(b_slots):
+                # Stack depth of each carried line at the window start.
+                rank = np.empty(len(known), dtype=np.int64)
+                rank[np.argsort(-k_last)] = np.arange(len(known),
+                                                      dtype=np.int64)
+                bt = order[b_slots]
+                ord_b = np.argsort(bt)
+                bt_s = bt[ord_b]
+                d0 = rank[kpos][ord_b]
+                ft = np.zeros(W, dtype=np.int64)
+                ft[fw_times] = 1
+                u = np.cumsum(ft)
+                idx = np.arange(len(bt_s), dtype=np.int64)
+                d_b = (u[bt_s] - 1 + d0 - idx
+                       + count_earlier_greater(d0))
+                dist_raw = dist.copy()
+                dist_raw[bt_s] = d_b
+
+            dist_c = np.where(prev >= 0, dist_raw, big)
+            if len(b_slots):
+                dist_c[bt_s] = np.minimum(dist_raw[bt_s], big)
+
+            mdiff -= np.bincount(ub(dist_c), minlength=K + 1)
+            n_total += W
+
+            # ---- grouped write state with carry injection ------------- #
+            dist_g = dist_c[order]
+            w_g = writes_w[order]
+            w_int = w_g.astype(np.int64)
+            g_starts = fw_slots
+            gid = np.cumsum(first) - 1
+            cum_w_excl = np.cumsum(w_int) - w_int
+            win_writes = (np.cumsum(w_int) - cum_w_excl[g_starts][gid]) > 0
+            g_hw0 = np.zeros(len(g_starts), dtype=bool)
+            g_hw0[gid[b_slots]] = k_hw[kpos]
+            has_write = win_writes | g_hw0[gid]
+
+            seg_val = np.where(w_g | first, 0, dist_raw[order])
+            if len(b_slots):
+                inject = ~w_g[b_slots]
+                bs = b_slots[inject]
+                seg_val[bs] = np.maximum(k_m[kpos][inject],
+                                         dist_raw[order[bs]])
+            seg_id = np.cumsum((w_g | first).astype(np.int64))
+            seg_big = np.int64(int(seg_val.max()) + 3 if W else 3)
+            m_state = (np.maximum.accumulate(seg_val + seg_id * seg_big)
+                       - seg_id * seg_big)
+
+            # ---- in-trace evictions --------------------------------- #
+            # In-window reuse gaps read the previous slot's state; the
+            # boundary gaps read the carry.
+            gaps = np.flatnonzero(~first)
+            if len(gaps):
+                ub_d = ub(dist_g[gaps])
+                hw_p = has_write[gaps - 1]
+                m_p = m_state[gaps - 1]
+                dirty_lo = np.where(hw_p, np.minimum(ub(m_p), ub_d), ub_d)
+                add_ranges("victims_m", dirty_lo, ub_d)
+                clean_hi = np.where(hw_p,
+                                    ub(np.minimum(m_p, dist_g[gaps])), ub_d)
+                add_ranges("victims_e",
+                           np.zeros(len(gaps), dtype=np.int64), clean_hi)
+            if len(b_slots):
+                d = dist_g[b_slots]
+                ub_d = ub(d)
+                hw_p = k_hw[kpos]
+                m_p = k_m[kpos]
+                dirty_lo = np.where(hw_p, np.minimum(ub(m_p), ub_d), ub_d)
+                add_ranges("victims_m", dirty_lo, ub_d)
+                clean_hi = np.where(hw_p, ub(np.minimum(m_p, d)), ub_d)
+                add_ranges("victims_e",
+                           np.zeros(len(b_slots), dtype=np.int64),
+                           clean_hi)
+
+            # ---- merge window tails into the carry -------------------- #
+            ends = np.flatnonzero(np.append(first[1:], True))
+            e_lines = sorted_lines[ends]
+            e_last = (n_total - W) + order[ends]
+            e_hw = has_write[ends]
+            e_m = m_state[ends]
+            if len(known):
+                pos_ec = np.minimum(np.searchsorted(known, e_lines),
+                                    len(known) - 1)
+                exist = known[pos_ec] == e_lines
+                k_last[pos_ec[exist]] = e_last[exist]
+                k_hw[pos_ec[exist]] = e_hw[exist]
+                k_m[pos_ec[exist]] = e_m[exist]
+            else:
+                exist = np.zeros(len(e_lines), dtype=bool)
+            if (~exist).any():
+                known = np.concatenate([known, e_lines[~exist]])
+                k_last = np.concatenate([k_last, e_last[~exist]])
+                k_hw = np.concatenate([k_hw, e_hw[~exist]])
+                k_m = np.concatenate([k_m, e_m[~exist]])
+                o = np.argsort(known, kind="stable")
+                known, k_last, k_hw, k_m = (known[o], k_last[o],
+                                            k_hw[o], k_m[o])
+
+    n = n_total
+    zeros = lambda: np.zeros(K, dtype=np.int64)  # noqa: E731
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return LRUSweepResult(0, caps, zeros(), zeros(), zeros(), zeros(),
+                              zeros(), zeros(), zeros(), empty,
+                              np.empty(0, dtype=bool), empty)
+
+    with phase("capacity_fold"):
+        mdiff[0] += n
+        misses = np.cumsum(mdiff)[:K]
+        hits = n - misses
+        fills = misses.copy()
+
+        # ---- end of trace: per-line last access (from the carry) ------ #
+        L = len(known)
+        depth = np.empty(L, dtype=np.int64)
+        depth[np.argsort(-k_last)] = np.arange(L, dtype=np.int64)
+        ub_e = ub(depth)
+        dirty_lo = np.where(k_hw, np.minimum(ub(k_m), ub_e), ub_e)
+        add_ranges("victims_m", dirty_lo, ub_e)
+        clean_hi = np.where(k_hw, ub(np.minimum(k_m, depth)), ub_e)
+        add_ranges("victims_e", np.zeros(L, dtype=np.int64), clean_hi)
+        top = np.full(L, K, dtype=np.int64)
+        flush_lo = np.where(k_hw, ub(np.maximum(k_m, depth)), top)
+        add_ranges("flush_writebacks", flush_lo, top)
+        clean_flush_hi = np.where(k_hw, np.maximum(ub(k_m), ub_e), top)
+        add_ranges("flush_victims_e", ub_e, clean_flush_hi)
+
+        by_recency = np.argsort(k_last)
+    return LRUSweepResult(
+        accesses=n,
+        capacities=caps,
+        hits=hits,
+        misses=misses,
+        fills=fills,
+        victims_m=np.cumsum(acc["victims_m"])[:K],
+        victims_e=np.cumsum(acc["victims_e"])[:K],
+        flush_writebacks=np.cumsum(acc["flush_writebacks"])[:K],
+        flush_victims_e=np.cumsum(acc["flush_victims_e"])[:K],
+        stack_lines=known[by_recency],
+        stack_has_write=k_hw[by_recency],
+        stack_m=k_m[by_recency],
+    )
+
+
+def stream_lru_sweep_trace(
+    trace: Trace,
+    capacities: Union[Sequence[int], np.ndarray],
+    window_events: int = 0,
+) -> LRUSweepResult:
+    """Streaming sweep of a (possibly mmap'd) trace; ``window_events``
+    defaults to :func:`default_window_events`."""
+    w = window_events if window_events > 0 else default_window_events()
+    return stream_lru_sweep(iter_windows(trace, w), capacities)

@@ -1,0 +1,606 @@
+"""Tile super-symbols: fold repeated tile visits before the stack passes.
+
+Tile-granular trace builders emit one :class:`~repro.machine.trace.
+TraceBuffer` chunk per base-tile visit, so a trace is really a short
+sequence of *visits* drawn from a small alphabet of distinct chunks.
+:func:`symbolize` compresses that structure explicitly: each distinct
+chunk line-sequence becomes one **super-symbol** with a per-symbol line
+footprint, and the trace becomes a stream of ``(symbol, write)`` visits
+— for the Section-6 matmul shape that is a 4x shorter stream (the base
+tile size).
+
+The payoff is that both stack passes then run at *visit* granularity
+and expand back to exact per-capacity event counters:
+
+* **LRU** (:func:`fold_lru_symbols`) — when symbol footprints are
+  disjoint line sets with distinct lines (checked by ``symbolize``; it
+  refuses otherwise), the events of a warm visit are consecutive
+  accesses whose previous occurrences are consecutive positions inside
+  the previous visit of the same symbol, so by the run-uniformity
+  theorem (:mod:`repro.machine.fastsim.distances`) they all share one
+  stack distance.  Per-visit distances come from the weighted
+  run-compressed inversion count over visit start positions (each
+  earlier visit contributes its full event count iff its start is
+  later than the current visit's previous start — visit event ranges
+  are chunks, which never straddle a chunk boundary), and the
+  capacity fold of :func:`~repro.machine.fastsim.lru.
+  simulate_lru_sweep` is replayed verbatim with visit weights: the
+  write flag is uniform per chunk, so the per-line has-write / dirty
+  threshold recurrences are per-symbol recurrences, identical for
+  every line of the footprint.
+* **OPT** (:func:`fold_opt_symbols`) — next uses are visit-granular
+  too (position ``p`` of a visit is next used at position ``p`` of the
+  symbol's next visit), and within a visit they are strictly
+  increasing, so a fully-resident visit needs only *one* lazy-heap
+  entry covering the whole footprint run: the run's worst (last)
+  position shields the rest, and an eviction peels it off and re-pushes
+  the remainder.  Hit visits with the whole footprint at level 0 cost
+  O(1) heap work instead of O(tile).
+
+Both folds are bit-identical to their event-granular counterparts (and
+hence to :class:`repro.machine.cache.CacheSim` + flush) — parity- and
+hypothesis-tested, never approximated.  Traces whose chunks violate the
+footprint preconditions (overlapping tiles, duplicate lines inside a
+chunk, mixed read/write chunks) make :func:`symbolize` return ``None``
+and callers fall back to the event-granular path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.machine.fastsim.distances import warm_distances
+from repro.machine.fastsim.lru import LRUSweepResult, simulate_lru_sweep
+from repro.machine.fastsim.opt import OPTSweepResult, simulate_opt_sweep
+from repro.machine.fastsim.profile import phase
+from repro.machine.trace import Trace
+
+__all__ = [
+    "SymbolTrace",
+    "symbolize",
+    "fold_lru_symbols",
+    "fold_opt_symbols",
+    "simulate_lru_sweep_trace",
+    "simulate_opt_sweep_trace",
+]
+
+
+@dataclass(frozen=True)
+class SymbolTrace:
+    """A tile-granular trace compressed to a super-symbol visit stream.
+
+    Symbols are the distinct chunk line-sequences (the write flag is
+    *not* part of the identity — it lives on the visit).  Footprints
+    are concatenated in ``sym_lines`` and are guaranteed pairwise
+    disjoint with internally distinct lines, which is exactly the
+    precondition under which the visit-granular folds are exact.
+    """
+
+    #: symbol id per visit, in trace order.
+    visits: np.ndarray
+    #: per-visit write flag (uniform across the chunk by construction).
+    visit_writes: np.ndarray
+    #: event index of each visit's first event.
+    visit_starts: np.ndarray
+    #: events (= distinct lines) per symbol.
+    sym_sizes: np.ndarray
+    #: offset of each symbol's footprint in ``sym_lines``.
+    sym_offsets: np.ndarray
+    #: concatenated symbol footprints (globally distinct line ids).
+    sym_lines: np.ndarray
+    #: total event count of the underlying trace.
+    n_events: int
+
+    @property
+    def n_visits(self) -> int:
+        return int(len(self.visits))
+
+    @property
+    def n_symbols(self) -> int:
+        return int(len(self.sym_sizes))
+
+    @property
+    def compression(self) -> float:
+        """Event→symbol compression ratio (events per visit)."""
+        return self.n_events / max(self.n_visits, 1)
+
+    def expand(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Reconstruct the flat ``(lines, writes)`` event arrays."""
+        z = self.sym_sizes[self.visits]
+        idx = (np.repeat(self.sym_offsets[self.visits], z)
+               + np.arange(self.n_events, dtype=np.int64)
+               - np.repeat(self.visit_starts, z))
+        return self.sym_lines[idx], np.repeat(self.visit_writes, z)
+
+
+def symbolize(lines: np.ndarray, writes: np.ndarray,
+              chunk_lens: np.ndarray) -> Optional[SymbolTrace]:
+    """Compress a chunked trace into a :class:`SymbolTrace`.
+
+    Returns ``None`` when the chunk structure does not support an exact
+    visit-granular fold: empty traces, chunks mixing reads and writes,
+    or footprints that overlap across symbols / repeat a line within a
+    chunk.  Callers treat ``None`` as "use the event-granular path".
+
+    Raises ``ValueError`` if ``chunk_lens`` does not partition the
+    event arrays — that is a malformed trace, not a fallback case.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    writes = np.ascontiguousarray(writes, dtype=bool)
+    chunk_lens = np.asarray(chunk_lens, dtype=np.int64)
+    n = len(lines)
+    V = len(chunk_lens)
+    if V == 0:
+        if n == 0:
+            return None
+        raise ValueError("chunk_lens is empty but the trace is not")
+    if (chunk_lens <= 0).any():
+        raise ValueError("chunk lengths must be positive")
+    if int(chunk_lens.sum()) != n:
+        raise ValueError(f"chunk_lens sums to {int(chunk_lens.sum())}, "
+                         f"trace has {n} events")
+
+    with phase("supersymbol_fold"):
+        starts = np.cumsum(chunk_lens) - chunk_lens
+        # Visit write flags must be chunk-uniform for the per-symbol
+        # dirty recurrences to stand in for the per-line ones.
+        visit_writes = writes[starts]
+        if not np.array_equal(writes, np.repeat(visit_writes, chunk_lens)):
+            return None
+
+        # Under the disjoint-footprint precondition a chunk's *first
+        # line* already identifies its symbol (a line belongs to exactly
+        # one symbol position), so dedup on that scalar key and then
+        # verify: chunks sharing a key must be identical sequences —
+        # if they are not, the footprints overlap on the key line and
+        # the trace is not symbolizable anyway.
+        keys = lines[starts]
+        _, rep_visit, sym_of_visit = np.unique(
+            keys, return_index=True, return_inverse=True)
+        sym_of_visit = sym_of_visit.reshape(-1).astype(np.int64)
+        sym_sizes = chunk_lens[rep_visit]
+        if not np.array_equal(chunk_lens, sym_sizes[sym_of_visit]):
+            return None
+        # Every chunk must equal its symbol's representative chunk.
+        intra = np.arange(n, dtype=np.int64) - np.repeat(starts, chunk_lens)
+        rep_start_v = starts[rep_visit][sym_of_visit]
+        if not np.array_equal(lines,
+                              lines[np.repeat(rep_start_v, chunk_lens)
+                                    + intra]):
+            return None
+        sym_offsets = np.cumsum(sym_sizes) - sym_sizes
+        L = int(sym_sizes.sum())
+        rep_starts = starts[rep_visit]
+        sym_lines = lines[np.repeat(rep_starts, sym_sizes)
+                          + np.arange(L, dtype=np.int64)
+                          - np.repeat(sym_offsets, sym_sizes)]
+        # Exactness precondition: every line belongs to exactly one
+        # symbol position (disjoint footprints, distinct within).
+        if len(np.unique(sym_lines)) != L:
+            return None
+
+    return SymbolTrace(
+        visits=sym_of_visit,
+        visit_writes=visit_writes,
+        visit_starts=starts,
+        sym_sizes=sym_sizes,
+        sym_offsets=sym_offsets,
+        sym_lines=sym_lines,
+        n_events=n,
+    )
+
+
+def _check_caps(capacities: Union[Sequence[int], np.ndarray]) -> np.ndarray:
+    caps = np.unique(np.asarray(capacities, dtype=np.int64))
+    if len(caps) == 0:
+        raise ValueError("need at least one capacity")
+    if caps[0] < 1:
+        raise ValueError(f"capacities must be >= 1 line, got {caps[0]}")
+    return caps
+
+
+def _visit_reuse(st: SymbolTrace
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Grouped visit order, first-visit mask (grouped) and previous
+    visit per visit (time order, ``-1`` for a symbol's first visit)."""
+    order_v = np.argsort(st.visits, kind="stable")
+    sv = st.visits[order_v]
+    first_g = np.empty(len(sv), dtype=bool)
+    first_g[:1] = True
+    first_g[1:] = sv[1:] != sv[:-1]
+    prev_v = np.full(len(sv), -1, dtype=np.int64)
+    same = ~first_g[1:]
+    prev_v[order_v[1:][same]] = order_v[:-1][same]
+    return order_v, first_g, prev_v
+
+
+def fold_lru_symbols(
+    st: SymbolTrace,
+    capacities: Union[Sequence[int], np.ndarray],
+) -> LRUSweepResult:
+    """Exact multi-capacity LRU counters from the super-symbol stream.
+
+    This is :func:`repro.machine.fastsim.lru.simulate_lru_sweep`'s fold
+    executed at visit granularity: every event-level quantity is uniform
+    across a visit's events (distance by run-uniformity, write state by
+    chunk-uniform flags), so event bincounts become visit bincounts
+    weighted by the symbol size, and only the end-of-trace stack is
+    expanded back to per-line granularity (one entry per distinct line,
+    not per event).  Bit-identical to the event-granular sweep.
+    """
+    caps = _check_caps(capacities)
+    K = len(caps)
+    n = st.n_events
+    V = st.n_visits
+    starts_v = st.visit_starts
+    z_v = st.sym_sizes[st.visits]
+
+    order_v, first_g, prev_v = _visit_reuse(st)
+    with phase("distance_pass"):
+        warm_v = prev_v >= 0
+        dist = np.full(V, -1, dtype=np.int64)
+        wi = np.flatnonzero(warm_v)
+        if len(wi):
+            dist[wi] = warm_distances(starts_v[wi], starts_v[prev_v[wi]],
+                                      sizes=z_v[wi])
+
+    with phase("capacity_fold"):
+        big = np.int64(max(int(caps[-1]), n) + 1)
+        dist_c = np.where(warm_v, dist, big)
+
+        def ub(x):  # number of capacities <= x: index bound for "C <= x"
+            return np.searchsorted(caps, x, side="right").astype(np.int64)
+
+        # ---------------- hits / misses / fills ----------------------- #
+        # Every event of a visit shares its distance: weight by size.
+        zf = z_v.astype(np.float64)
+        diff = -np.bincount(ub(dist_c), weights=zf, minlength=K + 1)
+        diff[0] += n
+        misses = np.cumsum(diff)[:K].astype(np.int64)
+        hits = n - misses
+        fills = misses.copy()
+
+        # ---------------- per-symbol write state ---------------------- #
+        # The grouped recurrences of the event fold, one step per visit;
+        # chunk-uniform write flags make them per-line exact.
+        dist_g = dist_c[order_v]
+        w_g = st.visit_writes[order_v]
+        z_g = z_v[order_v]
+        w_int = w_g.astype(np.int64)
+        g_starts = np.flatnonzero(first_g)
+        gid = np.cumsum(first_g) - 1
+        cum_w_excl = np.cumsum(w_int) - w_int
+        has_write = (np.cumsum(w_int) - cum_w_excl[g_starts][gid]) > 0
+        seg_val = np.where(w_g | first_g, 0, dist[order_v])
+        seg_id = np.cumsum((w_g | first_g).astype(np.int64))
+        seg_big = np.int64(n + 3)
+        m_state = (np.maximum.accumulate(seg_val + seg_id * seg_big)
+                   - seg_id * seg_big)
+
+        acc = {name: np.zeros(K + 1, dtype=np.float64)
+               for name in ("victims_m", "victims_e",
+                            "flush_writebacks", "flush_victims_e")}
+
+        def add_ranges(name, lo, hi, weights=None):
+            """+weight on capacity indices [lo, hi) for each element."""
+            acc[name] += (np.bincount(lo, weights=weights, minlength=K + 1)
+                          - np.bincount(hi, weights=weights,
+                                        minlength=K + 1))[:K + 1]
+
+        # ---------------- in-trace evictions (reuse gaps) ------------- #
+        gaps = np.flatnonzero(~first_g)
+        if len(gaps):
+            zg = z_g[gaps].astype(np.float64)
+            ub_d = ub(dist_g[gaps])
+            hw_p = has_write[gaps - 1]
+            m_p = m_state[gaps - 1]
+            dirty_lo = np.where(hw_p, np.minimum(ub(m_p), ub_d), ub_d)
+            add_ranges("victims_m", dirty_lo, ub_d, zg)
+            clean_hi = np.where(hw_p, ub(np.minimum(m_p, dist_g[gaps])),
+                                ub_d)
+            add_ranges("victims_e", np.zeros(len(gaps), dtype=np.int64),
+                       clean_hi, zg)
+
+        # ---------------- end of trace: per-line expansion ------------ #
+        # Final stack depths per line: symbols ordered by last-visit
+        # start descending, positions within a footprint by index
+        # descending (later positions are more recent).
+        ends_g = np.flatnonzero(np.append(first_g[1:], True))
+        last_start = starts_v[order_v[ends_g]]   # by symbol id
+        hw_s = has_write[ends_g]
+        m_s = m_state[ends_g]
+        L = int(len(st.sym_lines))
+        ord_desc = np.argsort(-last_start)
+        zr = st.sym_sizes[ord_desc]
+        blk = np.repeat(np.cumsum(zr) - zr, zr)
+        i_local = np.arange(L, dtype=np.int64) - blk
+        depth = blk + np.repeat(zr, zr) - 1 - i_local
+        hw_l = np.repeat(hw_s[ord_desc], zr)
+        m_l = np.repeat(m_s[ord_desc], zr)
+        ub_e = ub(depth)
+        # Evicted before the end of the trace (C <= depth):
+        dirty_lo = np.where(hw_l, np.minimum(ub(m_l), ub_e), ub_e)
+        add_ranges("victims_m", dirty_lo, ub_e)
+        clean_hi = np.where(hw_l, ub(np.minimum(m_l, depth)), ub_e)
+        add_ranges("victims_e", np.zeros(L, dtype=np.int64), clean_hi)
+        # Still resident at flush (C > depth):
+        top = np.full(L, K, dtype=np.int64)
+        flush_lo = np.where(hw_l, ub(np.maximum(m_l, depth)), top)
+        add_ranges("flush_writebacks", flush_lo, top)
+        clean_flush_hi = np.where(hw_l, np.maximum(ub(m_l), ub_e), top)
+        add_ranges("flush_victims_e", ub_e, clean_flush_hi)
+
+        # LRU -> MRU stack: ascending last-visit start, positions
+        # ascending within a footprint.
+        ord_asc = ord_desc[::-1]
+        za = st.sym_sizes[ord_asc]
+        blk_a = np.repeat(np.cumsum(za) - za, za)
+        idx = (np.repeat(st.sym_offsets[ord_asc], za)
+               + np.arange(L, dtype=np.int64) - blk_a)
+    return LRUSweepResult(
+        accesses=n,
+        capacities=caps,
+        hits=hits,
+        misses=misses,
+        fills=fills,
+        victims_m=np.cumsum(acc["victims_m"])[:K].astype(np.int64),
+        victims_e=np.cumsum(acc["victims_e"])[:K].astype(np.int64),
+        flush_writebacks=np.cumsum(
+            acc["flush_writebacks"])[:K].astype(np.int64),
+        flush_victims_e=np.cumsum(
+            acc["flush_victims_e"])[:K].astype(np.int64),
+        stack_lines=st.sym_lines[idx],
+        stack_has_write=np.repeat(hw_s[ord_asc], za),
+        stack_m=np.repeat(m_s[ord_asc], za),
+    )
+
+
+def fold_opt_symbols(
+    st: SymbolTrace,
+    capacities: Union[Sequence[int], np.ndarray],
+) -> OPTSweepResult:
+    """Exact multi-capacity Belady counters from the super-symbol stream.
+
+    The replay of :func:`repro.machine.fastsim.opt.simulate_opt_sweep`
+    at visit granularity.  Next uses are visit-granular (position ``p``
+    is next used at ``start(next visit) + p``; disjoint footprints make
+    that exact) and strictly increasing within a visit, so one heap
+    entry ``(-(nu_base + hi - 1), line, symbol, lo, hi, seq, nu_base)``
+    stands for the whole run of positions ``[lo, hi)`` of a visit: only
+    the last position can be the global Belady victim, and evicting it
+    peels the run down to ``[lo, hi - 1)``.  Validity is a per-position
+    sequence number (any access / eviction / level move bumps it), so
+    stale entries lazily shrink or vanish exactly like the event-level
+    lazy heap.  A visit whose footprint is fully resident at level 0
+    (the common case on tiled traces) costs O(1): one histogram bump,
+    one sequence bump, one heap push.  Bit-identical to the
+    event-granular sweep.
+    """
+    caps = _check_caps(capacities)
+    K = len(caps)
+    n = st.n_events
+    V = st.n_visits
+    S = st.n_symbols
+
+    order_v, first_g, prev_v = _visit_reuse(st)
+    with phase("next_use"):
+        # Next visit of each visit; sentinel visits (a symbol's last)
+        # give every position next use n + 1, as next_occurrences does.
+        nxt_v = np.full(V, -1, dtype=np.int64)
+        same = ~first_g[1:]
+        nxt_v[order_v[:-1][same]] = order_v[1:][same]
+        nu_base = np.where(nxt_v >= 0, st.visit_starts[nxt_v], -1)
+
+    visits_l = st.visits.tolist()
+    w_l = st.visit_writes.tolist()
+    nb_l = nu_base.tolist()
+    sizes_l = st.sym_sizes.tolist()
+    offs_l = st.sym_offsets.tolist()
+    lines_flat = st.sym_lines.tolist()
+    sym_lines_l: List[List[int]] = [
+        lines_flat[offs_l[s]:offs_l[s] + sizes_l[s]] for s in range(S)]
+
+    caps_l: List[int] = caps.tolist()
+    # Per-symbol per-position state (footprints are disjoint, so a
+    # (symbol, position) pair is a line).
+    lev = [[K] * z for z in sizes_l]
+    mlev = [[0] * z for z in sizes_l]
+    hws = [[False] * z for z in sizes_l]
+    pseq = [[0] * z for z in sizes_l]
+    uniform0 = [False] * S   # whole footprint resident at level 0
+    heaps: List[list] = [[] for _ in range(K)]
+    cnt = [0] * K
+    hist = [0] * (K + 1)
+    victims_m = [0] * K
+    victims_e = [0] * K
+    seq = 0
+    sentinel = n + 1
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    replay = phase("opt_replay")
+    replay.__enter__()
+    for v in range(V):
+        loc = visits_l[v]
+        w = w_l[v]
+        nb = nb_l[v]
+        z = sizes_l[loc]
+        s_lines = sym_lines_l[loc]
+        s_pseq = pseq[loc]
+        if uniform0[loc]:
+            # Whole footprint hits at level 0; no eviction anywhere.
+            hist[0] += z
+            seq += 1
+            for p in range(z):
+                s_pseq[p] = seq
+            if nb >= 0:
+                heappush(heaps[0],
+                         (-(nb + z - 1), s_lines[z - 1], loc, 0, z, seq,
+                          nb))
+            else:
+                for p in range(z):
+                    heappush(heaps[0],
+                             (-sentinel, s_lines[p], loc, p, p + 1, seq,
+                              sentinel - p))
+            if w:
+                hws[loc] = [True] * z
+                mlev[loc] = [0] * z
+            continue
+
+        s_lev = lev[loc]
+        s_mlev = mlev[loc]
+        s_hw = hws[loc]
+        for p in range(z):
+            j = s_lev[p]
+            hist[j] += 1
+            if j:
+                sizes = []
+                s = 0
+                for i in range(j):
+                    s += cnt[i]
+                    sizes.append(s)
+                for i in range(j):
+                    if sizes[i] < caps_l[i]:
+                        continue
+                    # Victim = worst valid entry across levels 0..i.
+                    best = None
+                    best_lv = -1
+                    for lv in range(i + 1):
+                        h = heaps[lv]
+                        while h:
+                            e = h[0]
+                            est = pseq[e[2]]
+                            if est[e[4] - 1] == e[5]:
+                                break
+                            heappop(h)
+                            # Shrink: the deepest position still owned
+                            # by this push heads the remainder run.
+                            pp = e[4] - 2
+                            lo = e[3]
+                            while pp >= lo and est[pp] != e[5]:
+                                pp -= 1
+                            if pp >= lo:
+                                heappush(h, (-(e[6] + pp),
+                                             sym_lines_l[e[2]][pp],
+                                             e[2], lo, pp + 1, e[5],
+                                             e[6]))
+                        if h and (best is None or h[0] < best):
+                            best = h[0]
+                            best_lv = lv
+                    e = heappop(heaps[best_lv])
+                    vloc = e[2]
+                    vp = e[4] - 1
+                    if vp > e[3]:
+                        heappush(heaps[best_lv],
+                                 (-(e[6] + vp - 1),
+                                  sym_lines_l[vloc][vp - 1],
+                                  vloc, e[3], vp, e[5], e[6]))
+                    cnt[best_lv] -= 1
+                    if hws[vloc][vp] and mlev[vloc][vp] <= i:
+                        victims_m[i] += 1
+                    else:
+                        victims_e[i] += 1
+                    seq += 1
+                    pseq[vloc][vp] = seq
+                    uniform0[vloc] = False
+                    if i + 1 < K:
+                        lev[vloc][vp] = i + 1
+                        cnt[i + 1] += 1
+                        heappush(heaps[i + 1],
+                                 (e[0], e[1], vloc, vp, vp + 1, seq,
+                                  e[6]))
+                    else:
+                        lev[vloc][vp] = K
+            if j < K:
+                cnt[j] -= 1
+            cnt[0] += 1
+            s_lev[p] = 0
+            seq += 1
+            s_pseq[p] = seq
+            if nb >= 0:
+                heappush(heaps[0],
+                         (-(nb + p), s_lines[p], loc, p, p + 1, seq, nb))
+            else:
+                heappush(heaps[0],
+                         (-sentinel, s_lines[p], loc, p, p + 1, seq,
+                          sentinel - p))
+            if w:
+                s_hw[p] = True
+                s_mlev[p] = 0
+            elif j == K:
+                s_hw[p] = False
+                s_mlev[p] = 0
+            elif s_hw[p] and j > s_mlev[p]:
+                s_mlev[p] = j
+        uniform0[loc] = not any(s_lev)
+    replay.__exit__(None, None, None)
+
+    # ----- end-of-trace flush (folded into the run, as the event path) - #
+    wb_diff = [0] * (K + 1)
+    ve_diff = [0] * (K + 1)
+    for sidx in range(S):
+        s_lev = lev[sidx]
+        s_hw = hws[sidx]
+        s_mlev = mlev[sidx]
+        for p in range(sizes_l[sidx]):
+            lvp = s_lev[p]
+            if lvp >= K:
+                continue
+            if s_hw[p]:
+                dirty_lo = s_mlev[p]
+                if dirty_lo < lvp:
+                    dirty_lo = lvp
+                wb_diff[dirty_lo] += 1
+                ve_diff[lvp] += 1
+                ve_diff[dirty_lo] -= 1
+            else:
+                ve_diff[lvp] += 1
+
+    hits = np.cumsum(np.asarray(hist[:K], dtype=np.int64))
+    misses = n - hits
+    return OPTSweepResult(
+        accesses=n,
+        capacities=caps,
+        hits=hits,
+        misses=misses,
+        fills=misses.copy(),
+        victims_m=np.asarray(victims_m, dtype=np.int64),
+        victims_e=np.asarray(victims_e, dtype=np.int64),
+        flush_writebacks=np.cumsum(
+            np.asarray(wb_diff[:K], dtype=np.int64)),
+        flush_victims_e=np.cumsum(
+            np.asarray(ve_diff[:K], dtype=np.int64)),
+    )
+
+
+def simulate_lru_sweep_trace(
+    trace: Trace,
+    capacities: Union[Sequence[int], np.ndarray],
+) -> LRUSweepResult:
+    """LRU sweep of a :class:`~repro.machine.trace.Trace`, using the
+    super-symbol fold when the chunk structure supports it and falling
+    back to the event-granular pass otherwise.  Identical results
+    either way."""
+    st = None
+    if trace.chunk_lens is not None:
+        st = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+    if st is None:
+        return simulate_lru_sweep(trace.lines, trace.writes, capacities)
+    return fold_lru_symbols(st, capacities)
+
+
+def simulate_opt_sweep_trace(
+    trace: Trace,
+    capacities: Union[Sequence[int], np.ndarray],
+) -> OPTSweepResult:
+    """Belady sweep of a :class:`~repro.machine.trace.Trace` — symbol
+    path when possible, event path otherwise, identical results."""
+    st = None
+    if trace.chunk_lens is not None:
+        st = symbolize(trace.lines, trace.writes, trace.chunk_lens)
+    if st is None:
+        return simulate_opt_sweep(trace.lines, trace.writes, capacities)
+    return fold_opt_symbols(st, capacities)

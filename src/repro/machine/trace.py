@@ -9,15 +9,93 @@ Traces are stored at **line** granularity because every Section-6 quantity
 is measured in cache lines.  Chunks are numpy arrays so that multi-million
 event traces stay compact and concatenation is vectorized (per the
 hpc-parallel guidance: no per-element Python appends in hot paths).
+
+Chunk boundaries are meaningful, not incidental: trace builders emit one
+chunk per base-tile visit, and :class:`Trace` keeps the per-chunk lengths
+alongside the flat arrays so the fastsim super-symbol pass
+(:mod:`repro.machine.fastsim.symbols`) can fold repeated tile visits
+without rediscovering them.
+
+Very large traces never need to live in RAM: past
+``$REPRO_TRACE_SPILL_EVENTS`` events (default ``2**26``),
+:meth:`TraceBuffer.finalize` spills the concatenated arrays to anonymous
+``.npy`` files and returns read-only memory maps, which downstream
+consumers (the streaming distance pass, the content-addressed trace
+store) treat exactly like in-memory arrays.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+import os
+import tempfile
+from typing import Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TraceBuffer"]
+__all__ = ["Trace", "TraceBuffer", "SPILL_ENV", "spill_threshold"]
+
+#: env knob: event count past which finalize() spills to mmap'd files.
+SPILL_ENV = "REPRO_TRACE_SPILL_EVENTS"
+_DEFAULT_SPILL_EVENTS = 1 << 26
+
+
+def spill_threshold() -> int:
+    """Events past which :meth:`TraceBuffer.finalize` spills to disk."""
+    try:
+        return int(os.environ.get(SPILL_ENV, _DEFAULT_SPILL_EVENTS))
+    except ValueError:
+        return _DEFAULT_SPILL_EVENTS
+
+
+class Trace(NamedTuple):
+    """A finalized trace: flat event arrays plus tile-chunk structure.
+
+    ``chunk_lens`` partitions ``lines``/``writes`` into the builder's
+    append chunks (one per base-tile visit for tile-granular kernels);
+    ``None`` when the structure is unknown (e.g. a store round-trip from
+    before chunk sidecars existed).  Within a chunk the write flag is
+    uniform by construction.
+    """
+
+    lines: np.ndarray
+    writes: np.ndarray
+    chunk_lens: Optional[np.ndarray]
+
+    @property
+    def n_events(self) -> int:
+        return int(len(self.lines))
+
+    def pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The legacy ``(lines, writes)`` view."""
+        return self.lines, self.writes
+
+
+def _spill_memmap(n: int, dtype: np.dtype) -> Tuple[np.ndarray, str]:
+    """A writable ``.npy``-backed memmap of *n* elements in a temp file.
+
+    The caller fills it chunk by chunk (so the full array never exists
+    in RAM) and hands it to :func:`_reopen_readonly`.
+    """
+    fd, path = tempfile.mkstemp(suffix=".npy", prefix="repro-trace-")
+    os.close(fd)
+    out = np.lib.format.open_memmap(path, mode="w+", dtype=dtype,
+                                    shape=(n,))
+    return out, path
+
+
+def _reopen_readonly(mm: np.ndarray, path: str) -> np.ndarray:
+    """Flush a writable spill memmap and reopen it read-only, unlinking
+    the backing file.  POSIX keeps the mapping alive after the unlink,
+    so the file needs no lifecycle management and its space is reclaimed
+    with the last array reference."""
+    mm.flush()  # type: ignore[attr-defined]
+    del mm
+    out = np.load(path, mmap_mode="r")
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+    return out
 
 
 class TraceBuffer:
@@ -67,24 +145,59 @@ class TraceBuffer:
     # consuming
     # ------------------------------------------------------------------ #
     def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Concatenate into ``(lines, writes)`` arrays.
+        """Concatenate into read-only ``(lines, writes)`` arrays.
 
+        Both outputs are preallocated once and filled chunk by chunk (no
+        per-chunk temporaries), then frozen with ``setflags(write=False)``.
         The concatenation is memoized — harnesses finalize the same
         buffer once per capacity/policy point — and the memo is dropped
-        whenever new events arrive (``touch_*``/``extend``).  Callers
-        must treat the returned arrays as read-only.
+        whenever new events arrive (``touch_*``/``extend``).
+
+        Past :func:`spill_threshold` events the arrays are spilled to
+        anonymous ``.npy`` files and come back as read-only memory maps,
+        so finalizing a 10^8-event trace costs address space, not RAM.
         """
         if self._finalized is not None:
             return self._finalized
         if not self._chunks:
             empty = np.empty(0, dtype=np.int64)
-            return empty, np.empty(0, dtype=bool)
-        lines = np.concatenate([c for c, _ in self._chunks])
-        writes = np.concatenate(
-            [np.full(len(c), w, dtype=bool) for c, w in self._chunks]
-        )
+            empty_w = np.empty(0, dtype=bool)
+            empty.setflags(write=False)
+            empty_w.setflags(write=False)
+            return empty, empty_w
+        spill = self._n >= spill_threshold()
+        if spill:
+            lines, lpath = _spill_memmap(self._n, np.dtype(np.int64))
+            writes, wpath = _spill_memmap(self._n, np.dtype(bool))
+        else:
+            lines = np.empty(self._n, dtype=np.int64)
+            writes = np.empty(self._n, dtype=bool)
+        pos = 0
+        for chunk, w in self._chunks:
+            end = pos + len(chunk)
+            lines[pos:end] = chunk
+            writes[pos:end] = w
+            pos = end
+        if spill:
+            lines = _reopen_readonly(lines, lpath)
+            writes = _reopen_readonly(writes, wpath)
+        else:
+            lines.setflags(write=False)
+            writes.setflags(write=False)
         self._finalized = (lines, writes)
         return self._finalized
+
+    def chunk_lengths(self) -> np.ndarray:
+        """Per-chunk event counts, in append order (read-only int64)."""
+        out = np.fromiter((len(c) for c, _ in self._chunks),
+                          dtype=np.int64, count=len(self._chunks))
+        out.setflags(write=False)
+        return out
+
+    def finalize_trace(self) -> Trace:
+        """Finalize, keeping the tile-chunk structure alongside."""
+        lines, writes = self.finalize()
+        return Trace(lines, writes, self.chunk_lengths())
 
     def iter_chunks(self) -> Iterator[Tuple[np.ndarray, bool]]:
         return iter(self._chunks)

@@ -299,7 +299,7 @@ class TestTraceStore:
              good_writes.reshape(2, 3)),                    # 2-D arrays
         ):
             key = store.key_for(payload)
-            lines_p, writes_p, _ = store._paths(key)
+            lines_p, writes_p, _, _ = store._paths(key)
             lines_p.parent.mkdir(parents=True, exist_ok=True)
             np.save(lines_p, bad_lines)
             np.save(writes_p, bad_writes)

@@ -1,0 +1,440 @@
+"""Parity tests for the tile super-symbol pipeline.
+
+Three contracts, all bit-identity:
+
+* the super-symbol folds (:func:`fold_lru_symbols` /
+  :func:`fold_opt_symbols`) equal the event-granular sweeps — and
+  :class:`CacheSim` + flush — on random tile-structured traces;
+* the streaming LRU pass equals the in-memory sweep for *every* window
+  size, including windows that split a tile visit across the boundary;
+* the executor's zero-copy handoff ships content-addressed keys, never
+  arrays, and workers resolve them from the store without rebuilding.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro.core.traces import (
+    cholesky_trace,
+    matmul_trace,
+    nbody_trace,
+    trsm_trace,
+)
+from repro.machine.cache import AUTO_TILED_MIN_EVENTS, CacheSim
+from repro.machine.fastsim import (
+    fold_lru_symbols,
+    fold_opt_symbols,
+    simulate_lru_sweep,
+    simulate_lru_sweep_trace,
+    simulate_opt_sweep,
+    simulate_opt_sweep_trace,
+    stream_lru_sweep_trace,
+    symbolize,
+)
+from repro.machine.fastsim.profile import set_phase_hook
+from repro.machine.trace import Trace
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as hst
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+CAPS = [1, 2, 3, 5, 8, 13, 64]
+
+
+def assert_sweeps_equal(a, b):
+    """Every field of two sweep results, bit for bit."""
+    assert type(a) is type(b)
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        assert np.array_equal(np.asarray(va), np.asarray(vb)), f.name
+
+
+def tile_trace(sizes, visits, vwrites, rng=None):
+    """A tile-structured trace: disjoint symbol footprints, one chunk
+    per visit, chunk-uniform write flags."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    sym_lines = [offsets[s] + np.arange(sizes[s]) for s in range(len(sizes))]
+    if rng is not None:  # footprint order is per-symbol, but arbitrary
+        for arr in sym_lines:
+            rng.shuffle(arr)
+    visits = np.asarray(visits, dtype=np.int64)
+    vwrites = np.asarray(vwrites, dtype=bool)
+    lines = np.concatenate([sym_lines[s] for s in visits]).astype(np.int64)
+    writes = np.repeat(vwrites, sizes[visits])
+    return Trace(lines, writes, sizes[visits])
+
+
+def random_tile_trace(rng):
+    n_sym = int(rng.integers(1, 12))
+    sizes = rng.integers(1, 7, n_sym)
+    n_visits = int(rng.integers(1, 80))
+    visits = rng.integers(0, n_sym, n_visits)
+    vwrites = rng.random(n_visits) < rng.random()
+    return tile_trace(sizes, visits, vwrites, rng)
+
+
+def loop_counters(trace, capacity_lines, policy="lru"):
+    """Ground truth: the per-access CacheSim loop, plus flush."""
+    sim = CacheSim(capacity_lines, line_size=1, policy=policy,
+                   fastsim_min_events=None)
+    sim.run_lines(trace.lines, trace.writes)
+    sim.flush()
+    return sim.stats
+
+
+# --------------------------------------------------------------------- #
+# super-symbol folds vs event-granular sweeps
+# --------------------------------------------------------------------- #
+class TestSymbolFoldParity:
+    def test_lru_fold_matches_event_sweep_random_tiles(self):
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            tr = random_tile_trace(rng)
+            st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+            assert st is not None
+            assert_sweeps_equal(fold_lru_symbols(st, CAPS),
+                                simulate_lru_sweep(tr.lines, tr.writes,
+                                                   CAPS))
+
+    def test_opt_fold_matches_event_sweep_random_tiles(self):
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            tr = random_tile_trace(rng)
+            st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+            assert st is not None
+            assert_sweeps_equal(fold_opt_symbols(st, CAPS),
+                                simulate_opt_sweep(tr.lines, tr.writes,
+                                                   CAPS))
+
+    @pytest.mark.parametrize("policy,cap", [("lru", 4), ("lru", 9),
+                                            ("belady", 4), ("belady", 9)])
+    def test_fold_matches_cachesim_loop(self, policy, cap):
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            tr = random_tile_trace(rng)
+            st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+            fold = (fold_lru_symbols if policy == "lru"
+                    else fold_opt_symbols)(st, [cap])
+            got = fold.stats(cap, include_flush=True)
+            ref = loop_counters(tr, cap, policy)
+            for name in ("accesses", "hits", "misses", "fills",
+                         "victims_m", "victims_e", "flush_writebacks"):
+                assert getattr(got, name) == getattr(ref, name), name
+
+    @pytest.mark.parametrize("builder", [
+        lambda: matmul_trace(32, 32, 32, scheme="wa2", b3=16, b2=8,
+                             base=4, line_size=4),
+        lambda: matmul_trace(32, 32, 32, scheme="co", b3=16, b2=8,
+                             base=4, line_size=4),
+        lambda: trsm_trace(32, 16, b=8, line_size=4),
+        lambda: cholesky_trace(32, b=8, line_size=4),
+        lambda: nbody_trace(64, b=16, line_size=4),
+    ])
+    def test_paper_kernel_traces_symbolize_and_match(self, builder):
+        tr = builder().finalize_trace()
+        st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+        assert st is not None
+        assert st.n_symbols < st.n_visits  # tiles actually revisit
+        caps = [4, 16, 64, 256]
+        assert_sweeps_equal(fold_lru_symbols(st, caps),
+                            simulate_lru_sweep(tr.lines, tr.writes, caps))
+        assert_sweeps_equal(fold_opt_symbols(st, caps),
+                            simulate_opt_sweep(tr.lines, tr.writes, caps))
+
+    def test_overlapping_footprints_fall_back(self):
+        """c_touch_hint interleaves C lines into other tiles' chunks:
+        footprints overlap, symbolize declines, and the trace-level
+        dispatchers still produce exact counters via the event path."""
+        tr = matmul_trace(16, 16, 16, scheme="wa2", b3=8, b2=4, base=2,
+                          line_size=4, c_touch_hint=True).finalize_trace()
+        assert symbolize(tr.lines, tr.writes, tr.chunk_lens) is None
+        caps = [4, 16, 64]
+        assert_sweeps_equal(simulate_lru_sweep_trace(tr, caps),
+                            simulate_lru_sweep(tr.lines, tr.writes, caps))
+        assert_sweeps_equal(simulate_opt_sweep_trace(tr, caps),
+                            simulate_opt_sweep(tr.lines, tr.writes, caps))
+
+    def test_symbolize_rejects_mixed_write_chunks(self):
+        lines = np.array([0, 1, 0, 1], dtype=np.int64)
+        writes = np.array([True, False, True, False])
+        assert symbolize(lines, writes, np.array([2, 2])) is None
+
+    def test_symbolize_rejects_malformed_partition(self):
+        lines = np.arange(4, dtype=np.int64)
+        writes = np.zeros(4, bool)
+        with pytest.raises(ValueError):
+            symbolize(lines, writes, np.array([2, 3]))
+
+    def test_compression_ratio(self):
+        tr = tile_trace([4, 4], [0, 1, 0, 1, 0, 1], [False] * 6)
+        st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+        assert st.n_events == 24 and st.n_symbols == 2
+        assert st.n_visits == 6
+        assert st.compression == pytest.approx(4.0)  # events per visit
+        np.testing.assert_array_equal(st.expand()[0], tr.lines)
+        np.testing.assert_array_equal(st.expand()[1], tr.writes)
+
+
+# --------------------------------------------------------------------- #
+# streaming pass vs in-memory sweep
+# --------------------------------------------------------------------- #
+class TestStreamingParity:
+    def test_every_window_size_matches(self):
+        rng = np.random.default_rng(29)
+        tr = random_tile_trace(rng)
+        ref = simulate_lru_sweep(tr.lines, tr.writes, CAPS)
+        n = tr.n_events
+        for w in {1, 2, 3, 5, 7, n // 2 or 1, n, n + 9}:
+            assert_sweeps_equal(
+                stream_lru_sweep_trace(tr, CAPS, window_events=w), ref)
+
+    def test_windows_splitting_a_symbol(self):
+        # Symbol size 5 with window 3: every window boundary lands
+        # mid-visit.
+        tr = tile_trace([5, 5, 5], [0, 1, 2, 0, 2, 1, 0],
+                        [True, False, True, False, True, False, True])
+        ref = simulate_lru_sweep(tr.lines, tr.writes, CAPS)
+        for w in (1, 2, 3, 4, 6, 7):
+            assert_sweeps_equal(
+                stream_lru_sweep_trace(tr, CAPS, window_events=w), ref)
+
+    def test_non_tiled_traces_stream_too(self):
+        rng = np.random.default_rng(31)
+        for _ in range(30):
+            n = int(rng.integers(1, 300))
+            lines = rng.integers(0, int(rng.integers(1, 40)),
+                                 n).astype(np.int64)
+            writes = rng.random(n) < 0.4
+            tr = Trace(lines, writes, None)
+            ref = simulate_lru_sweep(lines, writes, CAPS)
+            w = int(rng.integers(1, n + 2))
+            assert_sweeps_equal(
+                stream_lru_sweep_trace(tr, CAPS, window_events=w), ref)
+
+
+# --------------------------------------------------------------------- #
+# hypothesis property tests (satellite c)
+# --------------------------------------------------------------------- #
+if HAVE_HYPOTHESIS:
+    @hst.composite
+    def tile_traces(draw):
+        sizes = draw(hst.lists(hst.integers(1, 5), min_size=1,
+                               max_size=8))
+        n_sym = len(sizes)
+        visits = draw(hst.lists(hst.integers(0, n_sym - 1), min_size=1,
+                                max_size=40))
+        vwrites = draw(hst.lists(hst.booleans(), min_size=len(visits),
+                                 max_size=len(visits)))
+        return tile_trace(sizes, visits, vwrites)
+
+    class TestSymbolProperties:
+        @settings(max_examples=25)
+        @given(tile_traces(), hst.integers(1, 30))
+        def test_symbol_lru_equals_cachesim(self, tr, cap):
+            st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+            assert st is not None
+            got = fold_lru_symbols(st, [cap]).stats(cap,
+                                                    include_flush=True)
+            ref = loop_counters(tr, cap, "lru")
+            assert (got.hits, got.misses, got.victims_m, got.victims_e,
+                    got.flush_writebacks) == (ref.hits, ref.misses,
+                                              ref.victims_m,
+                                              ref.victims_e,
+                                              ref.flush_writebacks)
+
+        @settings(max_examples=25)
+        @given(tile_traces(), hst.integers(1, 30))
+        def test_symbol_opt_equals_cachesim(self, tr, cap):
+            st = symbolize(tr.lines, tr.writes, tr.chunk_lens)
+            assert st is not None
+            got = fold_opt_symbols(st, [cap]).stats(cap,
+                                                    include_flush=True)
+            ref = loop_counters(tr, cap, "belady")
+            assert (got.hits, got.misses, got.victims_m, got.victims_e,
+                    got.flush_writebacks) == (ref.hits, ref.misses,
+                                              ref.victims_m,
+                                              ref.victims_e,
+                                              ref.flush_writebacks)
+
+        @settings(max_examples=25)
+        @given(tile_traces(), hst.integers(1, 250))
+        def test_streaming_equals_in_memory(self, tr, window):
+            assert_sweeps_equal(
+                stream_lru_sweep_trace(tr, CAPS, window_events=window),
+                simulate_lru_sweep(tr.lines, tr.writes, CAPS))
+
+
+# --------------------------------------------------------------------- #
+# CacheSim.run_trace dispatch (satellite b)
+# --------------------------------------------------------------------- #
+class TestRunTraceDispatch:
+    def _phases_of(self, sim, trace):
+        seen = []
+        prev = set_phase_hook(
+            lambda name, dur: seen.append(name))
+        try:
+            sim.run_trace(trace)
+        finally:
+            set_phase_hook(prev)
+        return seen
+
+    def test_auto_threshold_constant(self):
+        assert AUTO_TILED_MIN_EVENTS == 1 << 15
+        assert CacheSim(64, line_size=1).fastsim_min_events == "auto"
+
+    def test_auto_folds_large_tiled_traces(self):
+        tr = tile_trace([4] * 8, list(range(8)) * 6, [False] * 48)
+        sim = CacheSim(8, line_size=1, fastsim_min_events=0)
+        assert "supersymbol_fold" in self._phases_of(sim, tr)
+
+    def test_auto_keeps_loop_below_threshold(self):
+        tr = tile_trace([4] * 8, list(range(8)) * 6, [False] * 48)
+        sim = CacheSim(8, line_size=1)  # auto: 192 events << 1<<15
+        assert "supersymbol_fold" not in self._phases_of(sim, tr)
+
+    def test_none_opts_out_entirely(self):
+        tr = tile_trace([4] * 8, list(range(8)) * 6, [True] * 48)
+        sim = CacheSim(8, line_size=1, fastsim_min_events=None)
+        assert "supersymbol_fold" not in self._phases_of(sim, tr)
+
+    @pytest.mark.parametrize("policy", ["lru", "belady"])
+    def test_run_trace_counters_match_loop(self, policy):
+        rng = np.random.default_rng(41)
+        for _ in range(15):
+            tr = random_tile_trace(rng)
+            sim = CacheSim(6, line_size=1, policy=policy,
+                           fastsim_min_events=0)
+            sim.run_trace(tr)
+            sim.flush()
+            ref = loop_counters(tr, 6, policy)
+            assert sim.stats == ref
+
+    def test_run_trace_resumable_state_matches(self):
+        """After a folded run_trace, the rebuilt LRU order and dirty
+        bits continue exactly like the loop's."""
+        rng = np.random.default_rng(43)
+        tr = random_tile_trace(rng)
+        tail_lines = rng.integers(0, int(tr.lines.max()) + 1,
+                                  50).astype(np.int64)
+        tail_writes = rng.random(50) < 0.5
+        fold = CacheSim(6, line_size=1, fastsim_min_events=0)
+        fold.run_trace(tr)
+        loop = CacheSim(6, line_size=1, fastsim_min_events=None)
+        loop.run_trace(tr)
+        for sim in (fold, loop):
+            sim.run_lines(tail_lines, tail_writes)
+            sim.flush()
+        assert fold.stats == loop.stats
+
+
+# --------------------------------------------------------------------- #
+# zero-copy worker handoff (tentpole layer 3)
+# --------------------------------------------------------------------- #
+class TestZeroCopyHandoff:
+    def _points(self):
+        from repro.lab.registry import MACHINES
+        from repro.lab.scenarios import Scenario
+        sc = Scenario(
+            name="t", kernel="matmul-cache", machine=MACHINES["sim-l3"],
+            description="", fixed={"n": 16, "middle": 16, "scheme": "wa2",
+                                   "b3": 8, "b2": 4, "base": 2},
+            grid={"cache_blocks": [2, 3, 4]})
+        return sc.points()
+
+    def test_parent_stages_one_key_per_batch(self, tmp_path):
+        from repro.lab import executor
+        from repro.lab.tracestore import TraceStore, set_active_store
+        store = TraceStore(tmp_path / "ts")
+        set_active_store(store)
+        pts = self._points()
+        sup = types.SimpleNamespace(points=pts)
+        task = executor._Task(tid=0, indices=list(range(len(pts))),
+                              kind="multi_capacity")
+        keys = executor._Supervisor._stage_traces(sup, task)
+        assert len(keys) == 1  # one shared trace identity for the batch
+        assert store.get_by_key(keys[0]) is not None  # built in parent
+        # scalar tasks ship nothing (builds stay in the workers)
+        scalar = executor._Task(tid=1, indices=[0], kind=None)
+        assert executor._Supervisor._stage_traces(sup, scalar) == ()
+
+    def test_worker_resolves_key_without_rebuilding(self, tmp_path):
+        from repro.lab import executor
+        from repro.lab.tracestore import TraceStore, set_active_store
+        store = TraceStore(tmp_path / "ts")
+        set_active_store(store)
+        pts = self._points()
+        sup = types.SimpleNamespace(points=pts)
+        task = executor._Task(tid=0, indices=list(range(len(pts))),
+                              kind="multi_capacity")
+        keys = executor._Supervisor._stage_traces(sup, task)
+        payload = {"id": 0, "points": [pt.payload() for pt in pts],
+                   "telemetry": True, "attempt": 1, "trace_keys": keys}
+        # the payload carries keys only — no ndarray crosses the pipe
+        assert not any(isinstance(v, np.ndarray)
+                       for v in payload.values())
+        out = executor._run_task(payload)
+        assert "error" not in out
+        names = [(e.get("type"), e.get("name")) for e in out["events"]]
+        assert ("counter", "tracestore.hit") in names  # mmap reuse
+        assert ("phase", "trace_build") not in names   # never rebuilt
+        # records identical to the in-process batch path
+        from repro.lab.registry import run_capacity_batch
+        expect = run_capacity_batch(
+            "matmul-cache", [(pt.machine, pt.params) for pt in pts])
+        assert out["records"] == expect
+
+
+# --------------------------------------------------------------------- #
+# bounded-memory soak (slow, env-gated)
+# --------------------------------------------------------------------- #
+_SOAK = r"""
+import resource, sys
+import numpy as np
+from numpy.lib.format import open_memmap
+from repro.machine.trace import Trace
+from repro.machine.fastsim import stream_lru_sweep_trace
+
+n, n_lines, window = 100_000_000, 4096, 1 << 20
+lines = open_memmap(sys.argv[1] + "/lines.npy", mode="w+",
+                    dtype=np.int64, shape=(n,))
+writes = open_memmap(sys.argv[1] + "/writes.npy", mode="w+",
+                     dtype=bool, shape=(n,))
+slab = 1 << 22
+for i in range(0, n, slab):
+    j = min(n, i + slab)
+    lines[i:j] = np.arange(i, j, dtype=np.int64) % n_lines
+    writes[i:j] = False
+lines.flush(); writes.flush()
+res = stream_lru_sweep_trace(Trace(lines, writes, None), [64, 1024],
+                             window_events=window)
+# cyclic thrash: every access misses at both capacities
+assert res.misses.tolist() == [n, n], res.misses
+assert res.hits.tolist() == [0, 0]
+rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+print("rss_mb", rss_mb)
+assert rss_mb < 2048, f"RSS {rss_mb:.0f} MiB not bounded by window"
+"""
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not os.environ.get("REPRO_SLOW_TESTS"),
+                    reason="10^8-event soak; set REPRO_SLOW_TESTS=1")
+def test_streaming_soak_rss_bounded(tmp_path):
+    """A 10^8-event trace completes a 2-capacity LRU sweep with peak RSS
+    bounded by the streaming window, never by the trace length."""
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+    out = subprocess.run(
+        [sys.executable, "-c", _SOAK, str(tmp_path)],
+        env=env, capture_output=True, text=True, timeout=3600)
+    assert out.returncode == 0, out.stderr
+    assert "rss_mb" in out.stdout
