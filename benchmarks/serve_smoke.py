@@ -1,0 +1,111 @@
+"""CI smoke for `repro-lab serve`: boot the real CLI daemon, drive a
+quick preset over HTTP, and assert clean SIGINT shutdown.
+
+What the gate checks, end to end through the actual process boundary
+(the in-process paths are covered by tests/test_lab_serve.py):
+
+1. the daemon boots and answers `/healthz`;
+2. `POST /sweep` of a quick preset runs to `done` and `/results`
+   returns one row per point;
+3. an identical second request is served entirely from cache
+   (`source == "cached"`, `serve.cache_hit` counter proves it);
+4. `/metrics` is non-empty, schema-v1, and carries the serve counters;
+5. SIGINT exits 0 (graceful drain), not 130 (the abort path).
+
+Usage::
+
+    python benchmarks/serve_smoke.py [--scenario sec6] [--timeout 120]
+"""
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+def _request(url, payload=None):
+    req = urllib.request.Request(
+        url, data=(json.dumps(payload).encode() if payload is not None
+                   else None),
+        headers={"Content-Type": "application/json"},
+        method="POST" if payload is not None else "GET")
+    with urllib.request.urlopen(req, timeout=30) as r:
+        return json.loads(r.read())
+
+
+def _wait_for_boot(base, deadline):
+    while time.monotonic() < deadline:
+        try:
+            if _request(f"{base}/healthz").get("ok"):
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.2)
+    raise SystemExit("serve daemon never answered /healthz")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scenario", default="sec6")
+    ap.add_argument("--port", type=int, default=8737)
+    ap.add_argument("--timeout", type=float, default=120.0)
+    args = ap.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+    base = f"http://127.0.0.1:{args.port}"
+
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.lab", "serve",
+         "--port", str(args.port), "--jobs", "2",
+         "--cache-dir", cache_dir])
+    try:
+        _wait_for_boot(base, deadline)
+
+        body = {"scenario": args.scenario, "quick": True}
+        first = _request(f"{base}/sweep", body)
+        print(f"[smoke] submitted: {first['job']} "
+              f"(source={first['source']}, {first['points']} points)")
+        assert first["source"] == "queued", first
+
+        while time.monotonic() < deadline:
+            st = _request(f"{base}/jobs/{first['job']}")
+            if st["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.3)
+        assert st["status"] == "done", f"job did not finish: {st}"
+
+        rows = _request(f"{base}/results/{first['job']}")
+        assert len(rows) == first["points"], (len(rows), first)
+        print(f"[smoke] results: {len(rows)} rows")
+
+        second = _request(f"{base}/sweep", body)
+        assert second["source"] == "cached", second
+        assert second["status"] == "done", second
+        print(f"[smoke] warm re-request served from cache: "
+              f"{second['job']}")
+
+        metrics = _request(f"{base}/metrics")
+        counters = metrics["metrics"]["counters"]
+        assert metrics["schema_version"] == 1, metrics
+        assert counters.get("serve.request") == 2, counters
+        assert counters.get("serve.cache_hit") == 1, counters
+        assert counters.get("cache.write"), counters
+        assert metrics["executions"] == 1, metrics
+        print(f"[smoke] /metrics: {len(counters)} counters, "
+              f"{len(metrics['metrics']['histograms'])} histograms")
+    except BaseException:
+        proc.send_signal(signal.SIGINT)
+        proc.wait(30)
+        raise
+    proc.send_signal(signal.SIGINT)
+    code = proc.wait(60)
+    assert code == 0, f"SIGINT shutdown exited {code}, want 0"
+    print("[smoke] clean SIGINT shutdown (exit 0) — OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -263,13 +263,16 @@ class ResultCache:
     def cleanup_tmp(self) -> int:
         """Delete stale ``*.tmp`` spill files (write temporaries left
         behind by an interrupted sweep — ``os.replace`` never ran).
-        Returns how many were removed.  Safe against concurrent
-        writers: an in-flight temporary that vanishes under a writer
-        just fails that single ``put`` as it already could."""
+        Recursive, so it also reclaims trace-store ``.npy.tmp``
+        temporaries nested under ``traces/<shard>/``, not just the
+        record shards one level down.  Returns how many were removed.
+        Safe against concurrent writers: an in-flight temporary that
+        vanishes under a writer just fails that single ``put`` as it
+        already could."""
         removed = 0
         if self.disabled or not self.root.exists():
             return removed
-        for path in self.root.glob("*/*.tmp"):
+        for path in self.root.rglob("*.tmp"):
             try:
                 path.unlink()
                 removed += 1

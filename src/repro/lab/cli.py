@@ -16,6 +16,7 @@ Subcommands::
     repro-lab report fig2 --quick      # re-render from cache, compute nothing
     repro-lab trace show RUN.jsonl     # attribution table of a saved trace
     repro-lab trace diff A.jsonl B.jsonl
+    repro-lab serve --port 8737 --jobs 4   # HTTP sweep daemon (hot cache)
     repro-lab cache stats              # result-cache + trace-store inventory
     repro-lab cache gc                 # prune superseded code versions
     repro-lab check                    # static contract analyzer (R1-R5)
@@ -297,6 +298,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _finish(scenario, report, cache, args, trace=trace)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the batch subcommands shouldn't pay for the HTTP
+    # layer at startup.
+    from repro.lab.serve import ServeDaemon
+
+    cache = _make_cache(args)
+    _setup_trace_store(args)
+    daemon = ServeDaemon(host=args.host, port=args.port, jobs=args.jobs,
+                         cache=cache)
+    print(f"[repro.lab] serving on {daemon.url} (jobs={args.jobs}, "
+          f"cache={'off' if cache is None else cache.root})")
+    print("[repro.lab] POST /sweep · GET /jobs/<id>[?sse=1] · "
+          "GET /results/<id>[?format=csv] · GET /metrics; "
+          "Ctrl-C drains and exits")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[repro.lab] draining in-flight sweeps (Ctrl-C again "
+              "cancels at the next task boundary) ...", file=sys.stderr)
+        try:
+            daemon.shutdown(drain=True)
+        except KeyboardInterrupt:
+            daemon.shutdown(drain=False)
+            raise  # main()'s SIGINT path sweeps temporaries, exits 130
+        print("[repro.lab] serve: clean shutdown; completed points are "
+              "cached", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace_show(args: argparse.Namespace) -> int:
     trace = RunTrace.load(args.file)
     print(telemetry.render_attribution(trace))
@@ -532,6 +562,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_sweep)
     _add_export_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP sweep daemon over the hot cache: POST "
+                      "/sweep, SSE job progress, /results, /metrics")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="bind port (default: 8737; 0 = ephemeral)")
+    p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker budget shared across all jobs")
+    _add_cache_args(p_serve)
+    p_serve.add_argument("--no-trace-store", action="store_true",
+                         help="regenerate traces instead of memoizing "
+                              "them on disk")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="re-render a scenario purely from "
                                           "cached results")

@@ -75,6 +75,7 @@ the untraced path pays one ``None`` check per site.
 
 from __future__ import annotations
 
+import errno
 import json
 import multiprocessing
 import time
@@ -83,8 +84,8 @@ from collections import deque
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
-from typing import (Any, Dict, List, Optional, Sequence, Set, Tuple,
-                    Union)
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 from repro.lab import telemetry
 from repro.lab.cache import ResultCache
@@ -97,7 +98,23 @@ from repro.machine.fastsim import profile as fs_profile
 from repro.util import json_number_default
 
 __all__ = ["execute", "PointResult", "SweepReport", "MissingResultsError",
-           "PointExecutionError", "RetryPolicy"]
+           "PointExecutionError", "RetryPolicy", "SweepCancelled"]
+
+
+#: errno values that mean "the pipe's peer is gone" — the only class of
+#: OSError a worker pipe send may swallow as worker/parent death.  An
+#: EBADF, ENOMEM or EMSGSIZE there is *our* bug and must surface, not
+#: silently count as a crash-respawn.
+_PEER_GONE_ERRNOS = frozenset({errno.EPIPE, errno.ECONNRESET,
+                               errno.ESHUTDOWN})
+
+
+def _is_peer_gone(exc: OSError) -> bool:
+    """Whether *exc* from a pipe send means the other end died (vs a
+    genuine local error that must propagate)."""
+    if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+        return True
+    return exc.errno in _PEER_GONE_ERRNOS
 
 
 class MissingResultsError(RuntimeError):
@@ -131,6 +148,16 @@ class PointExecutionError(RuntimeError):
                        f"{remote_traceback.rstrip()}")
         super().__init__(message)
         self.remote_traceback = remote_traceback
+
+
+class SweepCancelled(RuntimeError):
+    """The ``cancel`` hook asked the sweep to stop before completion.
+
+    Raised from :func:`execute` when the caller-supplied ``cancel``
+    callable returns True between tasks.  Every point that completed
+    before the cancellation is already in the result cache (the same
+    resume-by-re-running guarantee an interrupted sweep has), so a
+    cancelled job costs only its in-flight task."""
 
 
 @dataclass(frozen=True)
@@ -441,8 +468,15 @@ def _pool_worker_main(conn: Any) -> None:
             return
         try:
             conn.send((task["id"], _run_task(task)))
-        except (BrokenPipeError, OSError):
-            return  # parent went away; nothing left to report to
+        except OSError as exc:
+            # Only a dead peer (EPIPE/ECONNRESET class) means "the
+            # parent went away; nothing left to report to".  Any other
+            # OSError (EBADF, ENOMEM, ...) is a real local failure and
+            # must crash loudly instead of masquerading as an orderly
+            # exit the supervisor would misread as a worker crash.
+            if _is_peer_gone(exc):
+                return
+            raise
 
 
 # --------------------------------------------------------------------- #
@@ -493,7 +527,8 @@ class _Supervisor:
                  trace: Optional[telemetry.RunTrace],
                  sweep_span: Optional[telemetry.Span],
                  policy: RetryPolicy, keep_going: bool,
-                 faults: Optional[FaultPlan]):
+                 faults: Optional[FaultPlan],
+                 cancel: Optional[Callable[[], bool]] = None):
         self.points = points
         self.results = results
         self.cache = cache
@@ -502,9 +537,19 @@ class _Supervisor:
         self.policy = policy
         self.keep_going = keep_going
         self.faults = faults
+        self.cancel = cancel
         self.counters = _Counters()
         self._next_tid = 0
         self._worker_seq = 0
+
+    def _check_cancel(self) -> None:
+        """Raise :class:`SweepCancelled` when the job-level cancel hook
+        fires — checked between tasks, never mid-kernel, so completed
+        points are always cached before the sweep unwinds."""
+        if self.cancel is not None and self.cancel():
+            raise SweepCancelled(
+                "sweep cancelled by its cancel hook; completed points "
+                "are cached — re-running resumes from them")
 
     # ------------------------------------------------------------------ #
     def make_tasks(self, plan: Sequence[Tuple[List[int], Optional[str]]]
@@ -636,6 +681,7 @@ class _Supervisor:
         only ``raise`` faults fire (see :mod:`repro.lab.faults`)."""
         pending = deque(tasks)
         while pending:
+            self._check_cancel()
             task = pending.popleft()
             delay = task.ready_at - time.monotonic()
             if delay > 0:
@@ -758,7 +804,12 @@ class _Supervisor:
             payload["trace_keys"] = trace_keys
         try:
             worker.conn.send(payload)
-        except (BrokenPipeError, OSError):
+        except OSError as exc:
+            # A dead peer is routine (the crash sweep respawns); any
+            # other OSError is a parent-side bug and must propagate
+            # instead of silently burning a crash-respawn.
+            if not _is_peer_gone(exc):
+                raise
             return False
         task.attempts += 1
         worker.task = task
@@ -825,6 +876,7 @@ class _Supervisor:
 
         try:
             while pending or any(w.task is not None for w in workers):
+                self._check_cancel()
                 now = time.monotonic()
                 # 1. fill idle workers with runnable tasks
                 for worker in workers:
@@ -949,6 +1001,7 @@ def execute(
     keep_going: bool = False,
     faults: Optional[Union[FaultPlan, str]] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     """Run every point, serving repeats from *cache* when provided.
 
@@ -1003,6 +1056,11 @@ def execute(
         Full :class:`RetryPolicy` override (backoff shape, respawn cap,
         poll interval); when given, *retries*/*timeout* are read from
         it and the bare arguments are ignored.
+    cancel:
+        Zero-argument callable polled between tasks; returning ``True``
+        raises :class:`SweepCancelled`.  Points completed before the
+        cancellation are already in *cache*, so a cancelled sweep can
+        be resumed later at the cost of one in-flight task.
     """
     if trace is None:
         trace = telemetry.active_trace()
@@ -1015,7 +1073,8 @@ def execute(
                         require_cached=require_cached,
                         multi_capacity=multi_capacity, batch=batch,
                         trace=trace, policy=retry_policy,
-                        keep_going=keep_going, faults=faults)
+                        keep_going=keep_going, faults=faults,
+                        cancel=cancel)
 
 
 def _execute(
@@ -1030,6 +1089,7 @@ def _execute(
     policy: RetryPolicy,
     keep_going: bool,
     faults: Optional[FaultPlan],
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     t0 = time.perf_counter()
     points = list(points)
@@ -1064,7 +1124,8 @@ def _execute(
             supervisor = _Supervisor(points, results, cache, trace,
                                      sweep_span if trace is not None
                                      else None,
-                                     policy, keep_going, faults)
+                                     policy, keep_going, faults,
+                                     cancel=cancel)
             tasks = supervisor.make_tasks(plan)
             if jobs > 1 and len(plan) > 1:
                 supervisor.run_pool(tasks, jobs)

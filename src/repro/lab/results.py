@@ -64,6 +64,19 @@ class ResultSet:
             rows.append(row)
         return cls(rows)
 
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Inverse of :meth:`to_json`: parse a JSON array of row objects
+        (e.g. a ``GET /results/<id>`` response) back into a set."""
+        data = json.loads(text)
+        require(isinstance(data, list),
+                "ResultSet JSON must be an array of row objects, got "
+                f"{type(data).__name__}")
+        for i, row in enumerate(data):
+            require(isinstance(row, dict),
+                    f"ResultSet JSON row {i} is not an object")
+        return cls(data)
+
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return len(self.rows)

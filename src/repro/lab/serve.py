@@ -1,0 +1,729 @@
+"""``repro-lab serve`` — a long-running sweep daemon over the hot cache.
+
+The engine's cost models are microseconds per point once warm, and the
+content-addressed :class:`~repro.lab.cache.ResultCache` makes repeated
+grids free — what batch invocations cannot give is *sharing*: every
+``repro-lab run`` pays process start-up, and two users sweeping the
+same grid both pay for it.  This module is the missing front-end: one
+warm process answering sweep requests over HTTP so arbitrarily many
+clients share a single hot cache.
+
+Deliberately **zero-dependency** (stdlib ``http.server`` only), like
+the rest of the lab.  Endpoints:
+
+``POST /sweep``
+    Body is JSON: either ``{"scenario": "fig2", "quick": true}`` (a
+    preset, with optional ``"set"``/``"hw"`` override objects — the
+    HTTP spelling of ``--set``/``--hw``) or an inline grid
+    ``{"kernel": ..., "machine": ..., "set": {...}, "grid": {...}}``
+    mirroring ``repro-lab sweep``.  Replies with a job id.  Requests
+    whose every point is already cached are answered synchronously
+    without enqueuing anything (``serve.cache_hit``); a request
+    identical to one already queued or running joins that job instead
+    of re-executing (single-flight, ``serve.dedup``) — "identical"
+    means the same set of result-cache point keys, so it is exactly
+    the dedup the cache itself would have provided, minus the wasted
+    compute.
+
+``GET /jobs/<id>``
+    JSON status; with ``?sse=1`` (or ``Accept: text/event-stream``) a
+    Server-Sent-Events stream of the job's :class:`RunTrace` events —
+    spans, per-point paths, counters — live while the sweep runs,
+    ending with the trace summary and an ``event: done`` terminator.
+
+``GET /results/<id>``
+    The finished job's flat records via :class:`ResultSet` — JSON by
+    default, ``?format=csv`` for CSV.  Records are bit-identical to
+    the same scenario run through ``repro-lab sweep``: the daemon
+    calls the very same :func:`repro.lab.executor.execute`.
+
+``GET /metrics``
+    The :class:`~repro.lab.telemetry.MetricsRegistry` aggregated from
+    the server's own trace plus every job trace — schema-v1 events in,
+    the standard counters/gauges/histograms dict out.  No second
+    metrics format is invented here.
+
+``POST /jobs/<id>/cancel``
+    Ask a queued/running job to stop at the next task boundary (the
+    executor's job-level ``cancel`` hook).  Completed points are
+    already cached, so a cancelled grid resumes for free.
+
+Sweeps run on a single job-runner thread with a bounded worker budget
+(``jobs=N`` workers *shared across* jobs, never multiplied by them);
+HTTP handler threads only parse, probe the cache, enqueue and stream.
+Graceful shutdown stops accepting, drains queued jobs through the
+runner, and reclaims half-written cache temporaries — the same path a
+SIGINT takes in the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.lab import telemetry
+from repro.lab.cache import ResultCache, point_key
+from repro.lab.executor import (MissingResultsError, SweepCancelled,
+                                execute)
+from repro.lab.registry import resolve_machine
+from repro.lab.results import ResultSet
+from repro.lab.scenarios import Scenario, ScenarioPoint, get_scenario
+from repro.lab.telemetry import MetricsRegistry, RunTrace
+
+__all__ = ["Job", "JobManager", "ServeDaemon"]
+
+#: job states a subscriber can no longer observe progress from.
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+# --------------------------------------------------------------------- #
+# request -> points
+# --------------------------------------------------------------------- #
+def _coerce(value: Any) -> Any:
+    """JSON bodies may carry CLI-style string literals ("true", "30");
+    coerce them exactly like the CLI's key=value parser so a curl user
+    quoting everything gets the same cache keys as a typed client."""
+    if isinstance(value, str):
+        low = value.lower()
+        if low in ("true", "false"):
+            return low == "true"
+        for cast in (int, float):
+            try:
+                return cast(value)
+            except ValueError:
+                continue
+    return value
+
+
+def _coerce_map(obj: Any, what: str) -> Dict[str, Any]:
+    if obj is None:
+        return {}
+    if not isinstance(obj, Mapping):
+        raise ValueError(f"{what!r} must be an object of key -> value")
+    return {str(k): _coerce(v) for k, v in obj.items()}
+
+
+def _coerce_grid(obj: Any) -> Dict[str, List[Any]]:
+    """Grid axes accept a JSON list, a single scalar (a pinned axis),
+    or the CLI's comma-string spelling ("2,30")."""
+    if obj is None:
+        return {}
+    if not isinstance(obj, Mapping):
+        raise ValueError("'grid' must be an object of key -> values")
+    out: Dict[str, List[Any]] = {}
+    for k, v in obj.items():
+        if isinstance(v, str):
+            out[str(k)] = [_coerce(part) for part in v.split(",")]
+        elif isinstance(v, Sequence):
+            out[str(k)] = [_coerce(part) for part in v]
+        else:
+            out[str(k)] = [_coerce(v)]
+    return out
+
+
+def points_from_request(body: Any
+                        ) -> Tuple[str, List[ScenarioPoint]]:
+    """Resolve a ``POST /sweep`` body to ``(label, points)``.
+
+    Mirrors ``repro-lab sweep``: a ``scenario`` key selects a preset
+    (``quick``/``set``/``hw`` as overrides; ``grid`` is rejected — the
+    preset defines the grid), otherwise ``kernel``/``machine``/``set``/
+    ``grid``/``hw`` describe an ad-hoc cartesian sweep.  Raises
+    ``ValueError`` (-> HTTP 400) on anything malformed.
+    """
+    if not isinstance(body, Mapping):
+        raise ValueError("request body must be a JSON object")
+    sets = _coerce_map(body.get("set"), "set")
+    hw = _coerce_map(body.get("hw"), "hw")
+    if body.get("scenario"):
+        if body.get("grid"):
+            raise ValueError("'grid' cannot be combined with 'scenario' "
+                             "(the preset defines the grid; pin axes "
+                             "with 'set')")
+        scenario = get_scenario(str(body["scenario"]),
+                                quick=bool(body.get("quick")))
+        scenario = scenario.with_overrides(sets, hw=hw)
+    elif body.get("kernel"):
+        machine = resolve_machine(str(body.get("machine", "sim-l3")))
+        if hw:
+            machine = machine.with_hw(**hw)
+        scenario = Scenario(
+            name="adhoc",
+            kernel=str(body["kernel"]),
+            machine=machine,
+            description="ad-hoc HTTP sweep",
+            fixed=sets,
+            grid=_coerce_grid(body.get("grid")),
+        )
+    else:
+        raise ValueError("request must name a 'scenario' preset or an "
+                         "inline 'kernel' grid")
+    points = scenario.points()
+    if not points:
+        raise ValueError("request resolves to zero points")
+    return scenario.name, points
+
+
+# --------------------------------------------------------------------- #
+# jobs
+# --------------------------------------------------------------------- #
+class Job:
+    """One submitted sweep: its points, its in-memory :class:`RunTrace`
+    (the SSE source), and its finished :class:`ResultSet`.
+
+    Subscribers get ``(backlog, queue)``: a snapshot of every event so
+    far plus a queue the trace listener fans live events into.  Events
+    arrive indexed so a subscriber skips anything its backlog already
+    covered — no event is lost or duplicated across the handoff.  A
+    ``None`` sentinel on the queue means the job reached a terminal
+    state and nothing more will come.
+    """
+
+    def __init__(self, job_id: str, key: str, label: str,
+                 points: Sequence[ScenarioPoint]) -> None:
+        self.id = job_id
+        self.key = key
+        self.label = label
+        self.points = list(points)
+        self.status = "queued"
+        self.cached = False
+        self.error: Optional[str] = None
+        self.rows: Optional[ResultSet] = None
+        self.summary: Dict[str, Any] = {}
+        self.cancel_requested = False
+        self.trace = RunTrace(meta={"command": "serve", "job": job_id,
+                                    "scenario": label})
+        self._lock = threading.Lock()
+        self._subs: List["queue.SimpleQueue[Any]"] = []
+        self._emitted = 0
+        self.trace.add_listener(self._fanout)
+
+    # ------------------------------------------------------------------ #
+    def _fanout(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            idx = self._emitted
+            self._emitted += 1
+            for q in self._subs:
+                q.put((idx, event))
+
+    def subscribe(self) -> Tuple[List[Dict[str, Any]],
+                                 "queue.SimpleQueue[Any]"]:
+        with self._lock:
+            backlog = list(self.trace.events)
+            q: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+            self._subs.append(q)
+            if self.status in _TERMINAL:
+                q.put(None)
+            return backlog, q
+
+    def unsubscribe(self, q: "queue.SimpleQueue[Any]") -> None:
+        with self._lock:
+            try:
+                self._subs.remove(q)
+            except ValueError:
+                pass
+
+    def _finish(self, status: str) -> None:
+        with self._lock:
+            self.status = status
+            for q in self._subs:
+                q.put(None)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        return {"job": self.id, "label": self.label,
+                "status": self.status, "points": len(self.points),
+                "cached": self.cached, "error": self.error,
+                "events": len(self.trace.events), **self.summary}
+
+
+class JobManager:
+    """Single-flight job queue over one runner thread.
+
+    * Warm requests (every point cached) are served synchronously on
+      the calling thread — a ``require_cached`` execute, zero compute,
+      nothing enqueued.
+    * Cold requests dedup on the *grid key* — a hash of the sorted
+      result-cache point keys — so two clients asking for the same
+      uncached grid share one execution.
+    * All sweeps run on one runner thread with ``jobs`` workers: the
+      worker budget is shared across jobs, never multiplied by them.
+    """
+
+    def __init__(self, cache: Optional[ResultCache],
+                 jobs: int = 1) -> None:
+        self.cache = cache
+        self.jobs = jobs
+        self.executions = 0  #: sweeps actually run (cache-served excluded)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._seq = itertools.count(1)
+        self._cancel_all = False
+        self._stopped = False
+        self._runner = threading.Thread(target=self._run_loop,
+                                        name="repro-lab-serve-runner",
+                                        daemon=True)
+        self._runner.start()
+
+    # ------------------------------------------------------------------ #
+    def grid_key(self, points: Sequence[ScenarioPoint]) -> str:
+        """Request identity = the multiset of result-cache point keys
+        (order-independent: the same grid swept in any order is the
+        same work)."""
+        if self.cache is not None:
+            keys = sorted(self.cache.key_for(pt.cache_payload())
+                          for pt in points)
+        else:
+            keys = sorted(point_key(pt.cache_payload(), "")
+                          for pt in points)
+        digest = hashlib.sha256("\n".join(keys).encode("ascii"))
+        return digest.hexdigest()[:16]
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs_snapshot(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def _new_job(self, key: str, label: str,
+                 points: Sequence[ScenarioPoint]) -> Job:
+        with self._lock:
+            job = Job(f"job-{next(self._seq):04d}-{key[:8]}", key,
+                      label, points)
+            self._jobs[job.id] = job
+            return job
+
+    # ------------------------------------------------------------------ #
+    def submit(self, label: str, points: Sequence[ScenarioPoint]
+               ) -> Tuple[Job, str]:
+        """Route a request; returns ``(job, how)`` with *how* one of
+        ``"cached"`` (answered synchronously from the result cache),
+        ``"dedup"`` (joined an identical queued/running job) or
+        ``"queued"``."""
+        key = self.grid_key(points)
+        job: Optional[Job] = None
+        if self._probe_warm(points):
+            job = self._new_job(key, label, points)
+            try:
+                self._run_cached(job)
+                return job, "cached"
+            except MissingResultsError:
+                pass  # raced a gc between probe and read: run it cold
+        if job is None:
+            job = self._new_job(key, label, points)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._jobs.pop(job.id, None)  # join theirs, drop ours
+                return existing, "dedup"
+            job.status = "queued"
+            self._inflight[key] = job
+            self._queue.put(job)
+        return job, "queued"
+
+    def _probe_warm(self, points: Sequence[ScenarioPoint]) -> bool:
+        """Whether every point is already cached.  Probed *untraced* —
+        the probe is bookkeeping, not execution; counting its reads
+        would double every hit in ``/metrics``."""
+        if self.cache is None or self.cache.disabled:
+            return False
+        with telemetry.tracing(None):
+            return all(self.cache.get(pt.cache_payload()) is not None
+                       for pt in points)
+
+    def _run_cached(self, job: Job) -> None:
+        """Answer a fully-warm request on the calling thread: a
+        ``require_cached`` execute reads every record (zero compute)
+        under the job's own trace, so ``/metrics`` still attributes
+        the hits."""
+        job.status = "running"
+        try:
+            report = execute(job.points, cache=self.cache,
+                             require_cached=True, trace=job.trace)
+        except MissingResultsError:
+            job.trace.finish(status="failed")
+            job._finish("failed")
+            raise
+        job.rows = ResultSet.from_report(report)
+        job.cached = True
+        job.summary = {"hits": report.hits, "misses": report.misses,
+                       "elapsed": report.elapsed}
+        job.trace.finish(status="done", cached=True)
+        job._finish("done")
+
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is None:
+                    return
+                if self._cancel_all:
+                    self._settle(job, "cancelled")
+                    continue
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        with self._lock:
+            self.executions += 1
+        status = "failed"
+        try:
+            report = execute(
+                job.points, jobs=self.jobs, cache=self.cache,
+                trace=job.trace,
+                cancel=lambda: self._cancel_all or job.cancel_requested)
+            job.rows = ResultSet.from_report(report)
+            job.summary = {"hits": report.hits,
+                           "misses": report.misses,
+                           "elapsed": report.elapsed,
+                           "failed": report.failed}
+            status = "done"
+        except SweepCancelled:
+            status = "cancelled"
+        except Exception as exc:  # surfaced via the job, not the thread
+            job.error = f"{type(exc).__name__}: {exc}"
+            status = "failed"
+        finally:
+            self._settle(job, status)
+
+    def _settle(self, job: Job, status: str) -> None:
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        job.trace.finish(status=status)
+        job._finish(status)
+
+    # ------------------------------------------------------------------ #
+    def stop(self, drain: bool = True) -> None:
+        """Stop the runner.  ``drain=True`` lets every queued job run
+        to completion first; ``drain=False`` cancels the running sweep
+        at its next task boundary and fails the queue fast.  Either
+        way completed points are already in the cache."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if not drain:
+            self._cancel_all = True
+        self._queue.put(None)
+        self._runner.join()
+
+
+# --------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------- #
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    repro_daemon: "ServeDaemon"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.0: the connection closes when the handler returns, which
+    # is exactly the framing an SSE stream without chunked encoding
+    # needs.
+    protocol_version = "HTTP/1.0"
+    server: _ServeHTTPServer
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.repro_daemon
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the run trace is the access log
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, code: int, payload: Mapping[str, Any]) -> None:
+        blob = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, code: int, text: str, ctype: str) -> None:
+        blob = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except ValueError:
+            raise ValueError("request body is not valid JSON") from None
+
+    # ------------------------------------------------------------------ #
+    def do_POST(self) -> None:
+        t0 = time.monotonic()
+        path = urlparse(self.path).path
+        status = 500
+        try:
+            if path == "/sweep":
+                status = self._post_sweep()
+            elif path.startswith("/jobs/") and path.endswith("/cancel"):
+                status = self._post_cancel(path[len("/jobs/"):
+                                                -len("/cancel")])
+            else:
+                status = 404
+                self._send_json(404, {"error": f"no such route {path}"})
+        except ValueError as exc:
+            status = 400
+            self._send_json(400, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; nothing to answer
+        finally:
+            self.daemon.record_request("POST", path, status, t0)
+
+    def do_GET(self) -> None:
+        t0 = time.monotonic()
+        parsed = urlparse(self.path)
+        path = parsed.path
+        status = 500
+        try:
+            if path == "/metrics":
+                status = self._get_metrics()
+            elif path == "/healthz":
+                status = 200
+                self._send_json(200, {"ok": True,
+                                      "accepting": self.daemon.accepting})
+            elif path.startswith("/jobs/"):
+                status = self._get_job(path[len("/jobs/"):], parsed.query)
+            elif path.startswith("/results/"):
+                status = self._get_results(path[len("/results/"):],
+                                           parsed.query)
+            else:
+                status = 404
+                self._send_json(404, {"error": f"no such route {path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            return  # a disconnected SSE client is routine, not an error
+        finally:
+            self.daemon.record_request("GET", path, status, t0)
+
+    # ------------------------------------------------------------------ #
+    def _post_sweep(self) -> int:
+        daemon = self.daemon
+        if not daemon.accepting:
+            self._send_json(503, {"error": "shutting down"})
+            return 503
+        body = self._read_body()
+        label, points = points_from_request(body)
+        daemon.count("serve.request")
+        job, how = daemon.manager.submit(label, points)
+        if how == "cached":
+            daemon.count("serve.cache_hit")
+        elif how == "dedup":
+            daemon.count("serve.dedup")
+        code = 202 if how == "queued" else 200
+        self._send_json(code, {
+            **job.describe(), "source": how,
+            "links": {"status": f"/jobs/{job.id}",
+                      "events": f"/jobs/{job.id}?sse=1",
+                      "results": f"/results/{job.id}"}})
+        return code
+
+    def _post_cancel(self, job_id: str) -> int:
+        job = self.daemon.manager.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+            return 404
+        job.cancel_requested = True
+        self._send_json(200, {"job": job.id, "status": job.status,
+                              "cancel_requested": True})
+        return 200
+
+    def _get_job(self, job_id: str, query: str) -> int:
+        job = self.daemon.manager.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+            return 404
+        wants_sse = (parse_qs(query).get("sse", ["0"])[0] not in
+                     ("0", "", "false")) or \
+            "text/event-stream" in (self.headers.get("Accept") or "")
+        if not wants_sse:
+            self._send_json(200, job.describe())
+            return 200
+        self._stream_events(job)
+        return 200
+
+    def _stream_events(self, job: Job) -> None:
+        """SSE: replay the trace backlog, then relay live events until
+        the job settles.  ``event:`` carries the trace event type, the
+        payload is the schema-v1 event verbatim."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        backlog, q = job.subscribe()
+        try:
+            for ev in backlog:
+                self._sse_event(ev)
+            self.wfile.flush()
+            skip = len(backlog)
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+                idx, ev = item
+                if idx < skip:
+                    continue  # the backlog already carried this one
+                self._sse_event(ev)
+                self.wfile.flush()
+            self.wfile.write(b"event: done\ndata: {}\n\n")
+            self.wfile.flush()
+        finally:
+            job.unsubscribe(q)
+
+    def _sse_event(self, event: Mapping[str, Any]) -> None:
+        kind = str(event.get("type", "event"))
+        data = json.dumps(event, sort_keys=True, default=str)
+        self.wfile.write(f"event: {kind}\ndata: {data}\n\n"
+                         .encode("utf-8"))
+
+    def _get_results(self, job_id: str, query: str) -> int:
+        job = self.daemon.manager.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+            return 404
+        if job.rows is None:
+            self._send_json(409, {**job.describe(),
+                                  "error": f"job is {job.status}; "
+                                           f"no results to fetch"})
+            return 409
+        fmt = parse_qs(query).get("format", ["json"])[0]
+        if fmt == "csv":
+            self._send_text(200, job.rows.to_csv(), "text/csv")
+        elif fmt == "json":
+            self._send_text(200, job.rows.to_json(), "application/json")
+        else:
+            self._send_json(400, {"error": f"unknown format {fmt!r} "
+                                           f"(json or csv)"})
+            return 400
+        return 200
+
+    def _get_metrics(self) -> int:
+        self._send_json(200, self.daemon.metrics_payload())
+        return 200
+
+
+# --------------------------------------------------------------------- #
+# daemon
+# --------------------------------------------------------------------- #
+class ServeDaemon:
+    """The serve front-end: HTTP server + job manager + server trace.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound ``(host, port)``.  :meth:`serve_forever` runs in the
+    calling thread (the CLI); :meth:`start` spawns a background thread
+    instead.  Either way :meth:`shutdown` stops accepting, drains (or
+    cancels) the job queue, closes the socket and sweeps half-written
+    cache temporaries — the same exit path a CLI SIGINT takes.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737,
+                 jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self.trace = RunTrace(meta={"command": "serve"})
+        self._trace_lock = threading.Lock()
+        self.manager = JobManager(cache, jobs=jobs)
+        self.accepting = True
+        self._closed = False
+        self.httpd = _ServeHTTPServer((host, port), _Handler)
+        self.httpd.repro_daemon = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServeDaemon":
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-lab-serve-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, settle the queue (*drain* runs queued jobs
+        to completion; ``drain=False`` cancels at the next task
+        boundary), close the socket, finish the server trace, and
+        reclaim stale cache temporaries.  Idempotent."""
+        self.accepting = False
+        self.manager.stop(drain=drain)
+        if self._closed:
+            return
+        self._closed = True
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+        self.httpd.server_close()
+        with self._trace_lock:
+            self.trace.finish(jobs=len(self.manager.jobs_snapshot()),
+                              executions=self.manager.executions)
+        if self.cache is not None:
+            self.cache.cleanup_tmp()
+
+    # ------------------------------------------------------------------ #
+    # server-trace emission (handler threads share one trace; RunTrace
+    # itself is single-writer, so serialize).
+    # ------------------------------------------------------------------ #
+    def count(self, name: str) -> None:
+        with self._trace_lock:
+            self.trace.counter(name)
+
+    def record_request(self, method: str, path: str, status: int,
+                       start_monotonic: float) -> None:
+        with self._trace_lock:
+            if self.trace.finished:
+                return
+            self.trace.emit_span(
+                "http_request",
+                start_monotonic=start_monotonic,
+                duration=time.monotonic() - start_monotonic,
+                method=method, path=path, status=status)
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """``GET /metrics``: the schema-v1 events of the server trace
+        plus every job trace, aggregated through the one true
+        :class:`MetricsRegistry`."""
+        with self._trace_lock:
+            events: List[Dict[str, Any]] = list(self.trace.events)
+        by_status: Dict[str, int] = {}
+        for job in self.manager.jobs_snapshot():
+            events.extend(list(job.trace.events))
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        registry = MetricsRegistry.from_events(events)
+        return {"schema_version": telemetry.SCHEMA_VERSION,
+                "metrics": registry.as_dict(),
+                "jobs": by_status,
+                "executions": self.manager.executions}

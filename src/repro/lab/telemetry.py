@@ -41,11 +41,12 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
-                    TextIO, Union)
+from typing import (Any, Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, TextIO, Union)
 
 from repro.util import format_table
 
@@ -210,6 +211,7 @@ class RunTrace:
         self._fh: Optional[TextIO] = None
         self._ids = itertools.count(1)
         self._stack: List[int] = []
+        self._listeners: List[Callable[[Dict[str, Any]], None]] = []
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "w", encoding="utf-8")
@@ -220,11 +222,29 @@ class RunTrace:
     def now(self) -> float:
         return time.monotonic() - self.epoch
 
+    def add_listener(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        """Call *fn* with every subsequently emitted event — the live
+        tap the serve daemon's SSE streams ride.  Listeners run on the
+        emitting thread and must not raise; they see events *after*
+        they are appended to :attr:`events`, so a subscriber that
+        snapshots the backlog first and then listens misses nothing."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        """Detach a listener added by :meth:`add_listener` (no-op if it
+        was already removed)."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
     def emit(self, event: Dict[str, Any]) -> None:
         self.events.append(event)
         if self._fh is not None:
             self._fh.write(json.dumps(event, sort_keys=True,
                                       default=str) + "\n")
+        for fn in tuple(self._listeners):
+            fn(event)
 
     def current_span(self) -> Optional[int]:
         return self._stack[-1] if self._stack else None
@@ -363,22 +383,28 @@ class RunTrace:
 
 
 # --------------------------------------------------------------------- #
-# process-wide active trace
+# thread-local active trace
 # --------------------------------------------------------------------- #
-_active: Optional[RunTrace] = None
+# Thread-local rather than process-global: the serve daemon runs sweeps
+# on a job-runner thread while HTTP handler threads probe the result
+# cache concurrently — a global active trace would splice one request's
+# cache counters into another job's trace.  Single-threaded callers
+# (the CLI, executor pool workers — which are processes, each scoping
+# its own subtrace) see exactly the old semantics.
+_active = threading.local()
 
 
 def active_trace() -> Optional[RunTrace]:
-    """The trace instrumentation sites should emit to (or ``None``,
-    the default — in which case every site is a no-op)."""
-    return _active
+    """The trace instrumentation sites on *this thread* should emit to
+    (or ``None``, the default — in which case every site is a no-op)."""
+    trace: Optional[RunTrace] = getattr(_active, "trace", None)
+    return trace
 
 
 def set_active_trace(trace: Optional[RunTrace]) -> Optional[RunTrace]:
-    """Install *trace* process-wide; returns the previous one."""
-    global _active
-    previous = _active
-    _active = trace
+    """Install *trace* for the current thread; returns the previous one."""
+    previous: Optional[RunTrace] = getattr(_active, "trace", None)
+    _active.trace = trace
     return previous
 
 

@@ -21,6 +21,7 @@ SCHEMA_VERSION = 1
 SPANS: FrozenSet[str] = frozenset({
     "sweep",
     "task",
+    "http_request",
 })
 
 #: fastsim phase-timing names (:func:`repro.machine.fastsim.profile
@@ -49,4 +50,7 @@ COUNTERS: FrozenSet[str] = frozenset({
     "task.timeout",
     "worker.respawn",
     "point.failed",
+    "serve.request",
+    "serve.cache_hit",
+    "serve.dedup",
 })

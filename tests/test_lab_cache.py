@@ -165,3 +165,38 @@ class TestTmpCleanup:
         blocker.write_text("")
         cache = ResultCache(blocker / "sub")
         assert cache.cleanup_tmp() == 0
+
+    def test_cleanup_tmp_is_recursive(self, tmp_path, point):
+        # The real on-disk layout nests deeper than one shard level:
+        # the trace store leaves `.npy.tmp` temporaries under
+        # `traces/<shard>/`.  An interrupted sweep must get them all
+        # back, not just the record-shard level.
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        shard = cache._path(cache.key_for(point.payload())).parent
+        record_tmp = shard / "interrupted.json.tmp"
+        record_tmp.write_text("partial", encoding="utf-8")
+        trace_shard = tmp_path / "traces" / "ab"
+        trace_shard.mkdir(parents=True)
+        trace_tmp = trace_shard / "deadbeef.lines.npy.tmp"
+        trace_tmp.write_bytes(b"\x93NUMPY partial")
+        top_tmp = tmp_path / "toplevel.tmp"
+        top_tmp.write_text("", encoding="utf-8")
+        assert cache.cleanup_tmp() == 3
+        assert not record_tmp.exists()
+        assert not trace_tmp.exists()
+        assert not top_tmp.exists()
+        assert cache.get(point.payload()) == {"x": 1}
+
+    def test_gc_reclaims_nested_tmp(self, tmp_path, point):
+        # gc (the SIGINT cleanup path) rides cleanup_tmp, so a stray
+        # nested temporary is reclaimed there too.
+        cache = ResultCache(tmp_path)
+        cache.put(point.payload(), {"x": 1})
+        nested = tmp_path / "traces" / "cd"
+        nested.mkdir(parents=True)
+        stray = nested / "stray.npy.tmp"
+        stray.write_bytes(b"partial")
+        cache.gc()
+        assert not stray.exists()
+        assert cache.get(point.payload()) == {"x": 1}

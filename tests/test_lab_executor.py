@@ -109,3 +109,136 @@ class TestResultSet:
     def test_format_renders_table(self, rs):
         out = rs.format(title="tiny")
         assert "tiny" in out and "writebacks" in out
+
+
+class TestMonotonicDeadlines:
+    """The supervised loop must be immune to wall-clock steps: every
+    deadline and backoff computation derives from ``time.monotonic``."""
+
+    def test_executor_never_reads_wall_clock(self):
+        import inspect
+
+        import repro.lab.executor as executor_module
+        src = inspect.getsource(executor_module)
+        assert "time.time(" not in src, (
+            "executor deadlines/backoff must use time.monotonic(); a "
+            "wall-clock read would let an NTP step fire spurious "
+            "task.timeout kills")
+
+    def test_clock_step_cannot_fire_spurious_timeout(self, tiny_scenario,
+                                                     monkeypatch):
+        # Model an NTP step: every wall-clock observation jumps an hour
+        # forward.  A deadline computed from time.time() would expire
+        # instantly; the monotonic implementation must finish the sweep
+        # with zero timeout kills.
+        import time as time_module
+        state = {"now": time_module.time()}
+
+        def jumping_wall_clock():
+            state["now"] += 3600.0
+            return state["now"]
+
+        monkeypatch.setattr(time_module, "time", jumping_wall_clock)
+        pts = tiny_scenario.points()[:4]
+        report = execute(pts, jobs=2, timeout=60.0, retries=1)
+        assert report.timeouts == 0
+        assert report.respawns == 0
+        assert report.failed == 0
+        assert report.total == len(pts)
+
+
+class TestPeerGoneNarrowing:
+    """Only EPIPE/ECONNRESET-class errors mean "the worker died";
+    anything else is a parent-side bug and must propagate instead of
+    silently burning a crash-respawn."""
+
+    def test_classification(self):
+        import errno
+
+        from repro.lab.executor import _is_peer_gone
+        assert _is_peer_gone(BrokenPipeError("gone"))
+        assert _is_peer_gone(ConnectionResetError("reset"))
+        assert _is_peer_gone(OSError(errno.EPIPE, "pipe"))
+        assert _is_peer_gone(OSError(errno.ECONNRESET, "reset"))
+        assert _is_peer_gone(OSError(errno.ESHUTDOWN, "shutdown"))
+        assert not _is_peer_gone(OSError(errno.EBADF, "bad fd"))
+        assert not _is_peer_gone(OSError(errno.ENOSPC, "disk full"))
+        assert not _is_peer_gone(OSError(errno.EMSGSIZE, "too big"))
+
+    def _dispatch_to(self, exc, tiny_scenario):
+        """Drive _Supervisor._dispatch at a worker whose pipe raises
+        *exc* on send; returns what _dispatch did."""
+        from repro.lab.executor import (RetryPolicy, _Supervisor, _Task,
+                                        _Worker)
+        pts = tiny_scenario.points()[:1]
+        sup = _Supervisor(pts, [None], None, None, None,
+                          RetryPolicy(), False, None)
+
+        class _DeadPipe:
+            def send(self, payload):
+                raise exc
+
+        worker = _Worker(proc=None, conn=_DeadPipe())
+        task = _Task(tid=0, indices=[0], kind=None)
+        return sup._dispatch(worker, task, tracing=False)
+
+    def test_dispatch_peer_gone_is_routine(self, tiny_scenario):
+        assert self._dispatch_to(BrokenPipeError("gone"),
+                                 tiny_scenario) is False
+
+    def test_dispatch_other_oserror_propagates(self, tiny_scenario):
+        import errno
+        with pytest.raises(OSError) as excinfo:
+            self._dispatch_to(OSError(errno.EBADF, "bad fd"),
+                              tiny_scenario)
+        assert excinfo.value.errno == errno.EBADF
+
+
+class TestCancelHook:
+    """The job-level cancellation hook the serve daemon's shutdown
+    rides: polled between tasks, never mid-kernel, so completed points
+    are always cached."""
+
+    def test_cancel_immediately_runs_nothing(self, tiny_scenario,
+                                             tmp_path):
+        from repro.lab.executor import SweepCancelled
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SweepCancelled):
+            execute(tiny_scenario.points(), cache=cache,
+                    multi_capacity=False, cancel=lambda: True)
+        assert len(cache) == 0
+
+    def test_cancel_between_tasks_keeps_completed_points(
+            self, tiny_scenario, tmp_path):
+        from repro.lab.executor import SweepCancelled
+        pts = tiny_scenario.points()
+        cache = ResultCache(tmp_path)
+        polls = {"n": 0}
+
+        def cancel_after_two_tasks():
+            polls["n"] += 1
+            return polls["n"] > 2
+
+        with pytest.raises(SweepCancelled):
+            execute(pts, cache=cache, multi_capacity=False,
+                    cancel=cancel_after_two_tasks)
+        # Scalar tasks, checked before each: exactly two completed and
+        # were cached before the hook fired.
+        assert len(cache) == 2
+        # The cancelled sweep resumes for free from those records.
+        resumed = execute(pts, cache=ResultCache(tmp_path))
+        assert resumed.hits == 2
+        assert resumed.misses == len(pts) - 2
+        assert resumed.failed == 0
+
+    def test_pool_cancel_stops_sweep(self, tiny_scenario, tmp_path):
+        from repro.lab.executor import SweepCancelled
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SweepCancelled):
+            execute(tiny_scenario.points(), jobs=2, cache=cache,
+                    multi_capacity=False, cancel=lambda: True)
+        assert len(cache) == 0
+
+    def test_no_cancel_hook_is_free(self, tiny_scenario):
+        report = execute(tiny_scenario.points(), cancel=None)
+        assert report.total == len(tiny_scenario.points())

@@ -1,0 +1,368 @@
+"""The serve daemon: routing, single-flight dedup, cache-served warm
+requests, SSE progress, /metrics round-trip, and graceful shutdown."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.lab.serve as serve_module
+from repro.lab.cache import ResultCache
+from repro.lab.executor import execute
+from repro.lab.results import ResultSet
+from repro.lab.serve import ServeDaemon, points_from_request
+from repro.lab.telemetry import MetricsRegistry
+
+#: a cheap analytic grid: 4 points, microseconds each.
+GRID_BODY = {"kernel": "cost-25d-mm-l3",
+             "grid": {"c3": [1, 2], "P": [64, 256]}}
+
+
+def _post(url, path, body):
+    req = urllib.request.Request(
+        url + path, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req) as r:
+        return r.status, json.loads(r.read())
+
+
+def _get(url, path, raw=False):
+    with urllib.request.urlopen(url + path) as r:
+        blob = r.read()
+        return r.status, (blob if raw else json.loads(blob))
+
+
+def _wait_for(pred, timeout=10.0):
+    deadline = timeout / 0.01
+    while not pred():
+        deadline -= 1
+        assert deadline > 0, "condition never became true"
+        threading.Event().wait(0.01)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    cache = ResultCache(tmp_path / "cache", code_version="serve-test")
+    d = ServeDaemon(port=0, jobs=1, cache=cache).start()
+    yield d
+    d.shutdown(drain=True)
+
+
+@pytest.fixture
+def gated_execute(monkeypatch):
+    """Block the job-runner inside execute until the test releases it —
+    the deterministic window for dedup/SSE/cancel assertions."""
+    entered = threading.Event()
+    release = threading.Event()
+    real = serve_module.execute
+
+    def gated(points, **kwargs):
+        if not kwargs.get("require_cached"):
+            entered.set()
+            assert release.wait(10), "test never released the runner"
+        return real(points, **kwargs)
+
+    monkeypatch.setattr(serve_module, "execute", gated)
+    return entered, release
+
+
+class TestRequestParsing:
+    def test_adhoc_grid(self):
+        label, points = points_from_request(GRID_BODY)
+        assert label == "adhoc"
+        assert len(points) == 4
+        assert {p.params["c3"] for p in points} == {1, 2}
+
+    def test_cli_style_string_literals_coerce(self):
+        _, typed = points_from_request(GRID_BODY)
+        _, stringy = points_from_request(
+            {"kernel": "cost-25d-mm-l3",
+             "grid": {"c3": "1,2", "P": "64,256"}})
+        assert [p.cache_payload() for p in typed] == \
+            [p.cache_payload() for p in stringy]
+
+    def test_scenario_preset(self):
+        label, points = points_from_request(
+            {"scenario": "sec6", "quick": True})
+        assert label == "sec6"
+        assert points
+
+    def test_scenario_rejects_grid(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            points_from_request({"scenario": "sec6",
+                                 "grid": {"n": [8]}})
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            points_from_request({"scenario": "nope"})
+
+    def test_empty_body(self):
+        with pytest.raises(ValueError, match="must name"):
+            points_from_request({})
+
+
+class TestSweepLifecycle:
+    def _wait_done(self, url, job_id, tries=200):
+        for _ in range(tries):
+            status, st = _get(url, f"/jobs/{job_id}")
+            if st["status"] in ("done", "failed", "cancelled"):
+                return st
+            threading.Event().wait(0.02)
+        raise AssertionError(f"job {job_id} never settled: {st}")
+
+    def test_cold_sweep_matches_batch_engine_bit_for_bit(self, daemon):
+        status, first = _post(daemon.url, "/sweep", GRID_BODY)
+        assert status == 202 and first["source"] == "queued"
+        st = self._wait_done(daemon.url, first["job"])
+        assert st["status"] == "done" and st["cached"] is False
+
+        status, rows = _get(daemon.url, f"/results/{first['job']}")
+        assert status == 200
+
+        # The same grid through the batch engine, fresh cache: the
+        # daemon must produce bit-identical records.
+        _, points = points_from_request(GRID_BODY)
+        direct = ResultSet.from_report(execute(points))
+        assert rows == json.loads(direct.to_json())
+        # and it round-trips through the ResultSet JSON codec
+        assert ResultSet.from_json(json.dumps(rows)).rows == rows
+
+    def test_csv_results(self, daemon):
+        _, first = _post(daemon.url, "/sweep", GRID_BODY)
+        self._wait_done(daemon.url, first["job"])
+        _, blob = _get(daemon.url, f"/results/{first['job']}?format=csv",
+                       raw=True)
+        lines = blob.decode().strip().splitlines()
+        assert len(lines) == 4 + 1  # header + 4 points
+
+    def test_warm_request_is_cache_served_without_enqueuing(self, daemon):
+        _, first = _post(daemon.url, "/sweep", GRID_BODY)
+        self._wait_done(daemon.url, first["job"])
+        executed_before = daemon.manager.executions
+
+        status, second = _post(daemon.url, "/sweep", GRID_BODY)
+        assert status == 200
+        assert second["source"] == "cached"
+        assert second["status"] == "done"  # answered synchronously
+        assert second["job"] != first["job"]
+        # 0 executed points: nothing was enqueued, nothing ran
+        assert daemon.manager.executions == executed_before
+        assert second["hits"] == 4 and second["misses"] == 0
+
+        _, warm_rows = _get(daemon.url, f"/results/{second['job']}")
+        _, cold_rows = _get(daemon.url, f"/results/{first['job']}")
+        # identical records up to the cached-provenance flag
+        strip = lambda rows: [{k: v for k, v in r.items()
+                               if k != "cached"} for r in rows]
+        assert strip(warm_rows) == strip(cold_rows)
+        assert all(r["cached"] for r in warm_rows)
+
+        # the counters prove it
+        _, metrics = _get(daemon.url, "/metrics")
+        counters = metrics["metrics"]["counters"]
+        assert counters["serve.cache_hit"] == 1
+        assert "serve.dedup" not in counters
+
+    def test_concurrent_cold_requests_single_flight(self, daemon,
+                                                    gated_execute):
+        entered, release = gated_execute
+        results = []
+
+        def client():
+            results.append(_post(daemon.url, "/sweep", GRID_BODY))
+
+        t1 = threading.Thread(target=client)
+        t1.start()
+        assert entered.wait(10)  # first request is inside execute
+        t2 = threading.Thread(target=client)
+        t2.start()
+        t2.join(10)  # second answers immediately: it joined the first
+        release.set()
+        t1.join(10)
+
+        (s1, r1), (s2, r2) = sorted(results, key=lambda sr: sr[0])
+        assert {r1["source"], r2["source"]} == {"queued", "dedup"}
+        assert r1["job"] == r2["job"]  # literally the same job
+        assert daemon.manager.executions == 1  # exactly one execution
+
+        st = self._wait_done(daemon.url, r1["job"])
+        assert st["status"] == "done"
+        _, rows_a = _get(daemon.url, f"/results/{r1['job']}")
+        _, rows_b = _get(daemon.url, f"/results/{r2['job']}")
+        assert rows_a == rows_b
+
+        _, metrics = _get(daemon.url, "/metrics")
+        assert metrics["metrics"]["counters"]["serve.dedup"] == 1
+
+    def test_results_before_done_is_409(self, daemon, gated_execute):
+        entered, release = gated_execute
+        holder = {}
+        t = threading.Thread(target=lambda: holder.update(
+            _post(daemon.url, "/sweep", GRID_BODY)[1]))
+        t.start()
+        assert entered.wait(10)
+        _wait_for(lambda: "job" in holder)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(daemon.url, f"/results/{holder['job']}")
+        assert excinfo.value.code == 409
+        release.set()
+        t.join(10)
+
+    def test_cancel_endpoint_stops_job(self, daemon, gated_execute):
+        entered, release = gated_execute
+        holder = {}
+        t = threading.Thread(target=lambda: holder.update(
+            _post(daemon.url, "/sweep", GRID_BODY)[1]))
+        t.start()
+        assert entered.wait(10)
+        _wait_for(lambda: "job" in holder)
+        status, ack = _post(daemon.url, f"/jobs/{holder['job']}/cancel",
+                            {})
+        assert status == 200 and ack["cancel_requested"]
+        release.set()
+        st = self._wait_done(daemon.url, holder["job"])
+        assert st["status"] == "cancelled"
+
+    def test_unknown_routes_and_jobs(self, daemon):
+        for path in ("/jobs/nope", "/results/nope"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(daemon.url, path)
+            assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(daemon.url, "/sweep", {"scenario": "nope"})
+        assert excinfo.value.code == 400
+
+    def test_healthz(self, daemon):
+        status, body = _get(daemon.url, "/healthz")
+        assert status == 200 and body["ok"]
+
+
+class TestSSE:
+    def test_finished_job_replays_full_trace(self, daemon):
+        _, first = _post(daemon.url, "/sweep", GRID_BODY)
+        for _ in range(200):
+            _, st = _get(daemon.url, f"/jobs/{first['job']}")
+            if st["status"] == "done":
+                break
+            threading.Event().wait(0.02)
+        _, blob = _get(daemon.url, f"/jobs/{first['job']}?sse=1",
+                       raw=True)
+        text = blob.decode()
+        kinds = [ln.split(": ", 1)[1] for ln in text.splitlines()
+                 if ln.startswith("event: ")]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "done"
+        assert "summary" in kinds and "point" in kinds
+        # every data line is a schema-v1 event verbatim
+        for ln in text.splitlines():
+            if ln.startswith("data: "):
+                json.loads(ln[len("data: "):])
+
+    def test_live_stream_sees_events_exactly_once(self, daemon,
+                                                  gated_execute):
+        entered, release = gated_execute
+        holder = {}
+        t = threading.Thread(target=lambda: holder.update(
+            _post(daemon.url, "/sweep", GRID_BODY)[1]))
+        t.start()
+        assert entered.wait(10)
+        _wait_for(lambda: "job" in holder)
+
+        stream = {}
+
+        def reader():
+            _, blob = _get(daemon.url,
+                           f"/jobs/{holder['job']}?sse=1", raw=True)
+            stream["text"] = blob.decode()
+
+        rt = threading.Thread(target=reader)
+        rt.start()
+        release.set()
+        rt.join(10)
+        t.join(10)
+        assert "text" in stream
+        events = [json.loads(ln[len("data: "):])
+                  for ln in stream["text"].splitlines()
+                  if ln.startswith("data: ")]
+        points = [ev for ev in events if ev.get("type") == "point"]
+        assert len(points) == 4  # each point reported exactly once
+        assert events[-2]["type"] == "summary"  # then the done frame
+
+
+class TestMetrics:
+    def test_round_trips_through_registry(self, daemon):
+        _, first = _post(daemon.url, "/sweep", GRID_BODY)
+        for _ in range(200):
+            _, st = _get(daemon.url, f"/jobs/{first['job']}")
+            if st["status"] == "done":
+                break
+            threading.Event().wait(0.02)
+        _post(daemon.url, "/sweep", GRID_BODY)  # a cache hit too
+
+        _, payload = _get(daemon.url, "/metrics")
+        assert payload["schema_version"] == 1
+
+        # the exported dict round-trips through the registry codec
+        reg = MetricsRegistry.from_dict(payload["metrics"])
+        assert reg.as_dict() == payload["metrics"]
+
+        # and equals a fresh aggregation of the very events the server
+        # holds — no second format, no drift
+        events = list(daemon.trace.events)
+        for job in daemon.manager.jobs_snapshot():
+            events.extend(job.trace.events)
+        rebuilt = MetricsRegistry.from_events(events)
+        # the /metrics fetches themselves add http_request spans after
+        # the snapshot we compare against, so compare counters exactly
+        # and histograms on the job-side names only.
+        assert rebuilt.counters == reg.counters
+        assert rebuilt.histograms["span.sweep.seconds"] == \
+            reg.histograms["span.sweep.seconds"]
+        assert "span.http_request.seconds" in reg.histograms
+        assert reg.counters["serve.request"] == 2
+        assert reg.counters["serve.cache_hit"] == 1
+
+
+class TestShutdown:
+    def test_drain_completes_queued_jobs(self, tmp_path, gated_execute):
+        entered, release = gated_execute
+        cache = ResultCache(tmp_path / "cache", code_version="drain")
+        d = ServeDaemon(port=0, jobs=1, cache=cache).start()
+        try:
+            holder = {}
+            t = threading.Thread(target=lambda: holder.update(
+                _post(d.url, "/sweep", GRID_BODY)[1]))
+            t.start()
+            assert entered.wait(10)
+            t.join(10)
+            _wait_for(lambda: "job" in holder)
+            release.set()
+            d.shutdown(drain=True)  # joins the runner
+            job = d.manager.get(holder["job"])
+            assert job.status == "done"
+            assert job.rows is not None
+        finally:
+            d.shutdown(drain=True)  # idempotent
+
+    def test_shutdown_stops_accepting(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", code_version="stop")
+        d = ServeDaemon(port=0, jobs=1, cache=cache).start()
+        url = d.url
+        d.accepting = False
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(url, "/sweep", GRID_BODY)
+        assert excinfo.value.code == 503
+        d.shutdown(drain=True)
+        assert d.trace.finished
+
+    def test_shutdown_sweeps_cache_temporaries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", code_version="tmp")
+        nested = cache.root / "traces" / "ab"
+        nested.mkdir(parents=True)
+        stray = nested / "stale.npy.tmp"
+        stray.write_bytes(b"partial")
+        d = ServeDaemon(port=0, jobs=1, cache=cache).start()
+        d.shutdown(drain=True)
+        assert not stray.exists()
